@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation: the excess-solar policy (Section 3.1 calls it a policy
+ * decision — reclaim & redistribute, net meter, or curtail).
+ *
+ * Two apps share a solar array; app "full" owns 70 % of it but its
+ * small battery saturates quickly, while app "hungry" owns 30 % and
+ * has headroom. Compares where the excess energy ends up under each
+ * ExcessSolarPolicy.
+ */
+
+#include <cstdio>
+
+#include "carbon/carbon_signal.h"
+#include "core/ecovisor.h"
+#include "energy/solar_array.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+
+using namespace ecov;
+
+namespace {
+
+struct Outcome
+{
+    double curtailed_wh;
+    double net_metered_wh;
+    double hungry_battery_wh;
+};
+
+Outcome
+runWith(core::ExcessSolarPolicy policy)
+{
+    carbon::TraceCarbonSignal signal({{0, 200.0}});
+    energy::GridConnection grid(&signal);
+    energy::SolarTraceConfig sc;
+    sc.peak_w = 120.0;
+    sc.cloudiness = 0.1;
+    auto solar = energy::makeSolarTrace(sc, 5);
+    cop::Cluster cluster(8, power::ServerPowerConfig{});
+    energy::BatteryConfig bank;
+    bank.capacity_wh = 2000.0;
+    bank.max_charge_w = 500.0;
+    bank.max_discharge_w = 2000.0;
+    energy::PhysicalEnergySystem phys(&grid, &solar, bank);
+
+    core::EcovisorOptions opts;
+    opts.excess_solar = policy;
+    core::Ecovisor eco(&cluster, &phys, opts);
+
+    core::AppShareConfig full;
+    full.solar_fraction = 0.7;
+    energy::BatteryConfig fb;
+    fb.capacity_wh = 50.0;
+    fb.max_charge_w = 20.0;
+    fb.max_discharge_w = 50.0;
+    fb.initial_soc = 0.9;
+    full.battery = fb;
+    eco.addApp("full", full);
+
+    // Big enough that it never saturates within the day: the policies
+    // now differ in totals, not just timing.
+    core::AppShareConfig hungry;
+    hungry.solar_fraction = 0.3;
+    energy::BatteryConfig hb;
+    hb.capacity_wh = 1900.0;
+    hb.max_charge_w = 120.0;
+    hb.max_discharge_w = 500.0;
+    hb.initial_soc = 0.31;
+    hungry.battery = hb;
+    eco.addApp("hungry", hungry);
+
+    sim::Simulation simul(60);
+    eco.attach(simul);
+    simul.runUntil(24 * 3600);
+
+    return Outcome{eco.curtailedWh(), eco.netMeteredWh(),
+                   eco.getBatteryChargeLevel("hungry")};
+}
+
+const char *
+name(core::ExcessSolarPolicy p)
+{
+    switch (p) {
+      case core::ExcessSolarPolicy::Curtail:
+        return "curtail (prototype default)";
+      case core::ExcessSolarPolicy::Redistribute:
+        return "redistribute";
+      case core::ExcessSolarPolicy::NetMeter:
+        return "net-meter";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: excess-solar policy (Section 3.1) "
+                "===\n\n");
+    TextTable t({"policy", "curtailed_wh", "net_metered_wh",
+                 "hungry_app_battery_wh"});
+    for (auto p : {core::ExcessSolarPolicy::Curtail,
+                   core::ExcessSolarPolicy::Redistribute,
+                   core::ExcessSolarPolicy::NetMeter}) {
+        auto o = runWith(p);
+        t.addRow({name(p), TextTable::fmt(o.curtailed_wh, 1),
+                  TextTable::fmt(o.net_metered_wh, 1),
+                  TextTable::fmt(o.hungry_battery_wh, 1)});
+    }
+    t.print();
+    std::printf(
+        "\nExpected: curtail wastes the saturated app's excess; "
+        "redistribute moves it into the other app's battery; "
+        "net-meter exports it. Totals are conserved either way "
+        "(energy-conservation invariant).\n");
+    return 0;
+}

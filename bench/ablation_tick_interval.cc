@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: the tick interval delta-t (Section 3.1 discretizes power
+ * and carbon over a small tick interval, e.g. one minute, and argues
+ * minute-level ticks are fine because carbon does not change
+ * significantly within a minute).
+ *
+ * Runs the suspend-resume batch scenario at several tick lengths and
+ * compares carbon, runtime, and policy responsiveness. Coarser ticks
+ * react later to threshold crossings, lengthening exposure to
+ * high-carbon power.
+ */
+
+#include <cstdio>
+
+#include "carbon/region_traces.h"
+#include "core/ecovisor.h"
+#include "policies/carbon_reduction.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+#include "workloads/batch_job.h"
+
+using namespace ecov;
+
+namespace {
+
+struct Outcome
+{
+    double runtime_h;
+    double carbon_g;
+};
+
+Outcome
+runWith(TimeS tick_s)
+{
+    auto signal = carbon::makeCaisoLikeTrace(8, 11);
+    energy::GridConnection grid(&signal);
+    cop::Cluster cluster(16, power::ServerPowerConfig{});
+    energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
+    core::Ecovisor eco(&cluster, &phys);
+    eco.addApp("job", core::AppShareConfig{});
+
+    auto cfg = wl::mlTrainingConfig("job", 4.0 * 5.0 * 3600.0);
+    wl::BatchJob job(&cluster, cfg);
+    double threshold = signal.intensityPercentile(30.0, 0, 48 * 3600);
+    policy::SuspendResumePolicy pol(&eco, &job, threshold);
+
+    sim::Simulation simul(tick_s);
+    simul.addListener([&](TimeS t, TimeS dt) { pol.onTick(t, dt); },
+                      sim::TickPhase::Policy);
+    simul.addListener([&](TimeS t, TimeS dt) { job.onTick(t, dt); },
+                      sim::TickPhase::Workload);
+    eco.attach(simul);
+
+    job.start(0);
+    while (!job.done() && simul.now() < 20LL * 24 * 3600)
+        simul.step();
+    return Outcome{static_cast<double>(job.runtime()) / 3600.0,
+                   eco.ves("job").totalCarbonG()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: tick interval delta-t (Section 3.1) "
+                "===\n\n");
+    TextTable t({"tick_s", "runtime_h", "carbon_g"});
+    for (TimeS tick : {10, 60, 300, 900}) {
+        auto o = runWith(tick);
+        t.addRow({std::to_string(tick), TextTable::fmt(o.runtime_h, 2),
+                  TextTable::fmt(o.carbon_g, 3)});
+    }
+    t.print();
+    std::printf(
+        "\nExpected: 10 s and the paper's 60 s tick agree closely "
+        "(carbon moves slowly within a minute); multi-minute ticks "
+        "drift as the policy reacts late to threshold crossings.\n");
+    return 0;
+}

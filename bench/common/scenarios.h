@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Shared scenario runners for the per-figure reproduction binaries.
+ *
+ * Each runner wires the full stack (Simulation + Ecovisor + physical
+ * energy system + COP + workload + policy) exactly as the paper's
+ * prototype does, runs it to completion (or a fixed horizon), and
+ * returns the measurements each figure plots. The bench binaries are
+ * thin printers over these runners; integration tests assert the same
+ * orderings on reduced versions.
+ */
+
+#ifndef ECOV_BENCH_COMMON_SCENARIOS_H
+#define ECOV_BENCH_COMMON_SCENARIOS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+#include "workloads/batch_job.h"
+
+namespace ecov::bench {
+
+/** A (time, value) series copied out of a finished scenario. */
+using Series = std::vector<std::pair<TimeS, double>>;
+
+// ---------------------------------------------------------------------
+// Figures 4 and 5 (Section 5.1): carbon reduction for batch jobs.
+// ---------------------------------------------------------------------
+
+/** Which carbon-reduction policy governs the batch job. */
+enum class BatchPolicyKind
+{
+    Agnostic,
+    SuspendResume,
+    WaitAndScale,
+};
+
+/** Result of one batch-scenario run. */
+struct BatchRunResult
+{
+    TimeS runtime_s = 0;     ///< job completion - arrival
+    double carbon_g = 0.0;   ///< attributed carbon
+    bool completed = false;  ///< false if the horizon expired
+};
+
+/** Parameters for a batch run. */
+struct BatchRunConfig
+{
+    BatchPolicyKind kind = BatchPolicyKind::Agnostic;
+    double scale = 1.0;          ///< Wait&Scale factor
+    double threshold_pct = 30.0; ///< carbon percentile threshold
+    TimeS arrival_s = 0;         ///< job arrival into the trace
+    std::uint64_t trace_seed = 1;
+    TimeS horizon_s = 20LL * 24 * 3600;
+};
+
+/** Run one batch job under one policy on a CAISO-like signal. */
+BatchRunResult runBatchScenario(const wl::BatchJobConfig &job,
+                                const BatchRunConfig &run);
+
+/**
+ * Mean/stddev of runtime and carbon over `runs` random arrivals
+ * (the paper runs each configuration ten times).
+ */
+struct BatchAggregate
+{
+    double mean_runtime_h = 0.0;
+    double std_runtime_h = 0.0;
+    double mean_carbon_g = 0.0;
+    double std_carbon_g = 0.0;
+};
+
+BatchAggregate aggregateBatchRuns(const wl::BatchJobConfig &job,
+                                  BatchRunConfig run, int runs,
+                                  std::uint64_t arrival_seed);
+
+/** Figure 5: ML (W&S 2x) and BLAST (W&S 3x) sharing the cluster. */
+struct MultiTenantBatchResult
+{
+    Series carbon_signal;     ///< (a) gCO2/kWh
+    Series ml_containers;     ///< (b)
+    Series blast_containers;  ///< (c)
+    Series cluster_power_w;   ///< (d)
+    double ml_threshold = 0.0;
+    double blast_threshold = 0.0;
+};
+
+MultiTenantBatchResult runMultiTenantBatch(std::uint64_t seed);
+
+// ---------------------------------------------------------------------
+// Figures 6 and 7 (Section 5.2): carbon budgeting for web services.
+// ---------------------------------------------------------------------
+
+/** Per-app measurements from the two-tenant web scenario. */
+struct WebAppMeasurements
+{
+    Series latency_p95_ms;  ///< per-tick p95 latency
+    Series workers;         ///< active container count
+    Series carbon_rate_g_s; ///< achieved carbon rate
+    Series workload_rps;    ///< offered load
+    int slo_violations = 0;
+    double carbon_g = 0.0;
+};
+
+/** Result of one §5.2 run (both apps concurrently). */
+struct WebBudgetResult
+{
+    Series carbon_signal;
+    WebAppMeasurements app1;
+    WebAppMeasurements app2;
+    double target_rate_g_s = 0.0;
+};
+
+/**
+ * Run both web applications for 48 h under either the static
+ * carbon-rate policy or the dynamic budgeting policy.
+ */
+WebBudgetResult runWebBudgetScenario(bool dynamic_budget,
+                                     std::uint64_t seed);
+
+// ---------------------------------------------------------------------
+// Figures 8 and 9 (Section 5.3): virtual batteries.
+// ---------------------------------------------------------------------
+
+/** Result of one §5.3 run (Spark + monitoring web app). */
+struct BatteryScenarioResult
+{
+    Series solar_w;           ///< 8(a) cluster-level solar
+    Series web_workload;      ///< 8(b)
+    Series spark_workers;     ///< 8(c)
+    Series web_workers;       ///< 8(d)
+    Series web_latency_ms;    ///< 8(e)
+    Series spark_soc;         ///< 9(a)
+    Series web_soc;           ///< 9(a)
+    Series spark_batt_w;      ///< 9(b) +charge / -discharge
+    Series web_batt_w;        ///< 9(b)
+    TimeS spark_runtime_s = 0;
+    bool spark_completed = false;
+    int web_slo_violations = 0;
+    double total_grid_wh = 0.0; ///< should stay ~0 (zero-carbon apps)
+};
+
+/**
+ * Run the §5.3 scenario with static (system-level) or dynamic
+ * (application-specific) battery policies for both applications.
+ */
+BatteryScenarioResult runBatteryScenario(bool dynamic,
+                                         std::uint64_t seed);
+
+// ---------------------------------------------------------------------
+// Figures 10 and 11 (Section 5.4): direct solar exploitation.
+// ---------------------------------------------------------------------
+
+/** Result of one §5.4 run. */
+struct SolarCapResult
+{
+    TimeS runtime_s = 0;
+    bool completed = false;
+    double energy_wh = 0.0;     ///< app energy consumed
+    double useful_work = 0.0;   ///< core-seconds of committed work
+    Series solar_w;             ///< 10(a)
+    Series container_caps_w;    ///< 10(b): mean dynamic cap
+    int replicas = 0;
+};
+
+/** Policy choice for the §5.4 runs. */
+enum class SolarPolicyKind
+{
+    StaticCaps,
+    DynamicCaps,
+    StragglerMitigation,
+};
+
+/**
+ * Run the synthetic parallel job on solar power scaled by
+ * `solar_fraction_pct` percent of the nominal trace.
+ */
+SolarCapResult runSolarCapScenario(SolarPolicyKind kind,
+                                   double solar_fraction_pct,
+                                   std::uint64_t seed,
+                                   bool inject_stragglers);
+
+} // namespace ecov::bench
+
+#endif // ECOV_BENCH_COMMON_SCENARIOS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 1 reproduction: grid carbon intensity for three regions
+ * (Ontario, California, Uruguay) over four days, showing spatial and
+ * temporal variation. Prints summary statistics and an hourly series.
+ */
+
+#include <cstdio>
+
+#include "carbon/region_traces.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace ecov;
+
+int
+main()
+{
+    std::printf("=== Figure 1: grid carbon intensity by region "
+                "(gCO2/kWh) ===\n\n");
+
+    struct Region
+    {
+        const char *name;
+        carbon::RegionProfile profile;
+    };
+    const Region regions[] = {
+        {"Ontario, Canada", carbon::ontarioProfile()},
+        {"California", carbon::californiaProfile()},
+        {"Uruguay", carbon::uruguayProfile()},
+    };
+
+    std::vector<carbon::TraceCarbonSignal> traces;
+    for (const auto &r : regions)
+        traces.push_back(carbon::makeRegionTrace(r.profile, 4, 42));
+
+    TextTable summary({"region", "mean", "stddev", "min", "max"});
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        RunningStats st;
+        for (const auto &p : traces[i].points())
+            st.add(p.intensity_g_per_kwh);
+        summary.addRow({regions[i].name, TextTable::fmt(st.mean(), 1),
+                        TextTable::fmt(st.stddev(), 1),
+                        TextTable::fmt(st.min(), 1),
+                        TextTable::fmt(st.max(), 1)});
+    }
+    summary.print();
+
+    std::printf("\nHourly series over 4 days "
+                "(time_h,ontario,california,uruguay):\n");
+    CsvWriter csv(stdout, {"time_h", "ontario", "california", "uruguay"});
+    for (TimeS t = 0; t < 4 * 24 * 3600; t += 3600) {
+        csv.row({static_cast<double>(t) / 3600.0,
+                 traces[0].intensityAt(t), traces[1].intensityAt(t),
+                 traces[2].intensityAt(t)});
+    }
+
+    std::printf("\nPaper shape check: Ontario lowest & flattest "
+                "(nuclear), Uruguay mid (hydro), California highest "
+                "mean and variance (fossil + solar duck curve).\n");
+    return 0;
+}

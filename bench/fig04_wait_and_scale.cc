@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 4 reproduction: carbon emissions and runtime for the ML
+ * training job (a) and BLAST (b) under the carbon-agnostic baseline,
+ * the system-level suspend-resume policy (WaitAWhile), and the
+ * application-specific Wait&Scale policy at several scale factors.
+ * Each configuration is run ten times at random job arrivals; the
+ * table reports mean +/- stddev, as the paper's error bars do.
+ */
+
+#include <cstdio>
+
+#include "common/scenarios.h"
+#include "util/table.h"
+
+using namespace ecov;
+using namespace ecov::bench;
+
+namespace {
+
+void
+runFamily(const char *title, const wl::BatchJobConfig &job,
+          const std::vector<std::pair<const char *, BatchRunConfig>> &rows)
+{
+    std::printf("\n--- %s ---\n", title);
+    TextTable t({"policy", "co2_g(mean)", "co2_g(std)", "runtime_h(mean)",
+                 "runtime_h(std)"});
+    for (const auto &[name, cfg] : rows) {
+        auto agg = aggregateBatchRuns(job, cfg, 10, 7);
+        t.addRow({name, TextTable::fmt(agg.mean_carbon_g, 2),
+                  TextTable::fmt(agg.std_carbon_g, 2),
+                  TextTable::fmt(agg.mean_runtime_h, 2),
+                  TextTable::fmt(agg.std_runtime_h, 2)});
+    }
+    t.print();
+}
+
+BatchRunConfig
+cfg(BatchPolicyKind kind, double scale, double pct)
+{
+    BatchRunConfig c;
+    c.kind = kind;
+    c.scale = scale;
+    c.threshold_pct = pct;
+    c.trace_seed = 11;
+    return c;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figure 4: carbon reduction policies for batch "
+                "jobs ===\n");
+
+    // (a) PyTorch-style ML training: 4 base workers, sync-limited.
+    auto ml = wl::mlTrainingConfig("ml", 4.0 * 5.0 * 3600.0);
+    runFamily("(a) ML training (ResNet-34-like scaling)", ml,
+              {{"CO2-agnostic", cfg(BatchPolicyKind::Agnostic, 1, 30)},
+               {"System (suspend-resume)",
+                cfg(BatchPolicyKind::SuspendResume, 1, 30)},
+               {"W&S (2X)", cfg(BatchPolicyKind::WaitAndScale, 2, 30)},
+               {"W&S (3X)", cfg(BatchPolicyKind::WaitAndScale, 3, 30)}});
+
+    // (b) BLAST: 8 base workers, near-linear to 3x.
+    auto blast = wl::blastConfig("blast", 8.0 * 2.0 * 3600.0);
+    runFamily("(b) BLAST (embarrassingly parallel, queue-server "
+              "bottleneck at 3X)",
+              blast,
+              {{"CO2-agnostic", cfg(BatchPolicyKind::Agnostic, 1, 33)},
+               {"System (suspend-resume)",
+                cfg(BatchPolicyKind::SuspendResume, 1, 33)},
+               {"W&S (2X)", cfg(BatchPolicyKind::WaitAndScale, 2, 33)},
+               {"W&S (3X)", cfg(BatchPolicyKind::WaitAndScale, 3, 33)},
+               {"W&S (4X)", cfg(BatchPolicyKind::WaitAndScale, 4, 33)}});
+
+    std::printf(
+        "\nPaper shape check: agnostic = fastest, dirtiest; "
+        "suspend-resume cuts CO2 ~25%% at a large runtime penalty;\n"
+        "W&S matches the CO2 cut at much lower runtime; ML stops "
+        "gaining past 2X; BLAST keeps gaining to 3X, 4X adds CO2 "
+        "only.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 6 reproduction: static carbon rate limiting vs dynamic
+ * carbon budgeting for two concurrent web applications over a 48 h
+ * trace whose late peak overlaps a high-carbon period. Prints the
+ * carbon/workload context (a) and each app's p95 latency under both
+ * policies (b, c), plus SLO-violation and total-carbon summaries.
+ */
+
+#include <cstdio>
+
+#include "common/scenarios.h"
+#include "util/table.h"
+
+using namespace ecov;
+using namespace ecov::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 6: carbon budgeting for web services ===\n");
+
+    auto st = runWebBudgetScenario(false, 21);
+    auto dy = runWebBudgetScenario(true, 21);
+
+    std::printf("\n(a) context series "
+                "(time_h,carbon_gkwh,load1_rps,load2_rps):\n");
+    {
+        CsvWriter csv(stdout,
+                      {"time_h", "carbon_gkwh", "load1", "load2"});
+        const auto &cs = st.carbon_signal;
+        for (std::size_t i = 0; i < cs.size(); i += 30) {
+            std::size_t j = std::min(i, st.app1.workload_rps.size() - 1);
+            csv.row({static_cast<double>(cs[i].first) / 3600.0,
+                     cs[i].second, st.app1.workload_rps[j].second,
+                     st.app2.workload_rps[j].second});
+        }
+    }
+
+    auto printLatency = [](const char *title,
+                           const WebAppMeasurements &sys,
+                           const WebAppMeasurements &app, double slo) {
+        std::printf("\n%s (time_h,system_p95_ms,dynamic_p95_ms,"
+                    "slo_ms):\n",
+                    title);
+        CsvWriter csv(stdout, {"time_h", "system", "dynamic", "slo"});
+        std::size_t n = std::min(sys.latency_p95_ms.size(),
+                                 app.latency_p95_ms.size());
+        for (std::size_t i = 0; i < n; i += 30) {
+            csv.row({static_cast<double>(sys.latency_p95_ms[i].first) /
+                         3600.0,
+                     sys.latency_p95_ms[i].second,
+                     app.latency_p95_ms[i].second, slo});
+        }
+    };
+    printLatency("(b) web app 1 p95 latency", st.app1, dy.app1, 60.0);
+    printLatency("(c) web app 2 p95 latency", st.app2, dy.app2, 70.0);
+
+    std::printf("\nSummary:\n");
+    TextTable t({"app", "policy", "slo_violations", "total_co2_g"});
+    t.addRow({"web1", "system (static rate)",
+              std::to_string(st.app1.slo_violations),
+              TextTable::fmt(st.app1.carbon_g, 2)});
+    t.addRow({"web1", "dynamic budget",
+              std::to_string(dy.app1.slo_violations),
+              TextTable::fmt(dy.app1.carbon_g, 2)});
+    t.addRow({"web2", "system (static rate)",
+              std::to_string(st.app2.slo_violations),
+              TextTable::fmt(st.app2.carbon_g, 2)});
+    t.addRow({"web2", "dynamic budget",
+              std::to_string(dy.app2.slo_violations),
+              TextTable::fmt(dy.app2.carbon_g, 2)});
+    t.print();
+
+    double red1 = 100.0 * (1.0 - dy.app1.carbon_g / st.app1.carbon_g);
+    double red2 = 100.0 * (1.0 - dy.app2.carbon_g / st.app2.carbon_g);
+    std::printf("\nDynamic budgeting carbon reduction: web1 %.1f%%, "
+                "web2 %.1f%% (paper: 22.8%% and 23.4%%).\n",
+                red1, red2);
+    std::printf("Paper shape check: the static policy violates the "
+                "SLO when high carbon meets high load; the dynamic "
+                "policy banks credits and never violates.\n");
+    return 0;
+}

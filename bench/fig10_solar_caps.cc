@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 10 reproduction: running a 10-worker parallel job directly
+ * on solar power with per-container power caps. Prints the solar
+ * trace (a), the mean dynamic cap over time vs the static split (b),
+ * and the runtime improvement + energy-efficiency sweep over
+ * available renewable power (c).
+ */
+
+#include <cstdio>
+
+#include "common/scenarios.h"
+#include "util/table.h"
+
+using namespace ecov;
+using namespace ecov::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 10: direct solar exploitation via "
+                "vertical scaling ===\n");
+
+    // (a) + (b): one representative day at 50 % solar.
+    auto dyn = runSolarCapScenario(SolarPolicyKind::DynamicCaps, 50.0,
+                                   13, false);
+    std::printf("\n(a) solar power (time_h,watts) and (b) mean "
+                "container cap (time_h,watts):\n");
+    {
+        CsvWriter csv(stdout, {"time_h", "solar_w", "mean_cap_w"});
+        std::size_t n =
+            std::min(dyn.solar_w.size(), dyn.container_caps_w.size());
+        for (std::size_t i = 0; i < n; i += 30) {
+            csv.row({static_cast<double>(dyn.solar_w[i].first) / 3600.0,
+                     dyn.solar_w[i].second,
+                     dyn.container_caps_w[i].second});
+        }
+    }
+
+    // (c): sweep available renewable power. The paper sweeps 10-90 %;
+    // below ~25 % our power model cannot even cover the ten workers'
+    // aggregate idle-share power (a cap under the idle share forces
+    // utilization to zero), so the feasible sweep starts at 30 %.
+    std::printf("\n(c) sweep over available renewable power:\n");
+    TextTable t({"solar_pct", "static_runtime_h", "dynamic_runtime_h",
+                 "runtime_improvement_pct", "energy_eff_1_per_kj"});
+    for (double pct = 30.0; pct <= 90.0; pct += 15.0) {
+        auto st = runSolarCapScenario(SolarPolicyKind::StaticCaps, pct,
+                                      13, false);
+        auto dy = runSolarCapScenario(SolarPolicyKind::DynamicCaps, pct,
+                                      13, false);
+        double improvement =
+            100.0 * (1.0 - static_cast<double>(dy.runtime_s) /
+                               static_cast<double>(st.runtime_s));
+        // Energy efficiency: useful work per joule (scaled to 1/kJ).
+        double eff = dy.useful_work /
+                     (dy.energy_wh * 3600.0) * 1000.0;
+        t.addRow({TextTable::fmt(pct, 0),
+                  TextTable::fmt(st.runtime_s / 3600.0, 2),
+                  TextTable::fmt(dy.runtime_s / 3600.0, 2),
+                  TextTable::fmt(improvement, 1),
+                  TextTable::fmt(eff, 3)});
+    }
+    t.print();
+
+    std::printf(
+        "\nPaper shape check: the dynamic policy's runtime advantage "
+        "grows as solar shrinks (rebalancing matters most under "
+        "scarcity); energy-efficiency rises with solar as idle power "
+        "is amortized over more work.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 11 reproduction: straggler mitigation as a productive use of
+ * excess solar energy. Sweeps available renewable power from 100 % to
+ * 200 % and reports the runtime improvement from replica-based
+ * mitigation (vs the dynamic policy without replicas) and the
+ * resulting energy-efficiency decline.
+ */
+
+#include <cstdio>
+
+#include "common/scenarios.h"
+#include "util/table.h"
+
+using namespace ecov;
+using namespace ecov::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 11: straggler mitigation with excess "
+                "solar ===\n\n");
+
+    TextTable t({"solar_pct", "baseline_runtime_h", "mitigated_runtime_h",
+                 "runtime_improvement_pct", "energy_eff_1_per_kj",
+                 "replicas"});
+    for (double pct = 100.0; pct <= 200.0; pct += 25.0) {
+        auto base = runSolarCapScenario(SolarPolicyKind::DynamicCaps,
+                                        pct, 29, true);
+        auto mit = runSolarCapScenario(
+            SolarPolicyKind::StragglerMitigation, pct, 29, true);
+        double improvement =
+            100.0 * (1.0 - static_cast<double>(mit.runtime_s) /
+                               static_cast<double>(base.runtime_s));
+        double eff =
+            mit.useful_work / (mit.energy_wh * 3600.0) * 1000.0;
+        t.addRow({TextTable::fmt(pct, 0),
+                  TextTable::fmt(base.runtime_s / 3600.0, 2),
+                  TextTable::fmt(mit.runtime_s / 3600.0, 2),
+                  TextTable::fmt(improvement, 1),
+                  TextTable::fmt(eff, 3),
+                  std::to_string(mit.replicas)});
+    }
+    t.print();
+
+    std::printf(
+        "\nPaper shape check: mitigation uses excess (otherwise "
+        "curtailed) solar to run replicas — runtime improves with "
+        "diminishing returns as solar grows, while energy-efficiency "
+        "falls because replica work is discarded.\n");
+    return 0;
+}

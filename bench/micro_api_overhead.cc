@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Microbenchmarks for the ecovisor's narrow API (google-benchmark):
+ * the cost of the Table 1 getters/setters and of per-tick settlement
+ * at various cluster sizes. Not a paper figure — a sanity check that
+ * the control plane is cheap relative to the one-minute tick.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "carbon/carbon_signal.h"
+#include "core/ecovisor.h"
+
+using namespace ecov;
+
+namespace {
+
+struct Rig
+{
+    carbon::TraceCarbonSignal signal{{{0, 200.0}}};
+    energy::GridConnection grid{&signal};
+    energy::SolarArray solar{{{0, 100.0}}, 24 * 3600};
+    cop::Cluster cluster;
+    energy::PhysicalEnergySystem phys;
+    core::Ecovisor eco;
+    std::vector<cop::ContainerId> ids;
+
+    explicit Rig(int nodes, int apps, int containers_per_app)
+        : cluster(nodes, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}),
+          phys(&grid, &solar, energy::BatteryConfig{}),
+          eco(&cluster, &phys,
+              core::EcovisorOptions{core::ExcessSolarPolicy::Curtail,
+                                    /*record_telemetry=*/false})
+    {
+        for (int a = 0; a < apps; ++a) {
+            core::AppShareConfig share;
+            share.solar_fraction = 1.0 / apps;
+            energy::BatteryConfig b;
+            b.capacity_wh = 1440.0 / apps;
+            b.max_charge_w = 360.0 / apps;
+            b.max_discharge_w = 1440.0 / apps;
+            b.initial_soc = 0.5;
+            share.battery = b;
+            std::string name = "app" + std::to_string(a);
+            eco.addApp(name, share);
+            for (int c = 0; c < containers_per_app; ++c) {
+                auto id = cluster.createContainer(name, 1.0);
+                if (id) {
+                    cluster.setDemand(*id, 0.7);
+                    ids.push_back(*id);
+                }
+            }
+        }
+    }
+};
+
+void
+BM_GetGridCarbon(benchmark::State &state)
+{
+    Rig rig(8, 2, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rig.eco.getGridCarbon());
+}
+BENCHMARK(BM_GetGridCarbon);
+
+void
+BM_GetSolarPower(benchmark::State &state)
+{
+    Rig rig(8, 2, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rig.eco.getSolarPower("app0"));
+}
+BENCHMARK(BM_GetSolarPower);
+
+void
+BM_GetContainerPower(benchmark::State &state)
+{
+    Rig rig(8, 2, 4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            rig.eco.getContainerPower(rig.ids.front()));
+}
+BENCHMARK(BM_GetContainerPower);
+
+void
+BM_SetContainerPowercap(benchmark::State &state)
+{
+    Rig rig(8, 2, 4);
+    double cap = 0.5;
+    for (auto _ : state) {
+        rig.eco.setContainerPowercap(rig.ids.front(), cap);
+        cap = cap >= 1.2 ? 0.5 : cap + 0.1;
+    }
+}
+BENCHMARK(BM_SetContainerPowercap);
+
+void
+BM_SetBatteryChargeRate(benchmark::State &state)
+{
+    Rig rig(8, 2, 4);
+    double rate = 0.0;
+    for (auto _ : state) {
+        rig.eco.setBatteryChargeRate("app0", rate);
+        rate = rate >= 100.0 ? 0.0 : rate + 10.0;
+    }
+}
+BENCHMARK(BM_SetBatteryChargeRate);
+
+void
+BM_SettleTick(benchmark::State &state)
+{
+    int apps = static_cast<int>(state.range(0));
+    int per_app = static_cast<int>(state.range(1));
+    Rig rig(64, apps, per_app);
+    TimeS t = 0;
+    for (auto _ : state) {
+        rig.eco.settleTick(t, 60);
+        t += 60;
+    }
+    state.SetLabel(std::to_string(apps) + " apps x " +
+                   std::to_string(per_app) + " containers");
+}
+BENCHMARK(BM_SettleTick)
+    ->Args({1, 4})
+    ->Args({4, 8})
+    ->Args({8, 16});
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Example: carbon-aware batch processing with Wait&Scale.
+ *
+ * Runs an elastic ML-training-style job three ways — carbon-agnostic,
+ * system-level suspend-resume (WaitAWhile) and the application-
+ * specific Wait&Scale policy — on a CAISO-like carbon signal and
+ * prints the carbon/runtime trade-off each achieves (the Section 5.1
+ * case study, as a library user would write it).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "carbon/region_traces.h"
+#include "core/ecovisor.h"
+#include "policies/carbon_reduction.h"
+#include "sim/simulation.h"
+#include "workloads/batch_job.h"
+
+using namespace ecov;
+
+namespace {
+
+struct Outcome
+{
+    double runtime_h;
+    double carbon_g;
+};
+
+Outcome
+runOnce(int policy_kind, double scale)
+{
+    auto signal = carbon::makeCaisoLikeTrace(6, 3);
+    energy::GridConnection grid(&signal);
+    cop::Cluster cluster(16, power::ServerPowerConfig{});
+    energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
+    core::Ecovisor eco(&cluster, &phys);
+    eco.addApp("train", core::AppShareConfig{});
+
+    // A 4-worker training job with synchronization overhead.
+    auto cfg = wl::mlTrainingConfig("train", 4.0 * 6.0 * 3600.0);
+    wl::BatchJob job(&cluster, cfg);
+
+    double threshold = signal.intensityPercentile(30.0, 0, 48 * 3600);
+    std::unique_ptr<policy::BatchPolicy> pol;
+    if (policy_kind == 0)
+        pol = std::make_unique<policy::CarbonAgnosticPolicy>(&eco, &job);
+    else if (policy_kind == 1)
+        pol = std::make_unique<policy::SuspendResumePolicy>(&eco, &job,
+                                                            threshold);
+    else
+        pol = std::make_unique<policy::WaitAndScalePolicy>(
+            &eco, &job, threshold, scale);
+
+    sim::Simulation simul(60);
+    simul.addListener([&](TimeS t, TimeS dt) { pol->onTick(t, dt); },
+                      sim::TickPhase::Policy);
+    simul.addListener([&](TimeS t, TimeS dt) { job.onTick(t, dt); },
+                      sim::TickPhase::Workload);
+    eco.attach(simul);
+
+    job.start(0);
+    while (!job.done() && simul.now() < 20LL * 24 * 3600)
+        simul.step();
+
+    return Outcome{static_cast<double>(job.runtime()) / 3600.0,
+                   eco.ves("train").totalCarbonG()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Carbon-aware batch processing with an ecovisor\n");
+    std::printf("----------------------------------------------\n\n");
+
+    auto agnostic = runOnce(0, 1.0);
+    std::printf("carbon-agnostic   : %5.1f h, %6.2f gCO2\n",
+                agnostic.runtime_h, agnostic.carbon_g);
+
+    auto suspend = runOnce(1, 1.0);
+    std::printf("suspend-resume    : %5.1f h, %6.2f gCO2 "
+                "(system-level WaitAWhile)\n",
+                suspend.runtime_h, suspend.carbon_g);
+
+    for (double scale : {2.0, 3.0}) {
+        auto ws = runOnce(2, scale);
+        std::printf("wait&scale (%.0fx)   : %5.1f h, %6.2f gCO2\n",
+                    scale, ws.runtime_h, ws.carbon_g);
+    }
+
+    std::printf("\nThe application-specific Wait&Scale policy recovers "
+                "most of suspend-resume's runtime penalty at a similar "
+                "carbon saving; pushing the scale factor past the "
+                "job's sweet spot stops helping (synchronization "
+                "overhead).\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Example: geo-distributed carbon shifting across three sites.
+ *
+ * A delay-tolerant batch job is deployed at three sites whose grids
+ * have very different carbon profiles (Ontario-, Uruguay- and
+ * California-like). The GeoShiftPolicy — built entirely on each
+ * site's narrow ecovisor API — migrates the job toward the cleanest
+ * grid, paying a checkpoint/restart cost per move (the geo-distributed
+ * library policy Section 3.2 sketches).
+ */
+
+#include <cstdio>
+
+#include "carbon/region_traces.h"
+#include "core/ecovisor.h"
+#include "geo/geo_batch_job.h"
+#include "sim/simulation.h"
+
+using namespace ecov;
+
+namespace {
+
+struct SiteRig
+{
+    carbon::TraceCarbonSignal signal;
+    energy::GridConnection grid;
+    cop::Cluster cluster;
+    energy::PhysicalEnergySystem phys;
+    core::Ecovisor eco;
+
+    SiteRig(const carbon::RegionProfile &profile, std::uint64_t seed)
+        : signal(carbon::makeRegionTrace(profile, 3, seed)),
+          grid(&signal), cluster(8, power::ServerPowerConfig{}),
+          phys(&grid, nullptr, std::nullopt), eco(&cluster, &phys)
+    {
+        eco.addApp("job", core::AppShareConfig{});
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Geo-distributed carbon shifting\n");
+    std::printf("-------------------------------\n\n");
+
+    SiteRig ontario(carbon::ontarioProfile(), 12);
+    SiteRig uruguay(carbon::uruguayProfile(), 13);
+    SiteRig california(carbon::californiaProfile(), 14);
+
+    geo::GeoCoordinator coord(
+        {{"ontario", &ontario.eco, "job"},
+         {"uruguay", &uruguay.eco, "job"},
+         {"california", &california.eco, "job"}});
+
+    geo::GeoBatchJobConfig jc;
+    jc.total_work = 4.0 * 8.0 * 3600.0; // 8 h of work on 4 workers
+    jc.workers = 4;
+    jc.migration_delay_s = 600; // checkpoint + transfer + restart
+    geo::GeoBatchJob job(&coord, jc);
+    geo::GeoShiftPolicy policy(&coord, &job, /*hysteresis=*/25.0);
+
+    sim::Simulation simul(60);
+    simul.addListener([&](TimeS t, TimeS dt) { policy.onTick(t, dt); },
+                      sim::TickPhase::Policy);
+    simul.addListener([&](TimeS t, TimeS dt) { job.onTick(t, dt); },
+                      sim::TickPhase::Workload);
+    ontario.eco.attach(simul);
+    uruguay.eco.attach(simul);
+    california.eco.attach(simul);
+
+    // Start at the *dirtiest* site to show the policy recovering.
+    job.start(0, 2);
+    int last_site = job.activeSite();
+    std::printf("t=  0h starting at %s\n",
+                coord.site(last_site).name.c_str());
+    while (!job.done() && simul.now() < 3LL * 24 * 3600) {
+        simul.step();
+        if (job.activeSite() != last_site) {
+            last_site = job.activeSite();
+            std::printf("t=%3lldh migrated to %-10s (%.0f gCO2/kWh "
+                        "vs %.0f at origin)\n",
+                        static_cast<long long>(simul.now() / 3600),
+                        coord.site(last_site).name.c_str(),
+                        coord.carbonAt(last_site), coord.carbonAt(2));
+        }
+    }
+
+    std::printf("\nDone: runtime %.1f h, %d migrations, %.2f gCO2 "
+                "total.\n",
+                static_cast<double>(job.runtime()) / 3600.0,
+                job.migrations(), coord.totalCarbonG());
+    std::printf("A job pinned to California would have emitted "
+                "roughly the California-intensity multiple of the "
+                "same energy; see bench/ablation_geo_shift for the "
+                "full comparison.\n");
+    return 0;
+}

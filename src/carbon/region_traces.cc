@@ -1,0 +1,108 @@
+#include "carbon/region_traces.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ecov::carbon {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr TimeS kDay = 24 * 3600;
+
+/**
+ * Deterministic diurnal shape: a base sinusoid peaking in the evening,
+ * a mid-day solar dip, and an evening-ramp bump. hour in [0, 24).
+ */
+double
+diurnalShape(const RegionProfile &p, double hour)
+{
+    double v = p.base_g_per_kwh;
+    // Broad swing: low overnight, higher during the day/evening.
+    v += p.diurnal_amp * std::sin(kTwoPi * (hour - 9.0) / 24.0);
+    // Mid-day solar dip centred at 13:00, ~5 h wide.
+    double dip = std::exp(-0.5 * std::pow((hour - 13.0) / 2.5, 2));
+    v -= p.solar_dip * dip;
+    // Evening ramp peak centred at 19:30, ~3 h wide.
+    double peak = std::exp(-0.5 * std::pow((hour - 19.5) / 1.5, 2));
+    v += p.evening_peak_amp * peak;
+    return v;
+}
+
+} // namespace
+
+RegionProfile
+ontarioProfile()
+{
+    return RegionProfile{35.0, 6.0, 2.0, 1.5, 20.0, 3.0};
+}
+
+RegionProfile
+uruguayProfile()
+{
+    return RegionProfile{75.0, 20.0, 10.0, 6.0, 35.0, 12.0};
+}
+
+RegionProfile
+californiaProfile()
+{
+    return RegionProfile{230.0, 55.0, 90.0, 14.0, 90.0, 45.0};
+}
+
+TraceCarbonSignal
+makeRegionTrace(const RegionProfile &profile, int days,
+                std::uint64_t seed, TimeS sample_interval_s)
+{
+    Rng rng(seed);
+    std::vector<TraceCarbonSignal::Point> pts;
+    const TimeS total = static_cast<TimeS>(days) * kDay;
+    pts.reserve(static_cast<std::size_t>(total / sample_interval_s) + 1);
+    for (TimeS t = 0; t < total; t += sample_interval_s) {
+        double hour = static_cast<double>(t % kDay) / 3600.0;
+        double v = diurnalShape(profile, hour);
+        v += rng.gaussian(0.0, profile.noise_stddev);
+        if (v < profile.floor_g_per_kwh)
+            v = profile.floor_g_per_kwh;
+        pts.push_back({t, v});
+    }
+    return TraceCarbonSignal(std::move(pts), total);
+}
+
+TraceCarbonSignal
+makeCaisoLikeTrace(int days, std::uint64_t seed)
+{
+    Rng rng(seed);
+    RegionProfile base = californiaProfile();
+    std::vector<TraceCarbonSignal::Point> pts;
+    const TimeS total = static_cast<TimeS>(days) * kDay;
+    pts.reserve(static_cast<std::size_t>(total / kCarbonSampleInterval) + 1);
+    // Day-to-day variation: shift the base level and scale the solar
+    // dip and the evening peak, so different days present different
+    // carbon opportunity windows — some days (like some CAISO days)
+    // never drop below a job's resume threshold at all.
+    double dip_scale = 1.0;
+    double peak_scale = 1.0;
+    double base_offset = 0.0;
+    for (TimeS t = 0; t < total; t += kCarbonSampleInterval) {
+        if (t % kDay == 0) {
+            dip_scale = rng.uniform(0.6, 1.5);
+            peak_scale = rng.uniform(0.7, 1.4);
+            base_offset = rng.uniform(-25.0, 60.0);
+        }
+        RegionProfile p = base;
+        p.base_g_per_kwh += base_offset;
+        p.solar_dip *= dip_scale;
+        p.evening_peak_amp *= peak_scale;
+        double hour = static_cast<double>(t % kDay) / 3600.0;
+        double v = diurnalShape(p, hour) + rng.gaussian(0.0, p.noise_stddev);
+        if (v < p.floor_g_per_kwh)
+            v = p.floor_g_per_kwh;
+        pts.push_back({t, v});
+    }
+    return TraceCarbonSignal(std::move(pts), total);
+}
+
+} // namespace ecov::carbon

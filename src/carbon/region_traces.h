@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Synthetic carbon-intensity trace generators for the regions the paper
+ * plots in Figure 1 (Ontario, Uruguay, California) and the CAISO-2020
+ * style signal used by Section 5.1's experiments.
+ *
+ * The generators reproduce the qualitative statistics the paper
+ * describes:
+ *  - Ontario: lowest and flattest (nuclear-dominated), ~25-45 gCO2/kWh.
+ *  - Uruguay: slightly higher, moderate variability (hydro + some
+ *    thermal backup), ~40-120 gCO2/kWh.
+ *  - California: highest mean *and* highest variability (fossil +
+ *    deep solar penetration -> a pronounced "duck curve": intensity
+ *    dips mid-day when solar floods the grid and peaks in the
+ *    evening ramp), ~100-350 gCO2/kWh.
+ */
+
+#ifndef ECOV_CARBON_REGION_TRACES_H
+#define ECOV_CARBON_REGION_TRACES_H
+
+#include <cstdint>
+
+#include "carbon/carbon_signal.h"
+#include "util/units.h"
+
+namespace ecov::carbon {
+
+/** Sampling interval used by the generators (paper: 5 minutes). */
+inline constexpr TimeS kCarbonSampleInterval = 5 * 60;
+
+/** Parameters for the diurnal carbon-intensity generator. */
+struct RegionProfile
+{
+    double base_g_per_kwh;      ///< mean intensity around which days vary
+    double diurnal_amp;         ///< amplitude of the morning/evening swing
+    double solar_dip;           ///< mid-day dip from solar penetration
+    double noise_stddev;        ///< Gaussian per-sample noise
+    double floor_g_per_kwh;     ///< hard lower bound
+    double evening_peak_amp;    ///< extra evening-ramp peak (duck curve)
+};
+
+/** Profile matching Figure 1's Ontario curve (nuclear, flat, low). */
+RegionProfile ontarioProfile();
+
+/** Profile matching Figure 1's Uruguay curve (hydro, low-moderate). */
+RegionProfile uruguayProfile();
+
+/** Profile matching Figure 1's California curve (high, volatile). */
+RegionProfile californiaProfile();
+
+/**
+ * Generate a diurnal carbon-intensity trace.
+ *
+ * @param profile region parameters
+ * @param days number of 24 h days to generate
+ * @param seed RNG seed for the noise component
+ * @param sample_interval_s spacing between samples
+ * @return piecewise-constant signal spanning days x 24 h
+ */
+TraceCarbonSignal makeRegionTrace(const RegionProfile &profile,
+                                  int days, std::uint64_t seed,
+                                  TimeS sample_interval_s =
+                                      kCarbonSampleInterval);
+
+/**
+ * CAISO-2020-like signal used by the Section 5.1 experiments: the
+ * California profile with day-to-day amplitude variation so that
+ * randomly chosen job arrivals (the paper runs each job 10 times at
+ * random arrivals) see meaningfully different carbon conditions.
+ *
+ * @param days trace length in days
+ * @param seed RNG seed
+ */
+TraceCarbonSignal makeCaisoLikeTrace(int days, std::uint64_t seed);
+
+} // namespace ecov::carbon
+
+#endif // ECOV_CARBON_REGION_TRACES_H

@@ -1,0 +1,33 @@
+#include "carbon/trace_io.h"
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace ecov::carbon {
+
+TraceCarbonSignal
+loadCarbonTraceCsv(const std::string &path, TimeS period_s)
+{
+    auto rows = readTimeValueCsv(path);
+    std::vector<TraceCarbonSignal::Point> pts;
+    pts.reserve(rows.size());
+    for (const auto &[t, v] : rows) {
+        if (v < 0.0)
+            fatal("loadCarbonTraceCsv: negative intensity in " + path);
+        pts.push_back({t, v});
+    }
+    return TraceCarbonSignal(std::move(pts), period_s);
+}
+
+void
+saveCarbonTraceCsv(const std::string &path,
+                   const TraceCarbonSignal &signal)
+{
+    std::vector<std::pair<TimeS, double>> rows;
+    rows.reserve(signal.points().size());
+    for (const auto &p : signal.points())
+        rows.emplace_back(p.time_s, p.intensity_g_per_kwh);
+    writeTimeValueCsv(path, "gco2_per_kwh", rows);
+}
+
+} // namespace ecov::carbon

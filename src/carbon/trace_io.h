@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Load and save carbon-intensity traces as CSV files.
+ *
+ * Enables replaying real electricityMap/WattTime exports instead of
+ * the synthetic region generators: the file format is two columns,
+ * time in seconds and intensity in gCO2/kWh.
+ */
+
+#ifndef ECOV_CARBON_TRACE_IO_H
+#define ECOV_CARBON_TRACE_IO_H
+
+#include <string>
+
+#include "carbon/carbon_signal.h"
+
+namespace ecov::carbon {
+
+/**
+ * Load a carbon-intensity trace from a CSV file.
+ *
+ * @param path two-column CSV (time_s, gCO2/kWh)
+ * @param period_s wrap period (0 = hold last value past trace end)
+ */
+TraceCarbonSignal loadCarbonTraceCsv(const std::string &path,
+                                     TimeS period_s = 0);
+
+/** Save a trace to CSV (round-trips with loadCarbonTraceCsv). */
+void saveCarbonTraceCsv(const std::string &path,
+                        const TraceCarbonSignal &signal);
+
+} // namespace ecov::carbon
+
+#endif // ECOV_CARBON_TRACE_IO_H

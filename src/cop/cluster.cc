@@ -1,0 +1,244 @@
+#include "cop/cluster.h"
+
+#include "util/logging.h"
+
+namespace ecov::cop {
+
+Cluster::Cluster(int node_count, const power::ServerPowerConfig &node_config)
+{
+    if (node_count <= 0)
+        fatal("Cluster: node count must be positive");
+    nodes_.reserve(static_cast<std::size_t>(node_count));
+    for (int i = 0; i < node_count; ++i)
+        nodes_.emplace_back(node_config);
+}
+
+Cluster::Cluster(const std::vector<power::ServerPowerConfig> &nodes)
+{
+    if (nodes.empty())
+        fatal("Cluster: node list must be non-empty");
+    nodes_.reserve(nodes.size());
+    for (const auto &cfg : nodes)
+        nodes_.emplace_back(cfg);
+}
+
+double
+Cluster::totalCores() const
+{
+    double total = 0.0;
+    for (const auto &n : nodes_)
+        total += static_cast<double>(n.model.cores());
+    return total;
+}
+
+double
+Cluster::freeCores() const
+{
+    double total = 0.0;
+    for (const auto &n : nodes_)
+        total += n.freeCores();
+    return total;
+}
+
+int
+Cluster::pickNode(double cores) const
+{
+    // LXD default scheduler: fewest instances among feasible nodes;
+    // break ties by lowest index for determinism.
+    int best = -1;
+    for (int i = 0; i < nodeCount(); ++i) {
+        if (nodes_[static_cast<std::size_t>(i)].freeCores() + 1e-9 < cores)
+            continue;
+        if (best < 0 ||
+            nodes_[static_cast<std::size_t>(i)].instances <
+                nodes_[static_cast<std::size_t>(best)].instances) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::optional<ContainerId>
+Cluster::createContainer(const std::string &app, double cores)
+{
+    if (cores <= 0.0)
+        fatal("Cluster::createContainer: cores must be positive");
+    int node = pickNode(cores);
+    if (node < 0)
+        return std::nullopt;
+    Container c;
+    c.id = next_id_++;
+    c.app = app;
+    c.node = node;
+    c.cores = cores;
+    auto &n = nodes_[static_cast<std::size_t>(node)];
+    n.cores_allocated += cores;
+    n.instances += 1;
+    live_.emplace(c.id, c);
+    return c.id;
+}
+
+void
+Cluster::destroyContainer(ContainerId id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        fatal("Cluster::destroyContainer: unknown container");
+    auto &n = nodes_[static_cast<std::size_t>(it->second.node)];
+    n.cores_allocated -= it->second.cores;
+    if (n.cores_allocated < 0.0)
+        n.cores_allocated = 0.0;
+    n.instances -= 1;
+    live_.erase(it);
+}
+
+bool
+Cluster::exists(ContainerId id) const
+{
+    return live_.count(id) > 0;
+}
+
+const Container &
+Cluster::container(ContainerId id) const
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        fatal("Cluster::container: unknown container");
+    return it->second;
+}
+
+bool
+Cluster::setCores(ContainerId id, double cores)
+{
+    if (cores <= 0.0)
+        fatal("Cluster::setCores: cores must be positive");
+    auto it = live_.find(id);
+    if (it == live_.end())
+        fatal("Cluster::setCores: unknown container");
+    auto &n = nodes_[static_cast<std::size_t>(it->second.node)];
+    double delta = cores - it->second.cores;
+    if (delta > n.freeCores() + 1e-9)
+        return false;
+    n.cores_allocated += delta;
+    it->second.cores = cores;
+    return true;
+}
+
+void
+Cluster::setUtilizationCap(ContainerId id, double cap)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        fatal("Cluster::setUtilizationCap: unknown container");
+    it->second.util_cap = clamp(cap, 0.0, 1.0);
+}
+
+void
+Cluster::setDemand(ContainerId id, double demand)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        fatal("Cluster::setDemand: unknown container");
+    it->second.demand = clamp(demand, 0.0, 1.0);
+}
+
+void
+Cluster::setGpuUtil(ContainerId id, double gpu_util)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        fatal("Cluster::setGpuUtil: unknown container");
+    it->second.gpu_util = clamp(gpu_util, 0.0, 1.0);
+}
+
+double
+Cluster::containerPowerW(ContainerId id) const
+{
+    const Container &c = container(id);
+    const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
+    return model.containerPowerW(c.cores, c.effectiveUtil(), c.gpu_util);
+}
+
+double
+Cluster::utilizationCapForPower(ContainerId id, double cap_w) const
+{
+    const Container &c = container(id);
+    const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
+    return model.utilizationForCap(c.cores, cap_w);
+}
+
+double
+Cluster::maxContainerPowerW(ContainerId id) const
+{
+    const Container &c = container(id);
+    const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
+    return model.maxContainerPowerW(c.cores, c.gpu_util);
+}
+
+double
+Cluster::workCoreSeconds(ContainerId id, TimeS dt_s) const
+{
+    const Container &c = container(id);
+    return c.effectiveUtil() * c.cores * static_cast<double>(dt_s);
+}
+
+std::vector<ContainerId>
+Cluster::appContainers(const std::string &app) const
+{
+    std::vector<ContainerId> out;
+    for (const auto &kv : live_) {
+        if (kv.second.app == app)
+            out.push_back(kv.first);
+    }
+    return out;
+}
+
+double
+Cluster::appPowerW(const std::string &app) const
+{
+    double total = 0.0;
+    for (const auto &kv : live_) {
+        if (kv.second.app == app)
+            total += containerPowerW(kv.first);
+    }
+    return total;
+}
+
+std::vector<std::string>
+Cluster::apps() const
+{
+    std::vector<std::string> out;
+    for (const auto &kv : live_) {
+        if (std::find(out.begin(), out.end(), kv.second.app) == out.end())
+            out.push_back(kv.second.app);
+    }
+    return out;
+}
+
+double
+Cluster::totalPowerW() const
+{
+    // Per node: idle + dynamic of hosted containers (+ GPU terms).
+    std::vector<double> core_util(nodes_.size(), 0.0);
+    std::vector<double> gpu_util(nodes_.size(), 0.0);
+    for (const auto &kv : live_) {
+        const Container &c = kv.second;
+        auto idx = static_cast<std::size_t>(c.node);
+        core_util[idx] += c.effectiveUtil() * c.cores;
+        gpu_util[idx] = std::max(gpu_util[idx], c.gpu_util);
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        total += nodes_[i].model.nodePowerW(core_util[i], gpu_util[i]);
+    return total;
+}
+
+const Node &
+Cluster::node(int idx) const
+{
+    if (idx < 0 || idx >= nodeCount())
+        fatal("Cluster::node: index out of range");
+    return nodes_[static_cast<std::size_t>(idx)];
+}
+
+} // namespace ecov::cop

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Container orchestration platform (COP) substrate.
+ *
+ * Stand-in for the prototype's LXD deployment: provides the container
+ * management surface the ecovisor extends — create/destroy containers,
+ * horizontal scaling (more/fewer containers), vertical scaling (cores
+ * per container) and cgroup-style utilization caps, plus the default
+ * LXD placement policy (schedule onto the node with the fewest
+ * container instances).
+ *
+ * The COP knows nothing about energy or carbon; the ecovisor layers
+ * that on top via privileged access (Section 3.3), translating watt
+ * caps into the utilization caps enforced here.
+ */
+
+#ifndef ECOV_COP_CLUSTER_H
+#define ECOV_COP_CLUSTER_H
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "power/server_power_model.h"
+#include "util/units.h"
+
+namespace ecov::cop {
+
+/** Opaque container identifier. */
+using ContainerId = std::int64_t;
+
+/** Sentinel for "no container". */
+inline constexpr ContainerId kInvalidContainer = -1;
+
+/**
+ * One container instance: allocation plus runtime utilization state.
+ *
+ * `demand` is what the workload asks for this tick; `util_cap` is the
+ * cgroup-enforced ceiling; the effective utilization is their minimum.
+ */
+struct Container
+{
+    ContainerId id = kInvalidContainer;
+    std::string app;          ///< owning application name
+    int node = -1;            ///< hosting node index
+    double cores = 1.0;       ///< allocated cores (vertical scale knob)
+    double util_cap = 1.0;    ///< cgroup utilization ceiling in [0, 1]
+    double demand = 0.0;      ///< workload-requested utilization [0, 1]
+    double gpu_util = 0.0;    ///< GPU utilization in [0, 1]
+
+    /** Effective per-core utilization after capping. */
+    double effectiveUtil() const { return std::min(demand, util_cap); }
+};
+
+/** One cluster node. */
+struct Node
+{
+    power::ServerPowerModel model;   ///< power behaviour
+    double cores_allocated = 0.0;    ///< sum of hosted containers' cores
+    int instances = 0;               ///< hosted container count
+
+    explicit Node(const power::ServerPowerConfig &config)
+        : model(config)
+    {}
+
+    /** Cores still unallocated. */
+    double
+    freeCores() const
+    {
+        return static_cast<double>(model.cores()) - cores_allocated;
+    }
+};
+
+/**
+ * The cluster manager (the COP itself).
+ */
+class Cluster
+{
+  public:
+    /**
+     * Build a homogeneous cluster.
+     *
+     * @param node_count number of servers
+     * @param node_config per-server power/core configuration
+     */
+    Cluster(int node_count, const power::ServerPowerConfig &node_config);
+
+    /**
+     * Build a heterogeneous cluster from explicit node configs
+     * (e.g. some nodes carry Jetson GPUs).
+     */
+    explicit Cluster(const std::vector<power::ServerPowerConfig> &nodes);
+
+    /** Number of nodes. */
+    int nodeCount() const { return static_cast<int>(nodes_.size()); }
+
+    /** Total cores across all nodes. */
+    double totalCores() const;
+
+    /** Cores not allocated to any container. */
+    double freeCores() const;
+
+    /**
+     * Create a container for an application.
+     *
+     * Placement follows LXD's default scheduler: the node hosting the
+     * fewest container instances among those with enough free cores.
+     *
+     * @param app owning application name
+     * @param cores core allocation (must be > 0)
+     * @return new container id, or nullopt when no node can host it
+     */
+    std::optional<ContainerId> createContainer(const std::string &app,
+                                               double cores);
+
+    /** Destroy a container and release its allocation. */
+    void destroyContainer(ContainerId id);
+
+    /** True when the id names a live container. */
+    bool exists(ContainerId id) const;
+
+    /** Look up a container (fatal on unknown id). */
+    const Container &container(ContainerId id) const;
+
+    /**
+     * Vertically scale a container's core allocation.
+     *
+     * @return true on success; false when the hosting node lacks room
+     */
+    bool setCores(ContainerId id, double cores);
+
+    /** Set the cgroup utilization cap, clamped to [0, 1]. */
+    void setUtilizationCap(ContainerId id, double cap);
+
+    /** Set this tick's workload demand, clamped to [0, 1]. */
+    void setDemand(ContainerId id, double demand);
+
+    /** Set GPU utilization, clamped to [0, 1]. */
+    void setGpuUtil(ContainerId id, double gpu_util);
+
+    /**
+     * Power attributed to one container at its current effective
+     * utilization, in watts.
+     */
+    double containerPowerW(ContainerId id) const;
+
+    /**
+     * Utilization cap keeping a container's power at or below cap_w,
+     * via the hosting node's power model (Thunderbolt-style mapping).
+     */
+    double utilizationCapForPower(ContainerId id, double cap_w) const;
+
+    /** Attributed power of the container at utilization 1. */
+    double maxContainerPowerW(ContainerId id) const;
+
+    /**
+     * Compute work delivered by a container over a tick: effective
+     * utilization x cores x dt, in core-seconds.
+     */
+    double workCoreSeconds(ContainerId id, TimeS dt_s) const;
+
+    /** Ids of all live containers belonging to an application. */
+    std::vector<ContainerId> appContainers(const std::string &app) const;
+
+    /** Sum of attributed power over an application's containers. */
+    double appPowerW(const std::string &app) const;
+
+    /** All application names with at least one container. */
+    std::vector<std::string> apps() const;
+
+    /**
+     * Total cluster power: every node's idle power plus all dynamic
+     * power — includes the baseline idle of unallocated capacity that
+     * Figure 5(d) shows as "ecovisor baseline".
+     */
+    double totalPowerW() const;
+
+    /** Total live containers. */
+    int containerCount() const { return static_cast<int>(live_.size()); }
+
+    /** Node accessor (for tests and power accounting). */
+    const Node &node(int idx) const;
+
+  private:
+    int pickNode(double cores) const;
+
+    std::vector<Node> nodes_;
+    std::map<ContainerId, Container> live_;
+    ContainerId next_id_ = 1;
+};
+
+} // namespace ecov::cop
+
+#endif // ECOV_COP_CLUSTER_H

@@ -1,0 +1,359 @@
+#include "core/ecovisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ecov::core {
+
+Ecovisor::Ecovisor(cop::Cluster *cluster,
+                   energy::PhysicalEnergySystem *phys,
+                   EcovisorOptions options)
+    : cluster_(cluster), phys_(phys), options_(options)
+{
+    if (!cluster_)
+        fatal("Ecovisor: null cluster");
+    if (!phys_)
+        fatal("Ecovisor: null physical energy system");
+}
+
+void
+Ecovisor::addApp(const std::string &app, const AppShareConfig &share)
+{
+    if (app.empty())
+        fatal("Ecovisor::addApp: empty app name");
+    if (apps_.count(app))
+        fatal("Ecovisor::addApp: duplicate app '" + app + "'");
+
+    // Validate aggregate shares against the physical system (§3.3).
+    double solar_total = share.solar_fraction;
+    double cap_total = share.battery ? share.battery->capacity_wh : 0.0;
+    double charge_total = share.battery ? share.battery->max_charge_w : 0.0;
+    double discharge_total =
+        share.battery ? share.battery->max_discharge_w : 0.0;
+    for (const auto &kv : apps_) {
+        const auto &s = kv.second.ves->share();
+        solar_total += s.solar_fraction;
+        if (s.battery) {
+            cap_total += s.battery->capacity_wh;
+            charge_total += s.battery->max_charge_w;
+            discharge_total += s.battery->max_discharge_w;
+        }
+    }
+    if (solar_total > 1.0 + 1e-9)
+        fatal("Ecovisor::addApp: solar fractions exceed 100%");
+    if (share.solar_fraction > 0.0 && !phys_->hasSolar())
+        fatal("Ecovisor::addApp: solar share without a solar array");
+    if (share.battery) {
+        if (!phys_->hasBattery())
+            fatal("Ecovisor::addApp: battery share without a battery");
+        const auto &pb = phys_->battery().config();
+        if (cap_total > pb.capacity_wh + 1e-9)
+            fatal("Ecovisor::addApp: battery capacity oversubscribed");
+        if (charge_total > pb.max_charge_w + 1e-9)
+            fatal("Ecovisor::addApp: battery charge rate oversubscribed");
+        if (discharge_total > pb.max_discharge_w + 1e-9)
+            fatal("Ecovisor::addApp: battery discharge oversubscribed");
+    }
+
+    AppState st;
+    st.ves = std::make_unique<VirtualEnergySystem>(app, share);
+    apps_.emplace(app, std::move(st));
+}
+
+bool
+Ecovisor::hasApp(const std::string &app) const
+{
+    return apps_.count(app) > 0;
+}
+
+std::vector<std::string>
+Ecovisor::appNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(apps_.size());
+    for (const auto &kv : apps_)
+        out.push_back(kv.first);
+    return out;
+}
+
+Ecovisor::AppState &
+Ecovisor::appState(const std::string &app)
+{
+    auto it = apps_.find(app);
+    if (it == apps_.end())
+        fatal("Ecovisor: unknown app '" + app + "'");
+    return it->second;
+}
+
+const Ecovisor::AppState &
+Ecovisor::appState(const std::string &app) const
+{
+    auto it = apps_.find(app);
+    if (it == apps_.end())
+        fatal("Ecovisor: unknown app '" + app + "'");
+    return it->second;
+}
+
+void
+Ecovisor::setContainerPowercap(cop::ContainerId id, double cap_w)
+{
+    if (!cluster_->exists(id))
+        fatal("Ecovisor::setContainerPowercap: unknown container");
+    if (cap_w < 0.0)
+        fatal("Ecovisor::setContainerPowercap: negative cap");
+    if (std::isinf(cap_w)) {
+        powercaps_w_.erase(id);
+        cluster_->setUtilizationCap(id, 1.0);
+        return;
+    }
+    powercaps_w_[id] = cap_w;
+    cluster_->setUtilizationCap(
+        id, cluster_->utilizationCapForPower(id, cap_w));
+}
+
+void
+Ecovisor::setBatteryChargeRate(const std::string &app, double rate_w)
+{
+    appState(app).ves->setChargeRateW(rate_w);
+}
+
+void
+Ecovisor::setBatteryMaxDischarge(const std::string &app, double rate_w)
+{
+    appState(app).ves->setMaxDischargeW(rate_w);
+}
+
+TimeS
+Ecovisor::currentTime() const
+{
+    // During a tick, dispatchTickCallbacks()/settleTick() record the
+    // tick's start; between runs fall back to the tick after the last
+    // settlement (signals are piecewise constant per tick).
+    return std::max({now_hint_s_, last_settled_s_ + last_dt_s_,
+                     TimeS{0}});
+}
+
+double
+Ecovisor::getSolarPower(const std::string &app) const
+{
+    const auto &st = appState(app);
+    return st.ves->share().solar_fraction *
+           phys_->solarPowerAt(currentTime());
+}
+
+double
+Ecovisor::getGridPower(const std::string &app) const
+{
+    return appState(app).ves->lastSettlement().grid_w;
+}
+
+double
+Ecovisor::getGridCarbon() const
+{
+    return phys_->gridCarbonAt(currentTime());
+}
+
+double
+Ecovisor::getBatteryDischargeRate(const std::string &app) const
+{
+    return appState(app).ves->lastSettlement().batt_discharge_w;
+}
+
+double
+Ecovisor::getBatteryChargeLevel(const std::string &app) const
+{
+    const auto &st = appState(app);
+    return st.ves->hasBattery() ? st.ves->battery().energyWh() : 0.0;
+}
+
+double
+Ecovisor::getContainerPowercap(cop::ContainerId id) const
+{
+    auto it = powercaps_w_.find(id);
+    return it == powercaps_w_.end() ? kUnlimitedW : it->second;
+}
+
+double
+Ecovisor::getContainerPower(cop::ContainerId id) const
+{
+    return cluster_->containerPowerW(id);
+}
+
+void
+Ecovisor::registerTickCallback(const std::string &app, TickCallback cb)
+{
+    if (!cb)
+        fatal("Ecovisor::registerTickCallback: null callback");
+    appState(app).callbacks.push_back(std::move(cb));
+}
+
+void
+Ecovisor::attach(sim::Simulation &simulation)
+{
+    // Clock hint first: getters called from any later phase of this
+    // tick (including policies registered directly with the
+    // simulation) evaluate signals at the tick's start time.
+    simulation.addListener(
+        [this](TimeS start_s, TimeS) { now_hint_s_ = start_s; },
+        sim::TickPhase::Environment, "ecovisor-clock");
+    simulation.addListener(
+        [this](TimeS start_s, TimeS dt_s) {
+            dispatchTickCallbacks(start_s, dt_s);
+        },
+        sim::TickPhase::Policy, "ecovisor-upcalls");
+    simulation.addListener(
+        [this](TimeS start_s, TimeS dt_s) { settleTick(start_s, dt_s); },
+        sim::TickPhase::Accounting, "ecovisor-settle");
+}
+
+void
+Ecovisor::dispatchTickCallbacks(TimeS start_s, TimeS dt_s)
+{
+    now_hint_s_ = start_s;
+    for (auto &kv : apps_) {
+        for (auto &cb : kv.second.callbacks)
+            cb(start_s, dt_s);
+    }
+}
+
+void
+Ecovisor::applyPowercaps()
+{
+    for (auto it = powercaps_w_.begin(); it != powercaps_w_.end();) {
+        if (!cluster_->exists(it->first)) {
+            it = powercaps_w_.erase(it);
+            continue;
+        }
+        cluster_->setUtilizationCap(
+            it->first,
+            cluster_->utilizationCapForPower(it->first, it->second));
+        ++it;
+    }
+}
+
+void
+Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
+{
+    if (dt_s <= 0)
+        fatal("Ecovisor::settleTick: non-positive tick");
+    now_hint_s_ = start_s;
+
+    // Re-apply watt caps: allocations may have changed this tick.
+    applyPowercaps();
+
+    const double solar_w = phys_->solarPowerAt(start_s);
+    const double intensity = phys_->gridCarbonAt(start_s);
+
+    double owned_solar_fraction = 0.0;
+    double total_grid_w = 0.0;
+    double total_curtailed_w = 0.0;
+
+    for (auto &kv : apps_) {
+        auto &ves = *kv.second.ves;
+        double app_solar_w = ves.share().solar_fraction * solar_w;
+        owned_solar_fraction += ves.share().solar_fraction;
+        double demand_w = cluster_->appPowerW(kv.first);
+        const TickSettlement &s =
+            ves.settle(demand_w, app_solar_w, intensity, start_s, dt_s);
+        total_grid_w += s.grid_w;
+        total_curtailed_w += s.curtailed_w;
+    }
+
+    // Solar not owned by any app is excess by definition.
+    total_curtailed_w += (1.0 - owned_solar_fraction) * solar_w;
+
+    // Excess-solar policy (§3.1: reclaim & redistribute, net meter,
+    // or curtail).
+    if (total_curtailed_w > 1e-12) {
+        if (options_.excess_solar == ExcessSolarPolicy::Redistribute) {
+            for (auto &kv : apps_) {
+                if (total_curtailed_w <= 1e-12)
+                    break;
+                double took = kv.second.ves->absorbRedistributedSolar(
+                    total_curtailed_w, dt_s);
+                total_curtailed_w -= took;
+            }
+            curtailed_wh_ += energyWh(total_curtailed_w, dt_s);
+        } else if (options_.excess_solar == ExcessSolarPolicy::NetMeter) {
+            net_metered_wh_ += energyWh(total_curtailed_w, dt_s);
+        } else {
+            curtailed_wh_ += energyWh(total_curtailed_w, dt_s);
+        }
+    }
+
+    // Meter the aggregate grid draw (global energy + carbon books).
+    if (phys_->hasGrid() && total_grid_w > 0.0)
+        phys_->grid()->draw(total_grid_w, start_s, dt_s);
+
+    // Mirror the aggregate virtual battery state into the physical
+    // bank so its SOC stays consistent with the sum of shares.
+    if (phys_->hasBattery())
+        phys_->battery().setEnergyWh(aggregateBatteryWh());
+
+    last_settled_s_ = start_s;
+    last_dt_s_ = dt_s;
+
+    if (options_.record_telemetry)
+        recordTelemetry(start_s);
+}
+
+double
+Ecovisor::aggregateBatteryWh() const
+{
+    double total = 0.0;
+    for (const auto &kv : apps_) {
+        if (kv.second.ves->hasBattery())
+            total += kv.second.ves->battery().energyWh();
+    }
+    return total;
+}
+
+void
+Ecovisor::recordTelemetry(TimeS start_s)
+{
+    db_.write("grid_carbon", "", start_s, phys_->gridCarbonAt(start_s));
+    db_.write("solar_w", "", start_s, phys_->solarPowerAt(start_s));
+    db_.write("cluster_power_w", "", start_s, cluster_->totalPowerW());
+
+    for (const auto &kv : apps_) {
+        const auto &s = kv.second.ves->lastSettlement();
+        const std::string &app = kv.first;
+        db_.write("app_power_w", app, start_s, s.demand_w);
+        db_.write("app_grid_w", app, start_s, s.grid_w);
+        db_.write("app_solar_used_w", app, start_s, s.solar_used_w);
+        db_.write("app_batt_discharge_w", app, start_s,
+                  s.batt_discharge_w);
+        db_.write("app_batt_charge_w", app, start_s,
+                  s.batt_charge_solar_w + s.batt_charge_grid_w);
+        db_.write("app_carbon_g", app, start_s, s.carbon_g);
+        if (kv.second.ves->hasBattery())
+            db_.write("app_batt_soc", app, start_s,
+                      kv.second.ves->battery().soc());
+        db_.write("app_containers", app, start_s,
+                  static_cast<double>(
+                      cluster_->appContainers(app).size()));
+
+        // Per-container power and attributed carbon: the container's
+        // carbon share is proportional to its share of app demand
+        // (PowerAPI-style attribution backing Table 2's
+        // get_container_energy/get_container_carbon).
+        for (cop::ContainerId id : cluster_->appContainers(app)) {
+            double p_w = cluster_->containerPowerW(id);
+            db_.write("container_power_w", std::to_string(id),
+                      start_s, p_w);
+            double share = s.demand_w > 1e-12 ? p_w / s.demand_w : 0.0;
+            db_.write("container_carbon_g", std::to_string(id),
+                      start_s, s.carbon_g * share);
+        }
+    }
+}
+
+const VirtualEnergySystem &
+Ecovisor::ves(const std::string &app) const
+{
+    return *appState(app).ves;
+}
+
+} // namespace ecov::core

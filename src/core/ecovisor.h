@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The ecovisor: software-defined visibility into, and control of, a
+ * virtualized energy system (Sections 3-4).
+ *
+ * The ecovisor wraps a container orchestration platform (cop::Cluster)
+ * and a physical energy system, and exposes the paper's narrow API
+ * (Table 1) to each application:
+ *
+ *   setters: set_container_powercap, set_battery_charge_rate,
+ *            set_battery_max_discharge
+ *   getters: get_solar_power, get_grid_power, get_grid_carbon,
+ *            get_battery_discharge_rate, get_battery_charge_level,
+ *            get_container_powercap, get_container_power
+ *   upcall:  tick() every delta-t
+ *
+ * It holds privileged access to the cluster (to translate watt caps
+ * into cgroup utilization caps), to the physical battery/solar/grid
+ * (to enforce aggregate limits), and to the telemetry store (to record
+ * history for Table 2's interval queries).
+ */
+
+#ifndef ECOV_CORE_ECOVISOR_H
+#define ECOV_CORE_ECOVISOR_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cop/cluster.h"
+#include "core/virtual_energy_system.h"
+#include "energy/physical_energy_system.h"
+#include "sim/simulation.h"
+#include "telemetry/ts_database.h"
+#include "util/units.h"
+
+namespace ecov::core {
+
+/** What to do with system-wide excess solar (Section 3.1). */
+enum class ExcessSolarPolicy
+{
+    Curtail,      ///< charge controller curtails it (prototype default)
+    Redistribute, ///< offer it to other apps' virtual batteries
+    NetMeter,     ///< export to the grid (tracked in a meter)
+};
+
+/** Ecovisor-wide options. */
+struct EcovisorOptions
+{
+    ExcessSolarPolicy excess_solar = ExcessSolarPolicy::Curtail;
+    bool record_telemetry = true;
+};
+
+/**
+ * The ecovisor core. One instance manages one cluster + energy system
+ * and any number of application virtual energy systems.
+ */
+class Ecovisor
+{
+  public:
+    /** Application tick() upcall type (Table 1's notification). */
+    using TickCallback = std::function<void(TimeS start_s, TimeS dt_s)>;
+
+    /**
+     * @param cluster borrowed COP; must outlive the ecovisor
+     * @param phys borrowed physical energy system; must outlive us
+     * @param options policy knobs
+     */
+    Ecovisor(cop::Cluster *cluster, energy::PhysicalEnergySystem *phys,
+             EcovisorOptions options = {});
+
+    // ------------------------------------------------------------------
+    // Application registration (the exogenous share policy, §3.3).
+    // ------------------------------------------------------------------
+
+    /**
+     * Register an application and its share of the physical energy
+     * system. Validates that aggregate shares fit the hardware:
+     * solar fractions sum to <= 1 and battery capacity/rate shares sum
+     * to within the physical bank's limits.
+     */
+    void addApp(const std::string &app, const AppShareConfig &share);
+
+    /** True when the app is registered. */
+    bool hasApp(const std::string &app) const;
+
+    /** Registered application names (deterministic order). */
+    std::vector<std::string> appNames() const;
+
+    // ------------------------------------------------------------------
+    // Table 1: setter methods.
+    // ------------------------------------------------------------------
+
+    /**
+     * Set a container's power cap in watts. The ecovisor translates
+     * the cap into a cgroup utilization limit through the hosting
+     * node's power model and re-applies it every tick (allocations may
+     * change). Pass kUnlimitedW to remove the cap.
+     */
+    void setContainerPowercap(cop::ContainerId id, double cap_w);
+
+    /** Set an app's battery charge rate (W) until full (Table 1). */
+    void setBatteryChargeRate(const std::string &app, double rate_w);
+
+    /** Set an app's max battery discharge rate (W) (Table 1). */
+    void setBatteryMaxDischarge(const std::string &app, double rate_w);
+
+    // ------------------------------------------------------------------
+    // Table 1: getter methods.
+    // ------------------------------------------------------------------
+
+    /** Current virtual solar power output for an app, watts. */
+    double getSolarPower(const std::string &app) const;
+
+    /** App's grid power usage over the last settled tick, watts. */
+    double getGridPower(const std::string &app) const;
+
+    /** Current grid carbon intensity, gCO2/kWh. */
+    double getGridCarbon() const;
+
+    /** App's battery discharge rate over the last settled tick, W. */
+    double getBatteryDischargeRate(const std::string &app) const;
+
+    /** Energy stored in the app's virtual battery, watt-hours. */
+    double getBatteryChargeLevel(const std::string &app) const;
+
+    /** A container's power cap, watts (kUnlimitedW when uncapped). */
+    double getContainerPowercap(cop::ContainerId id) const;
+
+    /** A container's attributed power usage, watts. */
+    double getContainerPower(cop::ContainerId id) const;
+
+    // ------------------------------------------------------------------
+    // Tick upcall registration and simulation integration.
+    // ------------------------------------------------------------------
+
+    /** Register an application's tick() callback (Table 1). */
+    void registerTickCallback(const std::string &app, TickCallback cb);
+
+    /**
+     * Attach to a simulation: dispatches app tick() callbacks in the
+     * Policy phase and settles energy/carbon in the Accounting phase.
+     */
+    void attach(sim::Simulation &simulation);
+
+    /**
+     * Settle one tick directly (used by attach(); exposed for tests
+     * and for embedding without a Simulation).
+     */
+    void settleTick(TimeS start_s, TimeS dt_s);
+
+    /** Dispatch registered app callbacks (Policy phase). */
+    void dispatchTickCallbacks(TimeS start_s, TimeS dt_s);
+
+    // ------------------------------------------------------------------
+    // Privileged access (library layer, tests, benches).
+    // ------------------------------------------------------------------
+
+    /** Per-app virtual energy system (fatal on unknown app). */
+    const VirtualEnergySystem &ves(const std::string &app) const;
+
+    /** The COP under management. */
+    cop::Cluster &cluster() { return *cluster_; }
+    const cop::Cluster &cluster() const { return *cluster_; }
+
+    /** The physical energy system under management. */
+    energy::PhysicalEnergySystem &physical() { return *phys_; }
+
+    /** Telemetry store backing Table 2's interval queries. */
+    const ts::TsDatabase &db() const { return db_; }
+
+    /** Time of the most recent settled tick start, or -1 before any. */
+    TimeS lastSettledTick() const { return last_settled_s_; }
+
+    /** Cumulative energy exported by net metering, watt-hours. */
+    double netMeteredWh() const { return net_metered_wh_; }
+
+    /** Cumulative curtailed solar across apps + unowned, watt-hours. */
+    double curtailedWh() const { return curtailed_wh_; }
+
+    /** Aggregate virtual battery level across apps, watt-hours. */
+    double aggregateBatteryWh() const;
+
+    /** Options in effect. */
+    const EcovisorOptions &options() const { return options_; }
+
+  private:
+    struct AppState
+    {
+        std::unique_ptr<VirtualEnergySystem> ves;
+        std::vector<TickCallback> callbacks;
+    };
+
+    AppState &appState(const std::string &app);
+    const AppState &appState(const std::string &app) const;
+    void applyPowercaps();
+    void recordTelemetry(TimeS start_s);
+
+    cop::Cluster *cluster_;
+    energy::PhysicalEnergySystem *phys_;
+    EcovisorOptions options_;
+
+    std::map<std::string, AppState> apps_;
+    std::map<cop::ContainerId, double> powercaps_w_;
+
+    /** Time getters should evaluate signals at (current tick start). */
+    TimeS currentTime() const;
+
+    ts::TsDatabase db_;
+    TimeS last_settled_s_ = -1;
+    TimeS last_dt_s_ = 0;
+    TimeS now_hint_s_ = -1;
+    double net_metered_wh_ = 0.0;
+    double curtailed_wh_ = 0.0;
+};
+
+} // namespace ecov::core
+
+#endif // ECOV_CORE_ECOVISOR_H

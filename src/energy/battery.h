@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Battery model with the charge-controller semantics the paper's
+ * prototype exposes in software.
+ *
+ * Mirrors the hardware prototype (Section 4): lithium-ion bank with a
+ * state-of-charge floor (deep discharges shorten cycle life, so 30 %
+ * SOC counts as "empty"), a maximum charge rate (0.25C) and a maximum
+ * discharge rate (1C). The same class backs both the physical battery
+ * and each application's virtual battery, since the virtual energy
+ * system is defined to be functionally equivalent to the physical one
+ * (Section 3.3).
+ */
+
+#ifndef ECOV_ENERGY_BATTERY_H
+#define ECOV_ENERGY_BATTERY_H
+
+#include "util/units.h"
+
+namespace ecov::energy {
+
+/** Static battery configuration. */
+struct BatteryConfig
+{
+    double capacity_wh = 1440.0;      ///< nameplate capacity
+    double soc_floor = 0.30;          ///< fraction treated as empty
+    double soc_ceiling = 1.0;         ///< fraction treated as full
+    double max_charge_w = 360.0;      ///< 0.25C for the paper's bank
+    double max_discharge_w = 1440.0;  ///< 1C for the paper's bank
+    double efficiency = 1.0;          ///< round-trip efficiency in (0,1]
+    double initial_soc = 0.30;        ///< starting state of charge
+};
+
+/**
+ * Energy store integrated per tick.
+ *
+ * All power arguments are average watts over the tick; the model
+ * converts to watt-hours internally. charge() and discharge() return
+ * the power actually accepted/delivered after rate and capacity
+ * limits, so callers can settle any shortfall elsewhere (e.g. the
+ * grid) — exactly the ordering the ecovisor needs.
+ */
+class Battery
+{
+  public:
+    /** Construct from a validated configuration. */
+    explicit Battery(const BatteryConfig &config);
+
+    /** Configuration this battery was built with. */
+    const BatteryConfig &config() const { return config_; }
+
+    /** Stored energy in watt-hours (absolute, including the floor). */
+    double energyWh() const { return energy_wh_; }
+
+    /** State of charge as a fraction of nameplate capacity. */
+    double soc() const { return energy_wh_ / config_.capacity_wh; }
+
+    /** Energy available above the SOC floor, in watt-hours. */
+    double availableWh() const;
+
+    /** Room left below the SOC ceiling, in watt-hours. */
+    double headroomWh() const;
+
+    /** True when at (or below) the configured floor. */
+    bool empty() const;
+
+    /** True when at (or above) the configured ceiling. */
+    bool full() const;
+
+    /**
+     * Attempt to charge at a given average power for dt_s seconds.
+     *
+     * @param power_w requested average charging power (>= 0)
+     * @param dt_s tick length
+     * @return power actually accepted (<= min(power_w, max charge rate),
+     *         further limited by remaining headroom)
+     */
+    double charge(double power_w, TimeS dt_s);
+
+    /**
+     * Attempt to discharge at a given average power for dt_s seconds.
+     *
+     * @param power_w requested average discharge power (>= 0)
+     * @param dt_s tick length
+     * @return power actually delivered (<= min(power_w, max discharge
+     *         rate), further limited by energy above the floor)
+     */
+    double discharge(double power_w, TimeS dt_s);
+
+    /**
+     * Maximum power this battery could accept over the next dt_s
+     * seconds, considering rate limit and headroom.
+     */
+    double maxChargePowerW(TimeS dt_s) const;
+
+    /**
+     * Maximum power this battery could deliver over the next dt_s
+     * seconds, considering rate limit and available energy.
+     */
+    double maxDischargePowerW(TimeS dt_s) const;
+
+    /** Force the stored energy (clamped to [0, capacity]); tests only. */
+    void setEnergyWh(double energy_wh);
+
+  private:
+    BatteryConfig config_;
+    double energy_wh_;
+};
+
+} // namespace ecov::energy
+
+#endif // ECOV_ENERGY_BATTERY_H

@@ -1,0 +1,46 @@
+#include "energy/physical_energy_system.h"
+
+#include "util/logging.h"
+
+namespace ecov::energy {
+
+PhysicalEnergySystem::PhysicalEnergySystem(
+    GridConnection *grid, SolarArray *solar,
+    std::optional<BatteryConfig> battery_config)
+    : grid_(grid), solar_(solar)
+{
+    if (!grid_ && !solar_ && !battery_config)
+        fatal("PhysicalEnergySystem: at least one power source required");
+    if (battery_config)
+        battery_.emplace(*battery_config);
+}
+
+Battery &
+PhysicalEnergySystem::battery()
+{
+    if (!battery_)
+        fatal("PhysicalEnergySystem: no battery installed");
+    return *battery_;
+}
+
+const Battery &
+PhysicalEnergySystem::battery() const
+{
+    if (!battery_)
+        fatal("PhysicalEnergySystem: no battery installed");
+    return *battery_;
+}
+
+double
+PhysicalEnergySystem::solarPowerAt(TimeS t) const
+{
+    return solar_ ? solar_->powerAt(t) : 0.0;
+}
+
+double
+PhysicalEnergySystem::gridCarbonAt(TimeS t) const
+{
+    return grid_ ? grid_->carbonIntensityAt(t) : 0.0;
+}
+
+} // namespace ecov::energy

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The physical energy system: grid + solar + battery behind one facade.
+ *
+ * Matches the background model in Section 2: a facility connects to up
+ * to three power sources; any subset may be absent (large datacenters
+ * may lack local renewables, self-powered edge sites may lack a grid
+ * feed). The ecovisor holds privileged access to this object and
+ * multiplexes it among applications' virtual energy systems.
+ */
+
+#ifndef ECOV_ENERGY_PHYSICAL_ENERGY_SYSTEM_H
+#define ECOV_ENERGY_PHYSICAL_ENERGY_SYSTEM_H
+
+#include <memory>
+#include <optional>
+
+#include "energy/battery.h"
+#include "energy/grid_connection.h"
+#include "energy/solar_array.h"
+#include "util/units.h"
+
+namespace ecov::energy {
+
+/**
+ * Composition of the (up to) three power sources.
+ *
+ * Ownership: the system owns its battery; grid and solar are borrowed
+ * so experiments can share traces between systems. Either may be null
+ * to model grid-less or solar-less facilities.
+ */
+class PhysicalEnergySystem
+{
+  public:
+    /**
+     * @param grid borrowed grid connection, may be null
+     * @param solar borrowed solar array, may be null
+     * @param battery_config battery bank configuration; nullopt = no
+     *        battery installed
+     */
+    PhysicalEnergySystem(GridConnection *grid, SolarArray *solar,
+                         std::optional<BatteryConfig> battery_config);
+
+    /** True when a grid feed exists. */
+    bool hasGrid() const { return grid_ != nullptr; }
+
+    /** True when a solar array exists. */
+    bool hasSolar() const { return solar_ != nullptr; }
+
+    /** True when a battery bank exists. */
+    bool hasBattery() const { return battery_.has_value(); }
+
+    /** Grid connection (null when absent). */
+    GridConnection *grid() { return grid_; }
+    const GridConnection *grid() const { return grid_; }
+
+    /** Solar array (null when absent). */
+    SolarArray *solar() { return solar_; }
+    const SolarArray *solar() const { return solar_; }
+
+    /** Battery bank; call only when hasBattery(). */
+    Battery &battery();
+    const Battery &battery() const;
+
+    /** Solar output at time t (0 when no array). */
+    double solarPowerAt(TimeS t) const;
+
+    /** Grid carbon intensity at time t (0 when no grid). */
+    double gridCarbonAt(TimeS t) const;
+
+  private:
+    GridConnection *grid_;
+    SolarArray *solar_;
+    std::optional<Battery> battery_;
+};
+
+} // namespace ecov::energy
+
+#endif // ECOV_ENERGY_PHYSICAL_ENERGY_SYSTEM_H

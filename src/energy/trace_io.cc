@@ -1,0 +1,40 @@
+#include "energy/trace_io.h"
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace ecov::energy {
+
+SolarArray
+loadSolarTraceCsv(const std::string &path, TimeS period_s)
+{
+    auto rows = readTimeValueCsv(path);
+    std::vector<SolarArray::Point> pts;
+    pts.reserve(rows.size());
+    for (const auto &[t, v] : rows) {
+        if (v < 0.0)
+            fatal("loadSolarTraceCsv: negative power in " + path);
+        pts.push_back({t, v});
+    }
+    if (period_s == 0) {
+        // Derive: last sample time + the trailing sample spacing.
+        TimeS last = pts.back().time_s;
+        TimeS spacing = pts.size() > 1
+            ? last - pts[pts.size() - 2].time_s
+            : 1;
+        period_s = last + spacing;
+    }
+    return SolarArray(std::move(pts), period_s);
+}
+
+void
+saveSolarTraceCsv(const std::string &path, const SolarArray &array)
+{
+    std::vector<std::pair<TimeS, double>> rows;
+    rows.reserve(array.points().size());
+    for (const auto &p : array.points())
+        rows.emplace_back(p.time_s, p.power_w);
+    writeTimeValueCsv(path, "watts", rows);
+}
+
+} // namespace ecov::energy

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Load and save solar-output traces as CSV files.
+ *
+ * Enables replaying real inverter/irradiance exports instead of the
+ * synthetic diurnal generator: two columns, time in seconds and power
+ * in watts.
+ */
+
+#ifndef ECOV_ENERGY_TRACE_IO_H
+#define ECOV_ENERGY_TRACE_IO_H
+
+#include <string>
+
+#include "energy/solar_array.h"
+
+namespace ecov::energy {
+
+/**
+ * Load a solar trace from a CSV file.
+ *
+ * @param path two-column CSV (time_s, watts)
+ * @param period_s wrap period; 0 derives it from the last sample's
+ *        time plus its spacing (daily traces wrap naturally)
+ */
+SolarArray loadSolarTraceCsv(const std::string &path, TimeS period_s = 0);
+
+/** Save a solar trace to CSV (round-trips with loadSolarTraceCsv). */
+void saveSolarTraceCsv(const std::string &path, const SolarArray &array);
+
+} // namespace ecov::energy
+
+#endif // ECOV_ENERGY_TRACE_IO_H

@@ -1,0 +1,144 @@
+#include "geo/geo_batch_job.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ecov::geo {
+
+GeoBatchJob::GeoBatchJob(GeoCoordinator *coordinator,
+                         GeoBatchJobConfig config)
+    : coord_(coordinator), config_(config)
+{
+    if (!coord_)
+        fatal("GeoBatchJob: null coordinator");
+    if (config_.total_work <= 0.0)
+        fatal("GeoBatchJob: total work must be positive");
+    if (config_.workers < 1)
+        fatal("GeoBatchJob: workers must be >= 1");
+    if (config_.migration_delay_s < 0)
+        fatal("GeoBatchJob: negative migration delay");
+}
+
+GeoBatchJob::~GeoBatchJob()
+{
+    destroyWorkers();
+}
+
+void
+GeoBatchJob::destroyWorkers()
+{
+    if (active_site_ < 0)
+        return;
+    auto &cluster = coord_->site(active_site_).eco->cluster();
+    for (cop::ContainerId id : containers_) {
+        if (cluster.exists(id))
+            cluster.destroyContainer(id);
+    }
+    containers_.clear();
+}
+
+void
+GeoBatchJob::createWorkers()
+{
+    const Site &s = coord_->site(active_site_);
+    auto &cluster = s.eco->cluster();
+    for (int i = 0; i < config_.workers; ++i) {
+        auto id = cluster.createContainer(s.app,
+                                          config_.cores_per_worker);
+        if (!id) {
+            warn("GeoBatchJob: site " + s.name +
+                 " full; running with fewer workers");
+            break;
+        }
+        containers_.push_back(*id);
+    }
+}
+
+void
+GeoBatchJob::start(TimeS now_s, int site_idx)
+{
+    if (started_)
+        fatal("GeoBatchJob::start: already started");
+    started_ = true;
+    start_s_ = now_s;
+    active_site_ = site_idx;
+    (void)coord_->site(site_idx); // validates the index
+    createWorkers();
+}
+
+void
+GeoBatchJob::migrate(int site_idx, TimeS now_s)
+{
+    if (!started_)
+        fatal("GeoBatchJob::migrate: not started");
+    (void)coord_->site(site_idx);
+    if (site_idx == active_site_ || done())
+        return;
+    destroyWorkers();
+    active_site_ = site_idx;
+    createWorkers();
+    migration_stall_until_ = now_s + config_.migration_delay_s;
+    ++migrations_;
+}
+
+double
+GeoBatchJob::progress() const
+{
+    return std::min(1.0, work_done_ / config_.total_work);
+}
+
+void
+GeoBatchJob::onTick(TimeS start_s, TimeS dt_s)
+{
+    if (!started_ || done() || containers_.empty())
+        return;
+    auto &cluster = coord_->site(active_site_).eco->cluster();
+
+    // During a migration stall, workers are restoring checkpoints:
+    // light I/O demand, no progress.
+    bool stalled = start_s < migration_stall_until_;
+    double demand = stalled ? 0.05 : 1.0;
+    double rate = 0.0;
+    for (cop::ContainerId id : containers_) {
+        cluster.setDemand(id, demand);
+        if (!stalled)
+            rate += cluster.container(id).effectiveUtil() *
+                    cluster.container(id).cores;
+    }
+    work_done_ += rate * static_cast<double>(dt_s);
+
+    if (done() && completion_s_ < 0) {
+        completion_s_ = start_s + dt_s;
+        destroyWorkers();
+    }
+}
+
+GeoShiftPolicy::GeoShiftPolicy(GeoCoordinator *coordinator,
+                               GeoBatchJob *job,
+                               double hysteresis_g_per_kwh)
+    : coord_(coordinator), job_(job), hysteresis_(hysteresis_g_per_kwh)
+{
+    if (!coord_)
+        fatal("GeoShiftPolicy: null coordinator");
+    if (!job_)
+        fatal("GeoShiftPolicy: null job");
+    if (hysteresis_ < 0.0)
+        fatal("GeoShiftPolicy: negative hysteresis");
+}
+
+void
+GeoShiftPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)dt_s;
+    if (job_->done() || job_->activeSite() < 0)
+        return;
+    int here = job_->activeSite();
+    int best = coord_->lowestCarbonSite();
+    if (best == here)
+        return;
+    if (coord_->carbonAt(here) - coord_->carbonAt(best) > hysteresis_)
+        job_->migrate(best, start_s);
+}
+
+} // namespace ecov::geo

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Geo-migratable batch job and its location-shifting policy.
+ *
+ * A batch job whose workers can run at any one of several sites at a
+ * time. Migration models checkpoint/restart: moving costs a fixed
+ * delay during which no progress is made (state transfer), after
+ * which workers restart at the destination. A GeoShiftPolicy migrates
+ * the job toward low effective-carbon sites, with hysteresis so small
+ * intensity differences do not cause thrashing.
+ */
+
+#ifndef ECOV_GEO_GEO_BATCH_JOB_H
+#define ECOV_GEO_GEO_BATCH_JOB_H
+
+#include <string>
+#include <vector>
+
+#include "geo/geo_coordinator.h"
+#include "workloads/batch_job.h"
+
+namespace ecov::geo {
+
+/** Geo job configuration. */
+struct GeoBatchJobConfig
+{
+    double total_work = 3600.0;     ///< base-worker-seconds of work
+    int workers = 4;                ///< worker containers at the
+                                    ///< active site
+    double cores_per_worker = 1.0;  ///< container core allocation
+    TimeS migration_delay_s = 300;  ///< checkpoint + transfer +
+                                    ///< restart stall
+};
+
+/**
+ * The job: one active site at a time, centrally tracked progress.
+ */
+class GeoBatchJob
+{
+  public:
+    /**
+     * @param coordinator borrowed; must outlive the job
+     * @param config job parameters
+     */
+    GeoBatchJob(GeoCoordinator *coordinator, GeoBatchJobConfig config);
+
+    ~GeoBatchJob();
+
+    GeoBatchJob(const GeoBatchJob &) = delete;
+    GeoBatchJob &operator=(const GeoBatchJob &) = delete;
+
+    /** Launch at a site. */
+    void start(TimeS now_s, int site_idx);
+
+    /**
+     * Migrate to another site. No-op when already there. Progress
+     * stalls for the configured migration delay.
+     */
+    void migrate(int site_idx, TimeS now_s);
+
+    /** Currently active site index. */
+    int activeSite() const { return active_site_; }
+
+    /** Number of migrations so far. */
+    int migrations() const { return migrations_; }
+
+    /** Completed fraction in [0, 1]. */
+    double progress() const;
+
+    /** True once all work is done. */
+    bool done() const { return work_done_ >= config_.total_work; }
+
+    /** Completion time; valid once done(). */
+    TimeS completionTime() const { return completion_s_; }
+
+    /** Runtime (completion - start); valid once done(). */
+    TimeS runtime() const { return completion_s_ - start_s_; }
+
+    /** Advance one tick. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  private:
+    void destroyWorkers();
+    void createWorkers();
+
+    GeoCoordinator *coord_;
+    GeoBatchJobConfig config_;
+    std::vector<cop::ContainerId> containers_;
+    int active_site_ = -1;
+    double work_done_ = 0.0;
+    bool started_ = false;
+    int migrations_ = 0;
+    TimeS migration_stall_until_ = 0;
+    TimeS start_s_ = 0;
+    TimeS completion_s_ = -1;
+};
+
+/**
+ * Location-shifting policy: every tick, find the cheapest
+ * effective-carbon site; migrate when it beats the current site's
+ * effective intensity by more than a hysteresis margin.
+ */
+class GeoShiftPolicy
+{
+  public:
+    /**
+     * @param coordinator borrowed site registry
+     * @param job borrowed migratable job
+     * @param hysteresis_g_per_kwh minimum improvement to migrate
+     */
+    GeoShiftPolicy(GeoCoordinator *coordinator, GeoBatchJob *job,
+                   double hysteresis_g_per_kwh = 25.0);
+
+    /** Tick handler; register at TickPhase::Policy. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  private:
+    GeoCoordinator *coord_;
+    GeoBatchJob *job_;
+    double hysteresis_;
+};
+
+} // namespace ecov::geo
+
+#endif // ECOV_GEO_GEO_BATCH_JOB_H

@@ -1,0 +1,128 @@
+#include "geo/geo_coordinator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ecov::geo {
+
+GeoCoordinator::GeoCoordinator(std::vector<Site> sites)
+    : sites_(std::move(sites))
+{
+    if (sites_.empty())
+        fatal("GeoCoordinator: at least one site required");
+    for (const auto &s : sites_) {
+        if (!s.eco)
+            fatal("GeoCoordinator: null ecovisor for site " + s.name);
+        if (!s.eco->hasApp(s.app))
+            fatal("GeoCoordinator: app '" + s.app +
+                  "' not registered at site " + s.name);
+    }
+}
+
+const Site &
+GeoCoordinator::site(int idx) const
+{
+    if (idx < 0 || idx >= siteCount())
+        fatal("GeoCoordinator: site index out of range");
+    return sites_[static_cast<std::size_t>(idx)];
+}
+
+double
+GeoCoordinator::carbonAt(int idx) const
+{
+    return site(idx).eco->getGridCarbon();
+}
+
+double
+GeoCoordinator::solarAt(int idx) const
+{
+    const Site &s = site(idx);
+    return s.eco->getSolarPower(s.app);
+}
+
+int
+GeoCoordinator::lowestCarbonSite() const
+{
+    int best = 0;
+    for (int i = 1; i < siteCount(); ++i) {
+        if (carbonAt(i) < carbonAt(best))
+            best = i;
+    }
+    return best;
+}
+
+int
+GeoCoordinator::highestSolarSite() const
+{
+    int best = 0;
+    for (int i = 1; i < siteCount(); ++i) {
+        if (solarAt(i) > solarAt(best))
+            best = i;
+    }
+    return best;
+}
+
+int
+GeoCoordinator::fullestBatterySite() const
+{
+    auto level = [this](int i) {
+        const Site &s = site(i);
+        return s.eco->getBatteryChargeLevel(s.app);
+    };
+    int best = 0;
+    for (int i = 1; i < siteCount(); ++i) {
+        if (level(i) > level(best))
+            best = i;
+    }
+    return best;
+}
+
+int
+GeoCoordinator::cheapestEffectiveSite(double demand_w) const
+{
+    auto effective = [this, demand_w](int i) {
+        const Site &s = site(i);
+        double zero_carbon_w = s.eco->getSolarPower(s.app);
+        const auto &ves = s.eco->ves(s.app);
+        if (ves.hasBattery() && !ves.battery().empty())
+            zero_carbon_w += std::min(
+                ves.maxDischargeW(),
+                ves.battery().config().max_discharge_w);
+        if (demand_w <= 1e-12)
+            return 0.0;
+        double uncovered =
+            std::max(0.0, demand_w - zero_carbon_w) / demand_w;
+        return uncovered * s.eco->getGridCarbon();
+    };
+    int best = 0;
+    double best_eff = effective(0);
+    for (int i = 1; i < siteCount(); ++i) {
+        double e = effective(i);
+        if (e < best_eff) {
+            best = i;
+            best_eff = e;
+        }
+    }
+    return best;
+}
+
+double
+GeoCoordinator::totalCarbonG() const
+{
+    double total = 0.0;
+    for (const auto &s : sites_)
+        total += s.eco->ves(s.app).totalCarbonG();
+    return total;
+}
+
+double
+GeoCoordinator::totalEnergyWh() const
+{
+    double total = 0.0;
+    for (const auto &s : sites_)
+        total += s.eco->ves(s.app).totalEnergyWh();
+    return total;
+}
+
+} // namespace ecov::geo

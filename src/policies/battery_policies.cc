@@ -1,0 +1,143 @@
+#include "policies/battery_policies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ecov::policy {
+
+StaticBatteryPolicy::StaticBatteryPolicy(core::Ecovisor *eco,
+                                         std::string app,
+                                         SetWorkers set_workers,
+                                         BatteryPolicyConfig config)
+    : eco_(eco), app_(std::move(app)),
+      set_workers_(std::move(set_workers)), config_(config)
+{
+    if (!eco_)
+        fatal("StaticBatteryPolicy: null ecovisor");
+    if (!set_workers_)
+        fatal("StaticBatteryPolicy: null worker setter");
+    if (config_.per_worker_w <= 0.0)
+        fatal("StaticBatteryPolicy: per-worker power must be positive");
+}
+
+int
+StaticBatteryPolicy::dayWorkers() const
+{
+    return std::max(1, static_cast<int>(std::floor(
+                           config_.guaranteed_power_w /
+                           config_.per_worker_w)));
+}
+
+void
+StaticBatteryPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    double solar_w = eco_->getSolarPower(app_);
+    bool day = solar_w > config_.day_solar_threshold_w;
+    if (day) {
+        // Battery backs the fixed worker set: allow it to discharge
+        // up to the guaranteed power to smooth solar volatility.
+        eco_->setBatteryMaxDischarge(app_, config_.guaranteed_power_w);
+        set_workers_(dayWorkers());
+    } else {
+        // Night: suspend; conserve the battery for tomorrow.
+        eco_->setBatteryMaxDischarge(app_, 0.0);
+        set_workers_(0);
+    }
+}
+
+DynamicSparkBatteryPolicy::DynamicSparkBatteryPolicy(
+    core::Ecovisor *eco, wl::SparkJob *job, BatteryPolicyConfig config)
+    : eco_(eco), job_(job), config_(config)
+{
+    if (!eco_)
+        fatal("DynamicSparkBatteryPolicy: null ecovisor");
+    if (!job_)
+        fatal("DynamicSparkBatteryPolicy: null job");
+    if (config_.per_worker_w <= 0.0)
+        fatal("DynamicSparkBatteryPolicy: bad per-worker power");
+}
+
+void
+DynamicSparkBatteryPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    if (job_->done())
+        return;
+    const std::string &name = job_->config().app;
+    double solar_w = eco_->getSolarPower(name);
+    bool day = solar_w > config_.day_solar_threshold_w;
+    if (!day) {
+        // Night shutdown: uncommitted work on killed workers is lost.
+        eco_->setBatteryMaxDischarge(name, 0.0);
+        job_->setWorkers(0);
+        return;
+    }
+
+    const auto &ves = eco_->ves(name);
+    double soc = ves.hasBattery() ? ves.battery().soc() : 0.0;
+    eco_->setBatteryMaxDischarge(name, config_.guaranteed_power_w);
+
+    int base = std::max(1, static_cast<int>(std::floor(
+                               config_.guaranteed_power_w /
+                               config_.per_worker_w)));
+    if (soc >= config_.high_soc) {
+        // Battery full: every solar watt not used now is curtailed —
+        // spend it on extra workers.
+        int by_solar = static_cast<int>(
+            std::floor(solar_w / config_.per_worker_w));
+        job_->setWorkers(std::max(base, by_solar));
+    } else if (soc <= config_.low_soc) {
+        job_->setWorkers(base);
+    }
+    // Between the marks: keep the current worker count (hysteresis).
+}
+
+DynamicWebBatteryPolicy::DynamicWebBatteryPolicy(
+    core::Ecovisor *eco, wl::WebApplication *app,
+    BatteryPolicyConfig config)
+    : eco_(eco), app_(app), config_(config)
+{
+    if (!eco_)
+        fatal("DynamicWebBatteryPolicy: null ecovisor");
+    if (!app_)
+        fatal("DynamicWebBatteryPolicy: null app");
+    if (config_.per_worker_w <= 0.0)
+        fatal("DynamicWebBatteryPolicy: bad per-worker power");
+}
+
+void
+DynamicWebBatteryPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)dt_s;
+    const std::string &name = app_->config().app;
+    double solar_w = eco_->getSolarPower(name);
+    bool day = solar_w > config_.day_solar_threshold_w;
+    if (!day) {
+        // The monitoring workload is dormant at night.
+        eco_->setBatteryMaxDischarge(name, 0.0);
+        app_->setWorkers(app_->config().min_workers);
+        return;
+    }
+
+    eco_->setBatteryMaxDischarge(name, config_.guaranteed_power_w);
+
+    // Zero-carbon power envelope: solar share + permitted discharge.
+    const auto &ves = eco_->ves(name);
+    double envelope_w = solar_w;
+    if (ves.hasBattery() && !ves.battery().empty())
+        envelope_w += config_.guaranteed_power_w;
+    int max_workers = std::max(1, static_cast<int>(std::floor(
+                                      envelope_w /
+                                      config_.per_worker_w)));
+
+    double load = app_->offeredLoad(start_s);
+    int needed = app_->workersForSlo(load) + 1;
+    app_->setWorkers(std::min(needed, max_workers));
+}
+
+} // namespace ecov::policy

@@ -1,0 +1,49 @@
+#include "policies/carbon_arbitrage.h"
+
+#include "util/logging.h"
+
+namespace ecov::policy {
+
+CarbonArbitragePolicy::CarbonArbitragePolicy(core::Ecovisor *eco,
+                                             std::string app,
+                                             CarbonArbitrageConfig config)
+    : eco_(eco), app_(std::move(app)), config_(config)
+{
+    if (!eco_)
+        fatal("CarbonArbitragePolicy: null ecovisor");
+    if (!eco_->hasApp(app_))
+        fatal("CarbonArbitragePolicy: unknown app '" + app_ + "'");
+    if (!eco_->ves(app_).hasBattery())
+        fatal("CarbonArbitragePolicy: app '" + app_ +
+              "' has no battery share");
+    if (config_.low_g_per_kwh >= config_.high_g_per_kwh)
+        fatal("CarbonArbitragePolicy: low threshold must be below high");
+    if (config_.charge_rate_w < 0.0 || config_.max_discharge_w < 0.0)
+        fatal("CarbonArbitragePolicy: negative rate");
+}
+
+void
+CarbonArbitragePolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    double intensity = eco_->getGridCarbon();
+    if (intensity <= config_.low_g_per_kwh) {
+        // Cheap carbon: bank it. Suppress discharge so the stored
+        // energy is kept for dirty hours.
+        eco_->setBatteryChargeRate(app_, config_.charge_rate_w);
+        eco_->setBatteryMaxDischarge(app_, 0.0);
+        mode_ = Mode::Charging;
+    } else if (intensity >= config_.high_g_per_kwh) {
+        // Dirty hours: stop charging, spend the stored clean energy.
+        eco_->setBatteryChargeRate(app_, 0.0);
+        eco_->setBatteryMaxDischarge(app_, config_.max_discharge_w);
+        mode_ = Mode::Discharging;
+    } else {
+        eco_->setBatteryChargeRate(app_, 0.0);
+        eco_->setBatteryMaxDischarge(app_, 0.0);
+        mode_ = Mode::Hold;
+    }
+}
+
+} // namespace ecov::policy

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Carbon arbitrage through the virtual battery (Section 3.1).
+ *
+ * "Datacenters that also have batteries may perform carbon arbitrage,
+ * e.g., by charging their virtual batteries when carbon-intensity is
+ * low and discharging when high, in addition to regulating their grid
+ * power usage."
+ *
+ * The policy watches grid carbon intensity through the narrow API and
+ * drives the two battery setters: below the low threshold it charges
+ * from the grid at a configured rate; above the high threshold it
+ * permits discharge so stored clean energy displaces dirty grid
+ * power; between the thresholds it holds. Thresholds are absolute
+ * intensities — pick them from a trace percentile (see
+ * TraceCarbonSignal::intensityPercentile) or a forecast.
+ */
+
+#ifndef ECOV_POLICIES_CARBON_ARBITRAGE_H
+#define ECOV_POLICIES_CARBON_ARBITRAGE_H
+
+#include <string>
+
+#include "core/ecovisor.h"
+
+namespace ecov::policy {
+
+/** Arbitrage knobs. */
+struct CarbonArbitrageConfig
+{
+    double low_g_per_kwh = 150.0;   ///< charge below this intensity
+    double high_g_per_kwh = 250.0;  ///< discharge above this intensity
+    double charge_rate_w = 100.0;   ///< grid charging rate when low
+    double max_discharge_w = 1e9;   ///< discharge allowance when high
+};
+
+/**
+ * The policy: a pure client of the Table 1 battery setters.
+ */
+class CarbonArbitragePolicy
+{
+  public:
+    /**
+     * @param eco borrowed ecovisor
+     * @param app application owning a battery share
+     * @param config thresholds and rates (low must be < high)
+     */
+    CarbonArbitragePolicy(core::Ecovisor *eco, std::string app,
+                          CarbonArbitrageConfig config);
+
+    /** Tick handler; register at TickPhase::Policy. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+    /** Current mode for observability. */
+    enum class Mode
+    {
+        Hold,
+        Charging,
+        Discharging,
+    };
+
+    /** Mode chosen on the last tick. */
+    Mode mode() const { return mode_; }
+
+  private:
+    core::Ecovisor *eco_;
+    std::string app_;
+    CarbonArbitrageConfig config_;
+    Mode mode_ = Mode::Hold;
+};
+
+} // namespace ecov::policy
+
+#endif // ECOV_POLICIES_CARBON_ARBITRAGE_H

@@ -1,0 +1,149 @@
+#include "policies/carbon_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ecov::policy {
+
+namespace {
+
+/** Grid watts that emit `rate` g/s at `intensity` g/kWh. */
+double
+gridWattsForRate(double rate_g_per_s, double intensity_g_per_kwh)
+{
+    if (intensity_g_per_kwh <= 1e-12)
+        return core::kUnlimitedW;
+    return rate_g_per_s * 3600.0 * 1000.0 / intensity_g_per_kwh;
+}
+
+/** Zero-carbon power available to an app this tick (solar share). */
+double
+zeroCarbonWatts(const core::Ecovisor &eco, const std::string &app)
+{
+    double w = eco.getSolarPower(app);
+    const auto &ves = eco.ves(app);
+    if (ves.hasBattery() && !ves.battery().empty())
+        w += std::min(ves.maxDischargeW(),
+                      ves.battery().config().max_discharge_w);
+    return w;
+}
+
+} // namespace
+
+double
+perWorkerPowerW(const core::Ecovisor &eco, const wl::WebApplication &app)
+{
+    // Use a live container when one exists; otherwise derive from the
+    // first node's power model.
+    const auto &cluster = eco.cluster();
+    if (!app.containers().empty())
+        return cluster.maxContainerPowerW(app.containers().front());
+    const auto &model = cluster.node(0).model;
+    return model.maxContainerPowerW(app.config().cores_per_worker);
+}
+
+StaticCarbonRatePolicy::StaticCarbonRatePolicy(core::Ecovisor *eco,
+                                               wl::WebApplication *app,
+                                               double rate_g_per_s)
+    : eco_(eco), app_(app), rate_g_per_s_(rate_g_per_s)
+{
+    if (!eco_)
+        fatal("StaticCarbonRatePolicy: null ecovisor");
+    if (!app_)
+        fatal("StaticCarbonRatePolicy: null app");
+    if (rate_g_per_s_ <= 0.0)
+        fatal("StaticCarbonRatePolicy: rate must be positive");
+}
+
+void
+StaticCarbonRatePolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    double intensity = eco_->getGridCarbon();
+    double allowed_w = gridWattsForRate(rate_g_per_s_, intensity) +
+                       zeroCarbonWatts(*eco_, app_->config().app);
+    double per_worker_w = perWorkerPowerW(*eco_, *app_);
+
+    // The system policy is application-agnostic: it simply uses as
+    // many workers as the carbon rate affords at this intensity,
+    // regardless of offered load.
+    int workers = std::max(
+        app_->config().min_workers,
+        static_cast<int>(std::floor(allowed_w / per_worker_w)));
+    app_->setWorkers(workers);
+
+    // Book-keep the achieved carbon rate from the last settlement.
+    const auto &s = eco_->ves(app_->config().app).lastSettlement();
+    last_rate_g_per_s_ =
+        dt_s > 0 ? s.carbon_g / static_cast<double>(dt_s) : 0.0;
+}
+
+DynamicCarbonBudgetPolicy::DynamicCarbonBudgetPolicy(
+    core::Ecovisor *eco, wl::WebApplication *app, double rate_g_per_s,
+    TimeS horizon_s)
+    : eco_(eco), app_(app), rate_g_per_s_(rate_g_per_s),
+      horizon_s_(horizon_s),
+      budget_g_(rate_g_per_s * static_cast<double>(horizon_s))
+{
+    if (!eco_)
+        fatal("DynamicCarbonBudgetPolicy: null ecovisor");
+    if (!app_)
+        fatal("DynamicCarbonBudgetPolicy: null app");
+    if (rate_g_per_s_ <= 0.0)
+        fatal("DynamicCarbonBudgetPolicy: rate must be positive");
+    if (horizon_s_ <= 0)
+        fatal("DynamicCarbonBudgetPolicy: horizon must be positive");
+}
+
+double
+DynamicCarbonBudgetPolicy::creditsG(TimeS now_s) const
+{
+    if (start_s_ < 0)
+        return 0.0;
+    double elapsed = static_cast<double>(now_s - start_s_);
+    return rate_g_per_s_ * elapsed - spent_g_;
+}
+
+void
+DynamicCarbonBudgetPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    if (start_s_ < 0)
+        start_s_ = start_s;
+
+    // Account the previous tick's settled emissions.
+    const auto &s = eco_->ves(app_->config().app).lastSettlement();
+    if (s.dt_s > 0) {
+        spent_g_ += s.carbon_g;
+        last_rate_g_per_s_ = s.carbon_g / static_cast<double>(s.dt_s);
+    }
+
+    // SLO-driven target: just enough workers for the current load,
+    // with one worker of headroom against bursts.
+    double load = app_->offeredLoad(start_s);
+    int needed = app_->workersForSlo(load) + 1;
+
+    // Budget guard: when credits run dry (we have been spending above
+    // the average rate), fall back to rate-limited provisioning until
+    // credits recover. When the *total* budget is exhausted, clamp
+    // hard.
+    double credits = creditsG(start_s);
+    bool budget_exhausted = spent_g_ >= budget_g_;
+    if (budget_exhausted || credits < 0.0) {
+        double intensity = eco_->getGridCarbon();
+        double fallback_rate =
+            budget_exhausted ? 0.25 * rate_g_per_s_ : rate_g_per_s_;
+        double allowed_w = gridWattsForRate(fallback_rate, intensity) +
+                           zeroCarbonWatts(*eco_, app_->config().app);
+        double per_worker_w = perWorkerPowerW(*eco_, *app_);
+        int max_workers = std::max(
+            app_->config().min_workers,
+            static_cast<int>(std::floor(allowed_w / per_worker_w)));
+        needed = std::min(needed, max_workers);
+    }
+    app_->setWorkers(needed);
+    (void)dt_s;
+}
+
+} // namespace ecov::policy

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Carbon budgeting policies for interactive web services (§5.2).
+ *
+ * The comparison Figure 6/7 makes:
+ *
+ *  - StaticCarbonRatePolicy (system-level): enforce a fixed carbon
+ *    rate at all times. Each tick, the policy converts the rate into
+ *    an allowed grid power at the current intensity, adds zero-carbon
+ *    supply, and provisions as many workers as that power affords —
+ *    over-provisioning when carbon is cheap and starving the service
+ *    (violating the latency SLO) when a high-carbon period coincides
+ *    with a workload peak.
+ *
+ *  - DynamicCarbonBudgetPolicy (application-specific): enforce the
+ *    *same total budget* (rate x horizon) but over a long window.
+ *    The service provisions just enough workers for its latency SLO
+ *    when possible, banking carbon during cheap/quiet periods and
+ *    spending the accumulated credits to burst past the average rate
+ *    when carbon and load peak together.
+ */
+
+#ifndef ECOV_POLICIES_CARBON_BUDGET_H
+#define ECOV_POLICIES_CARBON_BUDGET_H
+
+#include "core/ecolib.h"
+#include "core/ecovisor.h"
+#include "workloads/web_application.h"
+
+namespace ecov::policy {
+
+/**
+ * Estimate of a single worker container's power draw at full
+ * utilization, used to convert power budgets into worker counts.
+ */
+double perWorkerPowerW(const core::Ecovisor &eco,
+                       const wl::WebApplication &app);
+
+/**
+ * System-level static carbon rate limiting.
+ */
+class StaticCarbonRatePolicy
+{
+  public:
+    /**
+     * @param eco borrowed ecovisor
+     * @param app borrowed web application
+     * @param rate_g_per_s carbon rate cap, grams CO2-eq per second
+     */
+    StaticCarbonRatePolicy(core::Ecovisor *eco, wl::WebApplication *app,
+                           double rate_g_per_s);
+
+    /** Tick handler; register at TickPhase::Policy. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+    /** Carbon rate over the last tick, g/s. */
+    double lastCarbonRate() const { return last_rate_g_per_s_; }
+
+  private:
+    core::Ecovisor *eco_;
+    wl::WebApplication *app_;
+    double rate_g_per_s_;
+    double last_rate_g_per_s_ = 0.0;
+};
+
+/**
+ * Application-specific dynamic carbon budgeting.
+ */
+class DynamicCarbonBudgetPolicy
+{
+  public:
+    /**
+     * @param eco borrowed ecovisor
+     * @param app borrowed web application
+     * @param rate_g_per_s average rate defining the budget
+     * @param horizon_s budgeting window (budget = rate x horizon)
+     */
+    DynamicCarbonBudgetPolicy(core::Ecovisor *eco,
+                              wl::WebApplication *app,
+                              double rate_g_per_s, TimeS horizon_s);
+
+    /** Tick handler; register at TickPhase::Policy. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+    /** Total budget in grams. */
+    double budgetG() const { return budget_g_; }
+
+    /** Carbon spent so far, grams. */
+    double spentG() const { return spent_g_; }
+
+    /**
+     * Accumulated carbon credits: pro-rata budget minus spend.
+     * Positive = the app has banked headroom to burst with.
+     */
+    double creditsG(TimeS now_s) const;
+
+    /** Carbon rate over the last tick, g/s. */
+    double lastCarbonRate() const { return last_rate_g_per_s_; }
+
+  private:
+    core::Ecovisor *eco_;
+    wl::WebApplication *app_;
+    double rate_g_per_s_;
+    TimeS horizon_s_;
+    double budget_g_;
+    double spent_g_ = 0.0;
+    TimeS start_s_ = -1;
+    double last_rate_g_per_s_ = 0.0;
+};
+
+} // namespace ecov::policy
+
+#endif // ECOV_POLICIES_CARBON_BUDGET_H

@@ -1,0 +1,86 @@
+#include "policies/carbon_reduction.h"
+
+#include "util/logging.h"
+
+namespace ecov::policy {
+
+BatchPolicy::BatchPolicy(core::Ecovisor *eco, wl::BatchJob *job)
+    : eco_(eco), job_(job)
+{
+    if (!eco_)
+        fatal("BatchPolicy: null ecovisor");
+    if (!job_)
+        fatal("BatchPolicy: null job");
+}
+
+void
+CarbonAgnosticPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    // Nothing to decide: the job runs at base scale until done.
+    if (!job_->done() && !job_->running()) {
+        job_->setScale(1.0);
+        job_->resume();
+    }
+}
+
+SuspendResumePolicy::SuspendResumePolicy(core::Ecovisor *eco,
+                                         wl::BatchJob *job,
+                                         double threshold_g_per_kwh)
+    : BatchPolicy(eco, job), threshold_(threshold_g_per_kwh)
+{
+    if (threshold_ <= 0.0)
+        fatal("SuspendResumePolicy: threshold must be positive");
+}
+
+void
+SuspendResumePolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    if (job_->done())
+        return;
+    double intensity = eco_->getGridCarbon();
+    if (intensity > threshold_) {
+        if (job_->running())
+            job_->suspend();
+    } else {
+        job_->setScale(1.0);
+        if (!job_->running())
+            job_->resume();
+    }
+}
+
+WaitAndScalePolicy::WaitAndScalePolicy(core::Ecovisor *eco,
+                                       wl::BatchJob *job,
+                                       double threshold_g_per_kwh,
+                                       double scale_factor)
+    : BatchPolicy(eco, job), threshold_(threshold_g_per_kwh),
+      scale_factor_(scale_factor)
+{
+    if (threshold_ <= 0.0)
+        fatal("WaitAndScalePolicy: threshold must be positive");
+    if (scale_factor_ < 1.0)
+        fatal("WaitAndScalePolicy: scale factor must be >= 1");
+}
+
+void
+WaitAndScalePolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    if (job_->done())
+        return;
+    double intensity = eco_->getGridCarbon();
+    if (intensity > threshold_) {
+        if (job_->running())
+            job_->suspend();
+    } else {
+        job_->setScale(scale_factor_);
+        if (!job_->running())
+            job_->resume();
+    }
+}
+
+} // namespace ecov::policy

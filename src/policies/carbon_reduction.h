@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Carbon-reduction policies for batch jobs (Section 5.1).
+ *
+ * Three policies over the same BatchJob abstraction:
+ *
+ *  - CarbonAgnosticPolicy: run at base scale regardless of carbon
+ *    (the paper's fastest / dirtiest baseline).
+ *  - SuspendResumePolicy: the WaitAWhile-style *system-level* policy —
+ *    suspend whenever grid carbon-intensity exceeds a threshold,
+ *    resume below it. Application-agnostic: same behaviour for every
+ *    job.
+ *  - WaitAndScalePolicy: the paper's *application-specific* policy —
+ *    suspend above the threshold like WaitAWhile, but resume at an
+ *    application-chosen scale-up factor to reclaim lost time during
+ *    clean periods. The optimal factor depends on the job's scaling
+ *    behaviour, which only the application knows.
+ *
+ * All policies read carbon through the ecovisor's narrow API
+ * (get_grid_carbon) and act purely in application space — exactly the
+ * delegation the paper advocates.
+ */
+
+#ifndef ECOV_POLICIES_CARBON_REDUCTION_H
+#define ECOV_POLICIES_CARBON_REDUCTION_H
+
+#include "core/ecovisor.h"
+#include "workloads/batch_job.h"
+
+namespace ecov::policy {
+
+/** Base class: a tick handler bound to one job and one ecovisor. */
+class BatchPolicy
+{
+  public:
+    /**
+     * @param eco borrowed ecovisor
+     * @param job borrowed job; both must outlive the policy
+     */
+    BatchPolicy(core::Ecovisor *eco, wl::BatchJob *job);
+
+    virtual ~BatchPolicy() = default;
+
+    /** Tick handler; register at TickPhase::Policy. */
+    virtual void onTick(TimeS start_s, TimeS dt_s) = 0;
+
+  protected:
+    core::Ecovisor *eco_;
+    wl::BatchJob *job_;
+};
+
+/** Run at base scale, always. */
+class CarbonAgnosticPolicy : public BatchPolicy
+{
+  public:
+    using BatchPolicy::BatchPolicy;
+
+    void onTick(TimeS start_s, TimeS dt_s) override;
+};
+
+/**
+ * System-level suspend/resume (WaitAWhile [70]).
+ */
+class SuspendResumePolicy : public BatchPolicy
+{
+  public:
+    /**
+     * @param threshold_g_per_kwh suspend above, resume at or below
+     */
+    SuspendResumePolicy(core::Ecovisor *eco, wl::BatchJob *job,
+                        double threshold_g_per_kwh);
+
+    void onTick(TimeS start_s, TimeS dt_s) override;
+
+    /** The threshold in use. */
+    double threshold() const { return threshold_; }
+
+  private:
+    double threshold_;
+};
+
+/**
+ * Application-specific Wait&Scale: suspend above the threshold and
+ * resume at `scale_factor` x the base resources.
+ */
+class WaitAndScalePolicy : public BatchPolicy
+{
+  public:
+    /**
+     * @param threshold_g_per_kwh suspend above, resume at or below
+     * @param scale_factor resources multiplier during clean periods
+     */
+    WaitAndScalePolicy(core::Ecovisor *eco, wl::BatchJob *job,
+                       double threshold_g_per_kwh, double scale_factor);
+
+    void onTick(TimeS start_s, TimeS dt_s) override;
+
+    /** The scale factor in use. */
+    double scaleFactor() const { return scale_factor_; }
+
+  private:
+    double threshold_;
+    double scale_factor_;
+};
+
+} // namespace ecov::policy
+
+#endif // ECOV_POLICIES_CARBON_REDUCTION_H

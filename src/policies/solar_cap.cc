@@ -1,0 +1,149 @@
+#include "policies/solar_cap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ecov::policy {
+
+StaticSolarCapPolicy::StaticSolarCapPolicy(core::Ecovisor *eco,
+                                           wl::StragglerJob *job)
+    : eco_(eco), job_(job)
+{
+    if (!eco_)
+        fatal("StaticSolarCapPolicy: null ecovisor");
+    if (!job_)
+        fatal("StaticSolarCapPolicy: null job");
+}
+
+void
+StaticSolarCapPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    if (job_->done())
+        return;
+    auto containers = job_->containers();
+    if (containers.empty())
+        return;
+    // Fetch the app's solar share through the narrow API.
+    const std::string &app =
+        eco_->cluster().container(containers.front()).app;
+    double budget_w = eco_->getSolarPower(app);
+    double per_w = budget_w / static_cast<double>(containers.size());
+    for (cop::ContainerId id : containers)
+        eco_->setContainerPowercap(id, per_w);
+}
+
+DynamicSolarCapPolicy::DynamicSolarCapPolicy(core::Ecovisor *eco,
+                                             wl::StragglerJob *job,
+                                             SolarCapPolicyConfig config)
+    : eco_(eco), job_(job), config_(config)
+{
+    if (!eco_)
+        fatal("DynamicSolarCapPolicy: null ecovisor");
+    if (!job_)
+        fatal("DynamicSolarCapPolicy: null job");
+}
+
+double
+DynamicSolarCapPolicy::distribute(TimeS start_s)
+{
+    (void)start_s;
+    auto status = job_->status();
+    if (status.empty())
+        return 0.0;
+    const std::string &app =
+        eco_->cluster().container(status.front().id).app;
+    double budget_w = eco_->getSolarPower(app);
+
+    // Pass 1: waiting workers get the I/O trickle.
+    std::vector<cop::ContainerId> busy;
+    for (const auto &w : status) {
+        if (w.computing) {
+            busy.push_back(w.id);
+            if (w.has_replica)
+                busy.push_back(w.replica_id);
+        } else {
+            eco_->setContainerPowercap(w.id, config_.io_power_w);
+            budget_w -= config_.io_power_w;
+        }
+    }
+    budget_w = std::max(0.0, budget_w);
+
+    if (busy.empty())
+        return budget_w;
+
+    // Pass 2: computing containers split the remainder, clamped at
+    // each container's full-power draw; leftover is spare.
+    double per_w = budget_w / static_cast<double>(busy.size());
+    double spare_w = 0.0;
+    for (cop::ContainerId id : busy) {
+        double full_w = eco_->cluster().maxContainerPowerW(id);
+        double cap = std::min(per_w, full_w);
+        eco_->setContainerPowercap(id, cap);
+        spare_w += per_w - cap;
+    }
+    return spare_w;
+}
+
+void
+DynamicSolarCapPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)dt_s;
+    if (job_->done())
+        return;
+    distribute(start_s);
+}
+
+StragglerMitigationPolicy::StragglerMitigationPolicy(
+    core::Ecovisor *eco, wl::StragglerJob *job,
+    SolarCapPolicyConfig config)
+    : DynamicSolarCapPolicy(eco, job, config)
+{
+}
+
+void
+StragglerMitigationPolicy::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)dt_s;
+    if (job_->done())
+        return;
+
+    // Spend spare solar on replicas for the slowest computing tasks.
+    auto status = job_->status();
+    double full_w = status.empty()
+        ? 0.0
+        : eco_->cluster().maxContainerPowerW(status.front().id);
+    double spare_w = distribute(start_s);
+
+    int issued = 0;
+    while (spare_w >= config_.replica_headroom * full_w &&
+           issued < config_.max_replicas_per_round) {
+        // Pick the slowest computing worker without a replica.
+        int slowest = -1;
+        double slowest_progress = 2.0;
+        for (std::size_t i = 0; i < status.size(); ++i) {
+            const auto &w = status[i];
+            if (w.computing && !w.has_replica &&
+                w.round_progress < slowest_progress) {
+                slowest = static_cast<int>(i);
+                slowest_progress = w.round_progress;
+            }
+        }
+        if (slowest < 0)
+            break;
+        if (!job_->addReplica(slowest))
+            break;
+        spare_w -= full_w;
+        ++issued;
+        status = job_->status();
+    }
+
+    // Re-distribute so fresh replicas receive caps this tick.
+    if (issued > 0)
+        distribute(start_s);
+}
+
+} // namespace ecov::policy

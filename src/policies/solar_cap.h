@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Solar-only power-cap policies for parallel jobs (Section 5.4).
+ *
+ * A parallel job runs directly on a limited solar supply, with no
+ * battery, by keeping the sum of its containers' power caps within the
+ * available solar power:
+ *
+ *  - StaticSolarCapPolicy (system-level): split the solar budget
+ *    evenly across all workers. Simple but wasteful: barrier-waiting
+ *    (I/O) workers hold power they cannot use while busy workers
+ *    starve.
+ *
+ *  - DynamicSolarCapPolicy (application-specific): give waiting
+ *    workers only their I/O trickle and rebalance the rest across the
+ *    workers still computing, so every node runs near 100 % of its
+ *    allocated energy — the paper's "most energy-efficient operating
+ *    point".
+ *
+ *  - StragglerMitigationPolicy: additionally spend *excess* solar
+ *    (beyond what the workers can absorb) on replica tasks for
+ *    stragglers; a replica's work is discarded if the original
+ *    finishes first, so energy-efficiency drops while runtime
+ *    improves — Figure 11's trade.
+ */
+
+#ifndef ECOV_POLICIES_SOLAR_CAP_H
+#define ECOV_POLICIES_SOLAR_CAP_H
+
+#include "core/ecovisor.h"
+#include "workloads/straggler_job.h"
+
+namespace ecov::policy {
+
+/** Shared knobs. */
+struct SolarCapPolicyConfig
+{
+    double io_power_w = 0.4;   ///< cap granted to barrier-waiting workers
+    /** Replicas issued only when spare power exceeds this multiple of
+     * a worker's full-power draw. */
+    double replica_headroom = 1.0;
+    int max_replicas_per_round = 4;
+};
+
+/** Even split of the solar budget (the system-level baseline). */
+class StaticSolarCapPolicy
+{
+  public:
+    StaticSolarCapPolicy(core::Ecovisor *eco, wl::StragglerJob *job);
+
+    /** Tick handler; register at TickPhase::Policy. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  private:
+    core::Ecovisor *eco_;
+    wl::StragglerJob *job_;
+};
+
+/** Demand-aware rebalancing of the solar budget. */
+class DynamicSolarCapPolicy
+{
+  public:
+    DynamicSolarCapPolicy(core::Ecovisor *eco, wl::StragglerJob *job,
+                          SolarCapPolicyConfig config = {});
+
+    /** Tick handler; register at TickPhase::Policy. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  protected:
+    /**
+     * Distribute the app's solar budget: waiting workers get the I/O
+     * trickle, computing workers (and replicas) split the remainder.
+     *
+     * @return spare watts left after every computing container is at
+     *         its full-power cap
+     */
+    double distribute(TimeS start_s);
+
+    core::Ecovisor *eco_;
+    wl::StragglerJob *job_;
+    SolarCapPolicyConfig config_;
+};
+
+/** Dynamic rebalancing + replica-based straggler mitigation. */
+class StragglerMitigationPolicy : public DynamicSolarCapPolicy
+{
+  public:
+    StragglerMitigationPolicy(core::Ecovisor *eco,
+                              wl::StragglerJob *job,
+                              SolarCapPolicyConfig config = {});
+
+    /** Tick handler; register at TickPhase::Policy. */
+    void onTick(TimeS start_s, TimeS dt_s);
+};
+
+} // namespace ecov::policy
+
+#endif // ECOV_POLICIES_SOLAR_CAP_H

@@ -1,0 +1,79 @@
+#include "power/server_power_model.h"
+
+#include "util/logging.h"
+
+namespace ecov::power {
+
+ServerPowerModel::ServerPowerModel(const ServerPowerConfig &config)
+    : config_(config)
+{
+    if (config_.cores <= 0)
+        fatal("ServerPowerModel: cores must be positive");
+    if (config_.idle_w < 0.0)
+        fatal("ServerPowerModel: negative idle power");
+    if (config_.cpu_peak_w <= config_.idle_w)
+        fatal("ServerPowerModel: CPU peak must exceed idle");
+    if (config_.gpu_peak_w < 0.0)
+        fatal("ServerPowerModel: negative GPU power");
+}
+
+double
+ServerPowerModel::dynamicPerCoreW() const
+{
+    return (config_.cpu_peak_w - config_.idle_w) /
+           static_cast<double>(config_.cores);
+}
+
+double
+ServerPowerModel::idlePerCoreW() const
+{
+    return config_.idle_w / static_cast<double>(config_.cores);
+}
+
+double
+ServerPowerModel::nodePowerW(double core_seconds_util, double gpu_util) const
+{
+    double util = clamp(core_seconds_util, 0.0,
+                        static_cast<double>(config_.cores));
+    double g = clamp(gpu_util, 0.0, 1.0);
+    return config_.idle_w + dynamicPerCoreW() * util +
+           config_.gpu_peak_w * g;
+}
+
+double
+ServerPowerModel::containerPowerW(double cores_allocated, double utilization,
+                                  double gpu_util) const
+{
+    if (cores_allocated < 0.0)
+        fatal("ServerPowerModel: negative core allocation");
+    double cores = clamp(cores_allocated, 0.0,
+                         static_cast<double>(config_.cores));
+    double util = clamp(utilization, 0.0, 1.0);
+    double g = clamp(gpu_util, 0.0, 1.0);
+    return idlePerCoreW() * cores + dynamicPerCoreW() * cores * util +
+           config_.gpu_peak_w * g;
+}
+
+double
+ServerPowerModel::utilizationForCap(double cores_allocated,
+                                    double cap_w) const
+{
+    if (cores_allocated <= 0.0)
+        return 0.0;
+    double cores = clamp(cores_allocated, 0.0,
+                         static_cast<double>(config_.cores));
+    double idle_share = idlePerCoreW() * cores;
+    double dyn = dynamicPerCoreW() * cores;
+    if (dyn <= 0.0)
+        return 0.0;
+    return clamp((cap_w - idle_share) / dyn, 0.0, 1.0);
+}
+
+double
+ServerPowerModel::maxContainerPowerW(double cores_allocated,
+                                     double gpu_util) const
+{
+    return containerPowerW(cores_allocated, 1.0, gpu_util);
+}
+
+} // namespace ecov::power

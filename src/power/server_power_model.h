@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Server power model and per-container power attribution.
+ *
+ * Parameterized with the paper's microserver numbers: 1.35 W idle,
+ * 5 W at 100 % CPU utilization, 10 W with the GPU also at 100 %
+ * (Section 4). Power rises linearly with utilization between idle and
+ * peak, the standard model behind Thunderbolt-style capping [48],
+ * which the prototype uses to translate per-container watt caps into
+ * cgroup utilization limits.
+ *
+ * Attribution follows the PowerAPI/power-containers approach the
+ * prototype builds on: each container is charged its dynamic power
+ * (utilization times per-core dynamic power) plus a share of node idle
+ * power proportional to its core allocation, so container meters sum
+ * to node power when the node is fully allocated.
+ */
+
+#ifndef ECOV_POWER_SERVER_POWER_MODEL_H
+#define ECOV_POWER_SERVER_POWER_MODEL_H
+
+#include "util/units.h"
+
+namespace ecov::power {
+
+/** Static description of one server's power behaviour. */
+struct ServerPowerConfig
+{
+    int cores = 4;             ///< quad-core ARM Cortex A53
+    double idle_w = 1.35;      ///< idle draw
+    double cpu_peak_w = 5.0;   ///< draw at 100 % CPU on all cores
+    double gpu_peak_w = 0.0;   ///< extra draw at 100 % GPU (5.0 on
+                               ///< Jetson-equipped nodes)
+};
+
+/**
+ * Linear utilization -> power model with inverse (cap -> utilization).
+ */
+class ServerPowerModel
+{
+  public:
+    /** Construct from a validated configuration. */
+    explicit ServerPowerModel(const ServerPowerConfig &config);
+
+    /** Configuration in use. */
+    const ServerPowerConfig &config() const { return config_; }
+
+    /** Number of cores. */
+    int cores() const { return config_.cores; }
+
+    /** Dynamic power of one core at 100 % utilization, in watts. */
+    double dynamicPerCoreW() const;
+
+    /** Idle power attributed to one core, in watts. */
+    double idlePerCoreW() const;
+
+    /**
+     * Node power at a given total core-utilization.
+     *
+     * @param core_seconds_util sum over cores of per-core utilization,
+     *        in [0, cores]
+     * @param gpu_util GPU utilization in [0, 1]
+     * @return node power in watts
+     */
+    double nodePowerW(double core_seconds_util, double gpu_util = 0.0) const;
+
+    /**
+     * Power attributed to a container.
+     *
+     * @param cores_allocated container's core allocation (may be
+     *        fractional)
+     * @param utilization per-core utilization in [0, 1]
+     * @param gpu_util container GPU utilization in [0, 1]
+     * @return attributed power in watts (idle share + dynamic)
+     */
+    double containerPowerW(double cores_allocated, double utilization,
+                           double gpu_util = 0.0) const;
+
+    /**
+     * Invert containerPowerW: the utilization cap that keeps a
+     * container's attributed power at or below a watt cap.
+     *
+     * @param cores_allocated container's core allocation
+     * @param cap_w power cap in watts
+     * @return utilization limit in [0, 1]; 0 when the cap does not even
+     *         cover the container's idle share
+     */
+    double utilizationForCap(double cores_allocated, double cap_w) const;
+
+    /**
+     * Attributed power of a container running flat-out (utilization 1)
+     * on a given allocation — the cap value that imposes no limit.
+     */
+    double maxContainerPowerW(double cores_allocated,
+                              double gpu_util = 0.0) const;
+
+  private:
+    ServerPowerConfig config_;
+};
+
+} // namespace ecov::power
+
+#endif // ECOV_POWER_SERVER_POWER_MODEL_H

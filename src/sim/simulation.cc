@@ -1,0 +1,88 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ecov::sim {
+
+Simulation::Simulation(TimeS tick_interval_s, TimeS start_s)
+    : clock_(tick_interval_s, start_s)
+{
+}
+
+void
+Simulation::addListener(TickListener *listener, TickPhase phase,
+                        std::string name)
+{
+    if (!listener)
+        fatal("Simulation::addListener: null listener");
+    entries_.push_back(Entry{static_cast<int>(phase), next_order_++,
+                             listener, nullptr, std::move(name)});
+    dirty_ = true;
+}
+
+void
+Simulation::addListener(TickFn fn, TickPhase phase, std::string name)
+{
+    if (!fn)
+        fatal("Simulation::addListener: null callback");
+    entries_.push_back(Entry{static_cast<int>(phase), next_order_++,
+                             nullptr, std::move(fn), std::move(name)});
+    dirty_ = true;
+}
+
+void
+Simulation::removeListener(TickListener *listener)
+{
+    std::erase_if(entries_, [listener](const Entry &e) {
+        return e.listener == listener;
+    });
+}
+
+void
+Simulation::sortEntries()
+{
+    std::stable_sort(entries_.begin(), entries_.end(),
+                     [](const Entry &a, const Entry &b) {
+                         if (a.priority != b.priority)
+                             return a.priority < b.priority;
+                         return a.order < b.order;
+                     });
+    dirty_ = false;
+}
+
+void
+Simulation::step()
+{
+    if (dirty_)
+        sortEntries();
+    const TimeS start = clock_.now();
+    const TimeS dt = clock_.tickInterval();
+    // Copy to tolerate listeners that register/remove during dispatch;
+    // additions take effect from the next tick.
+    auto snapshot = entries_;
+    for (auto &e : snapshot) {
+        if (e.listener)
+            e.listener->onTick(start, dt);
+        else
+            e.fn(start, dt);
+    }
+    clock_.advance();
+}
+
+void
+Simulation::runUntil(TimeS end_s)
+{
+    while (clock_.now() < end_s)
+        step();
+}
+
+void
+Simulation::runTicks(std::int64_t ticks)
+{
+    for (std::int64_t i = 0; i < ticks; ++i)
+        step();
+}
+
+} // namespace ecov::sim

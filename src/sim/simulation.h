@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tick-driven simulation driver.
+ *
+ * Components register TickListener callbacks; each tick the driver
+ * dispatches them in registration-priority order, mirroring the
+ * ecovisor's asynchronous tick() upcall (Table 1). Determinism is
+ * guaranteed by ordered dispatch: equal priorities run in registration
+ * order.
+ */
+
+#ifndef ECOV_SIM_SIMULATION_H
+#define ECOV_SIM_SIMULATION_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "util/units.h"
+
+namespace ecov::sim {
+
+/**
+ * Interface for components that act once per tick.
+ *
+ * onTick() receives the time at the *start* of the elapsed interval and
+ * the interval length; implementations integrate state over
+ * [start_s, start_s + dt_s).
+ */
+class TickListener
+{
+  public:
+    virtual ~TickListener() = default;
+
+    /**
+     * Called once per tick.
+     *
+     * @param start_s simulated time at the start of the interval
+     * @param dt_s interval length in seconds
+     */
+    virtual void onTick(TimeS start_s, TimeS dt_s) = 0;
+};
+
+/**
+ * Orders tick dispatch. Lower values run earlier within a tick.
+ *
+ * The canonical ordering for ecovisor experiments:
+ *   Environment (traces) -> Policies (apps adjust knobs based on the
+ *   previous tick's settled state and the current signals) ->
+ *   Workloads (containers set demand) -> Ecovisor accounting ->
+ *   Telemetry.
+ */
+enum class TickPhase : int
+{
+    Environment = 0,  ///< advance traces (solar, carbon, request load)
+    Policy = 10,      ///< application tick() handlers adjust knobs
+    Workload = 20,    ///< execute container demand for the interval
+    Accounting = 30,  ///< ecovisor settles energy/carbon for the interval
+    Telemetry = 40,   ///< record series after settlement
+};
+
+/**
+ * The simulation driver: owns the clock and the listener registry, and
+ * advances the world tick by tick.
+ */
+class Simulation
+{
+  public:
+    /** Callback form of a listener for lightweight registration. */
+    using TickFn = std::function<void(TimeS start_s, TimeS dt_s)>;
+
+    /**
+     * @param tick_interval_s tick length in seconds (paper default 60)
+     * @param start_s initial simulated time
+     */
+    explicit Simulation(TimeS tick_interval_s = 60, TimeS start_s = 0);
+
+    /** The shared clock. */
+    const SimClock &clock() const { return clock_; }
+
+    /** Current simulated time. */
+    TimeS now() const { return clock_.now(); }
+
+    /** Tick interval in seconds. */
+    TimeS tickInterval() const { return clock_.tickInterval(); }
+
+    /**
+     * Register an object listener.
+     *
+     * @param listener borrowed; must outlive the simulation loop
+     * @param phase dispatch phase within each tick
+     * @param name diagnostic label
+     */
+    void addListener(TickListener *listener, TickPhase phase,
+                     std::string name = "");
+
+    /** Register a function listener. */
+    void addListener(TickFn fn, TickPhase phase, std::string name = "");
+
+    /** Remove a previously registered object listener. */
+    void removeListener(TickListener *listener);
+
+    /** Run a single tick: dispatch all listeners, then advance time. */
+    void step();
+
+    /** Run ticks until the clock reaches at least end_s. */
+    void runUntil(TimeS end_s);
+
+    /** Run a fixed number of ticks. */
+    void runTicks(std::int64_t ticks);
+
+  private:
+    struct Entry
+    {
+        int priority;
+        std::int64_t order;
+        TickListener *listener; // nullptr when fn-based
+        TickFn fn;
+        std::string name;
+    };
+
+    void sortEntries();
+
+    SimClock clock_;
+    std::vector<Entry> entries_;
+    std::int64_t next_order_ = 0;
+    bool dirty_ = false;
+};
+
+} // namespace ecov::sim
+
+#endif // ECOV_SIM_SIMULATION_H

@@ -1,0 +1,104 @@
+#include "telemetry/time_series.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ecov::ts {
+
+void
+TimeSeries::append(TimeS time_s, double value)
+{
+    if (!samples_.empty() && time_s < samples_.back().time_s)
+        fatal("TimeSeries::append: timestamps must be non-decreasing");
+    samples_.push_back(Sample{time_s, value});
+}
+
+double
+TimeSeries::last() const
+{
+    return samples_.empty() ? 0.0 : samples_.back().value;
+}
+
+std::size_t
+TimeSeries::lowerBound(TimeS t) const
+{
+    auto it = std::lower_bound(samples_.begin(), samples_.end(), t,
+                               [](const Sample &s, TimeS v) {
+                                   return s.time_s < v;
+                               });
+    return static_cast<std::size_t>(it - samples_.begin());
+}
+
+double
+TimeSeries::valueAt(TimeS t) const
+{
+    std::size_t idx = lowerBound(t);
+    if (idx < samples_.size() && samples_[idx].time_s == t)
+        return samples_[idx].value;
+    if (idx == 0)
+        return 0.0;
+    return samples_[idx - 1].value;
+}
+
+double
+TimeSeries::integrateWh(TimeS t1, TimeS t2) const
+{
+    if (t2 <= t1 || samples_.empty())
+        return 0.0;
+    double acc = 0.0;
+    TimeS cursor = t1;
+    // Walk sample boundaries inside (t1, t2).
+    std::size_t idx = lowerBound(t1);
+    // Value in effect at t1 comes from the previous sample (or 0).
+    double current = valueAt(t1);
+    if (idx < samples_.size() && samples_[idx].time_s == t1) {
+        current = samples_[idx].value;
+        ++idx;
+    }
+    while (idx < samples_.size() && samples_[idx].time_s < t2) {
+        acc += current *
+               static_cast<double>(samples_[idx].time_s - cursor);
+        cursor = samples_[idx].time_s;
+        current = samples_[idx].value;
+        ++idx;
+    }
+    acc += current * static_cast<double>(t2 - cursor);
+    return acc / kSecondsPerHour;
+}
+
+double
+TimeSeries::sumRange(TimeS t1, TimeS t2) const
+{
+    double acc = 0.0;
+    for (std::size_t i = lowerBound(t1);
+         i < samples_.size() && samples_[i].time_s < t2; ++i)
+        acc += samples_[i].value;
+    return acc;
+}
+
+double
+TimeSeries::averageOver(TimeS t1, TimeS t2) const
+{
+    if (t2 <= t1)
+        return 0.0;
+    double wh = integrateWh(t1, t2);
+    return wh * kSecondsPerHour / static_cast<double>(t2 - t1);
+}
+
+double
+TimeSeries::maxRange(TimeS t1, TimeS t2) const
+{
+    double best = 0.0;
+    bool seen = false;
+    for (std::size_t i = lowerBound(t1);
+         i < samples_.size() && samples_[i].time_s < t2; ++i) {
+        if (!seen || samples_[i].value > best) {
+            best = samples_[i].value;
+            seen = true;
+        }
+    }
+    return seen ? best : 0.0;
+}
+
+} // namespace ecov::ts

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Append-only time series with interval queries.
+ *
+ * Substitute for the prototype's InfluxDB store: the ecovisor records
+ * power, energy and carbon samples here and the Table 2 library
+ * functions answer interval queries (energy/carbon over (t1, t2))
+ * against it.
+ */
+
+#ifndef ECOV_TELEMETRY_TIME_SERIES_H
+#define ECOV_TELEMETRY_TIME_SERIES_H
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace ecov::ts {
+
+/** One timestamped sample. */
+struct Sample
+{
+    TimeS time_s;   ///< sample timestamp (start of its interval)
+    double value;   ///< sample value (units defined by the series)
+};
+
+/**
+ * Append-only series of (time, value) samples with monotonically
+ * non-decreasing timestamps.
+ *
+ * Two interpretations are supported by the query methods:
+ *  - *gauge* series (e.g. power in W): value holds until the next sample;
+ *    integrate() treats samples as a step function.
+ *  - *counter* deltas (e.g. energy per tick in Wh): sumRange() adds the
+ *    raw values whose timestamps fall inside the window.
+ */
+class TimeSeries
+{
+  public:
+    /** Append a sample; timestamps must be non-decreasing. */
+    void append(TimeS time_s, double value);
+
+    /** Number of stored samples. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** True when no samples are stored. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Read-only sample access. */
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Most recent value; 0 when empty. */
+    double last() const;
+
+    /**
+     * Step-function value at a point in time.
+     *
+     * @return the value of the latest sample with time <= t, or 0 when
+     *         t precedes all samples.
+     */
+    double valueAt(TimeS t) const;
+
+    /**
+     * Integrate the step function over [t1, t2).
+     *
+     * For a power series in watts with times in seconds the result is
+     * watt-seconds / 3600 = watt-hours.
+     *
+     * @return integral in (value-unit x hours)
+     */
+    double integrateWh(TimeS t1, TimeS t2) const;
+
+    /** Sum raw sample values with t1 <= time < t2 (counter deltas). */
+    double sumRange(TimeS t1, TimeS t2) const;
+
+    /** Average step-function value over [t1, t2). */
+    double averageOver(TimeS t1, TimeS t2) const;
+
+    /** Maximum raw sample value with t1 <= time < t2; 0 when none. */
+    double maxRange(TimeS t1, TimeS t2) const;
+
+  private:
+    /** Index of first sample with time >= t. */
+    std::size_t lowerBound(TimeS t) const;
+
+    std::vector<Sample> samples_;
+};
+
+} // namespace ecov::ts
+
+#endif // ECOV_TELEMETRY_TIME_SERIES_H

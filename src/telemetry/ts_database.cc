@@ -1,0 +1,39 @@
+#include "telemetry/ts_database.h"
+
+namespace ecov::ts {
+
+const TimeSeries TsDatabase::empty_{};
+
+void
+TsDatabase::write(const std::string &measurement, const std::string &tag,
+                  TimeS time_s, double value)
+{
+    series_[Key{measurement, tag}].append(time_s, value);
+}
+
+const TimeSeries &
+TsDatabase::series(const std::string &measurement,
+                   const std::string &tag) const
+{
+    auto it = series_.find(Key{measurement, tag});
+    return it == series_.end() ? empty_ : it->second;
+}
+
+bool
+TsDatabase::has(const std::string &measurement, const std::string &tag) const
+{
+    auto it = series_.find(Key{measurement, tag});
+    return it != series_.end() && !it->second.empty();
+}
+
+std::vector<TsDatabase::Key>
+TsDatabase::keys() const
+{
+    std::vector<Key> out;
+    out.reserve(series_.size());
+    for (const auto &kv : series_)
+        out.push_back(kv.first);
+    return out;
+}
+
+} // namespace ecov::ts

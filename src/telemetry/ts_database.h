@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Named time-series database (InfluxDB stand-in).
+ *
+ * Series are addressed by a (measurement, tag) pair, e.g.
+ * ("container_power_w", "app1/c3") or ("grid_carbon", ""). The ecovisor
+ * writes one sample per tick per series; library functions (Table 2)
+ * query intervals.
+ */
+
+#ifndef ECOV_TELEMETRY_TS_DATABASE_H
+#define ECOV_TELEMETRY_TS_DATABASE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace ecov::ts {
+
+/**
+ * In-memory multi-series store.
+ *
+ * Lookup creates series on demand (write path); the const query path
+ * returns a shared empty series for unknown keys so callers need no
+ * existence checks.
+ */
+class TsDatabase
+{
+  public:
+    /** Composite series key. */
+    struct Key
+    {
+        std::string measurement;
+        std::string tag;
+
+        bool
+        operator<(const Key &o) const
+        {
+            if (measurement != o.measurement)
+                return measurement < o.measurement;
+            return tag < o.tag;
+        }
+    };
+
+    /** Append a sample to (measurement, tag), creating it if needed. */
+    void write(const std::string &measurement, const std::string &tag,
+               TimeS time_s, double value);
+
+    /** Series lookup for queries; empty series when unknown. */
+    const TimeSeries &series(const std::string &measurement,
+                             const std::string &tag = "") const;
+
+    /** True when the series exists and has samples. */
+    bool has(const std::string &measurement,
+             const std::string &tag = "") const;
+
+    /** All (measurement, tag) keys currently stored. */
+    std::vector<Key> keys() const;
+
+    /** Number of stored series. */
+    std::size_t seriesCount() const { return series_.size(); }
+
+    /** Drop everything. */
+    void clear() { series_.clear(); }
+
+  private:
+    std::map<Key, TimeSeries> series_;
+    static const TimeSeries empty_;
+};
+
+} // namespace ecov::ts
+
+#endif // ECOV_TELEMETRY_TS_DATABASE_H

@@ -1,0 +1,86 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace ecov {
+
+namespace {
+
+/** True when the line's first non-space character could begin a
+ *  number. */
+bool
+looksNumeric(const std::string &line)
+{
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+               c == '+' || c == '.';
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<std::pair<TimeS, double>>
+readTimeValueCsv(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("readTimeValueCsv: cannot open " + path);
+
+    std::vector<std::pair<TimeS, double>> rows;
+    std::string line;
+    bool first = true;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (first && !looksNumeric(line)) {
+            first = false; // header
+            continue;
+        }
+        first = false;
+        std::replace(line.begin(), line.end(), ',', ' ');
+        std::istringstream ss(line);
+        double t = 0.0, v = 0.0;
+        if (!(ss >> t >> v))
+            fatal("readTimeValueCsv: malformed row at " + path + ":" +
+                  std::to_string(lineno));
+        auto ts = static_cast<TimeS>(t);
+        if (!rows.empty() && ts < rows.back().first)
+            fatal("readTimeValueCsv: decreasing timestamps at " + path +
+                  ":" + std::to_string(lineno));
+        rows.emplace_back(ts, v);
+    }
+    if (rows.empty())
+        fatal("readTimeValueCsv: no data rows in " + path);
+    return rows;
+}
+
+void
+writeTimeValueCsv(const std::string &path,
+                  const std::string &header_value,
+                  const std::vector<std::pair<TimeS, double>> &rows)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeTimeValueCsv: cannot open " + path);
+    out << std::setprecision(12);
+    out << "time_s," << header_value << "\n";
+    for (const auto &[t, v] : rows)
+        out << t << "," << v << "\n";
+    if (!out)
+        fatal("writeTimeValueCsv: write failed for " + path);
+}
+
+} // namespace ecov

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal CSV I/O for trace files.
+ *
+ * Real deployments feed the ecovisor live data (electricityMap for
+ * carbon, inverter APIs for solar); offline reproduction replays trace
+ * files. The expected format is two numeric columns — time in seconds
+ * and a value — with an optional header line, e.g.:
+ *
+ *   time_s,gco2_per_kwh
+ *   0,212.4
+ *   300,208.9
+ */
+
+#ifndef ECOV_UTIL_CSV_H
+#define ECOV_UTIL_CSV_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+
+namespace ecov {
+
+/**
+ * Read a two-column (time_s, value) CSV file.
+ *
+ * Skips a non-numeric header line if present. Fatal on missing file,
+ * malformed rows, or decreasing timestamps.
+ *
+ * @param path file to read
+ * @return parsed (time, value) rows in file order
+ */
+std::vector<std::pair<TimeS, double>>
+readTimeValueCsv(const std::string &path);
+
+/**
+ * Write a two-column (time_s, value) CSV file with a header.
+ *
+ * @param path destination (overwritten)
+ * @param header_value name for the value column
+ * @param rows samples to write
+ */
+void writeTimeValueCsv(const std::string &path,
+                       const std::string &header_value,
+                       const std::vector<std::pair<TimeS, double>> &rows);
+
+} // namespace ecov
+
+#endif // ECOV_UTIL_CSV_H

@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecov {
+
+namespace {
+bool g_verbose = false;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (g_verbose)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace ecov

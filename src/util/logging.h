@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facility in the gem5 spirit.
+ *
+ * - inform(): status messages, no connotation of misbehaviour.
+ * - warn():   something questionable happened but execution continues.
+ * - fatal():  unrecoverable *user* error (bad configuration); throws
+ *             FatalError so tests can assert on misuse.
+ * - panic():  internal invariant violation (a library bug); aborts.
+ */
+
+#ifndef ECOV_UTIL_LOGGING_H
+#define ECOV_UTIL_LOGGING_H
+
+#include <stdexcept>
+#include <string>
+
+namespace ecov {
+
+/** Exception thrown by fatal() for invalid user configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Global verbosity switch; informs are suppressed when false. */
+void setVerbose(bool verbose);
+
+/** True when inform() output is enabled. */
+bool verbose();
+
+/** Print an informational message to stderr (when verbose). */
+void inform(const std::string &msg);
+
+/** Print a warning message to stderr (always). */
+void warn(const std::string &msg);
+
+/** Report an unrecoverable user error by throwing FatalError. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Report an internal invariant violation; aborts the process. */
+[[noreturn]] void panic(const std::string &msg);
+
+} // namespace ecov
+
+#endif // ECOV_UTIL_LOGGING_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Small statistics helpers used by the evaluation harness: an online
+ * accumulator (count/mean/stddev/min/max) and percentile computation
+ * over retained samples.
+ */
+
+#ifndef ECOV_UTIL_STATS_H
+#define ECOV_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ecov {
+
+/**
+ * Online accumulator using Welford's algorithm.
+ *
+ * Tracks count, mean, variance, min and max without retaining samples.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** Sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum sample (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Maximum sample (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Reset to empty. */
+    void reset();
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Sample-retaining collector with percentile queries.
+ *
+ * Used for latency distributions (e.g. the p95 SLO checks in the web
+ * application case studies).
+ */
+class SampleSet
+{
+  public:
+    /** Add one sample. */
+    void add(double x) { samples_.push_back(x); }
+
+    /** Number of retained samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /**
+     * Percentile by linear interpolation between closest ranks.
+     *
+     * @param p percentile in [0, 100]
+     * @return interpolated percentile value; 0 when empty
+     */
+    double percentile(double p) const;
+
+    /** Read-only access to retained samples. */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Drop all samples. */
+    void clear() { samples_.clear(); }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/**
+ * Percentile of an arbitrary vector (copies and sorts internally).
+ *
+ * @param values samples (need not be sorted)
+ * @param p percentile in [0, 100]
+ */
+double percentileOf(std::vector<double> values, double p);
+
+} // namespace ecov
+
+#endif // ECOV_UTIL_STATS_H

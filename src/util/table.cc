@@ -1,0 +1,70 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "util/logging.h"
+
+namespace ecov {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : columns_(header.size())
+{
+    rows_.push_back(std::move(header));
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != columns_)
+        fatal("TextTable row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void
+TextTable::print(std::FILE *out) const
+{
+    std::vector<std::size_t> width(columns_, 0);
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < columns_; ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        for (std::size_t c = 0; c < columns_; ++c) {
+            std::fprintf(out, "%-*s", static_cast<int>(width[c] + 2),
+                         rows_[r][c].c_str());
+        }
+        std::fprintf(out, "\n");
+        if (r == 0) {
+            for (std::size_t c = 0; c < columns_; ++c)
+                std::fprintf(out, "%s", std::string(width[c] + 2, '-').c_str());
+            std::fprintf(out, "\n");
+        }
+    }
+}
+
+CsvWriter::CsvWriter(std::FILE *out, const std::vector<std::string> &header)
+    : out_(out)
+{
+    for (std::size_t i = 0; i < header.size(); ++i)
+        std::fprintf(out_, "%s%s", header[i].c_str(),
+                     i + 1 == header.size() ? "\n" : ",");
+}
+
+void
+CsvWriter::row(const std::vector<double> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        std::fprintf(out_, "%.6g%s", values[i],
+                     i + 1 == values.size() ? "\n" : ",");
+}
+
+} // namespace ecov

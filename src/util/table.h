@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harness to
+ * print paper-style rows and time series.
+ */
+
+#ifndef ECOV_UTIL_TABLE_H
+#define ECOV_UTIL_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ecov {
+
+/**
+ * Fixed-column text table that pretty-prints to a FILE stream.
+ *
+ * Columns are sized to the widest cell. Intended for the per-figure
+ * bench binaries, which print the same rows/series the paper reports.
+ */
+class TextTable
+{
+  public:
+    /** Construct with a header row. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string fmt(double v, int precision = 2);
+
+    /** Render the table to a stream (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+    std::size_t columns_;
+};
+
+/**
+ * CSV writer for time-series dumps (one line per sample).
+ *
+ * Produces output suitable for plotting the paper's figures.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open a CSV stream with a header.
+     *
+     * @param out destination stream (not owned)
+     * @param header column names
+     */
+    CsvWriter(std::FILE *out, const std::vector<std::string> &header);
+
+    /** Write one row of values. */
+    void row(const std::vector<double> &values);
+
+  private:
+    std::FILE *out_;
+};
+
+} // namespace ecov
+
+#endif // ECOV_UTIL_TABLE_H

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit conventions and conversion helpers used across the ecovisor.
+ *
+ * The library standardizes on one unit per physical quantity to avoid
+ * silent unit-mix bugs:
+ *  - power:             watts            (double, suffix `_w`)
+ *  - energy:            watt-hours       (double, suffix `_wh`)
+ *  - carbon mass:       grams CO2-eq     (double, suffix `_g`)
+ *  - carbon intensity:  grams per kWh    (double, suffix `_g_per_kwh`)
+ *  - time:              seconds          (std::int64_t, suffix `_s`)
+ *
+ * The paper's API (Table 1) talks in kW / kWh / gCO2 per kW; the public
+ * accessors convert at the boundary using the helpers below.
+ */
+
+#ifndef ECOV_UTIL_UNITS_H
+#define ECOV_UTIL_UNITS_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace ecov {
+
+/** Simulation time in whole seconds since the start of a run. */
+using TimeS = std::int64_t;
+
+/** Seconds per hour, used by energy integration. */
+inline constexpr double kSecondsPerHour = 3600.0;
+
+/** Watt-hours per kilowatt-hour. */
+inline constexpr double kWhPerKwh = 1000.0;
+
+/** Convert watts to kilowatts. */
+constexpr double
+wattsToKw(double watts)
+{
+    return watts / 1000.0;
+}
+
+/** Convert kilowatts to watts. */
+constexpr double
+kwToWatts(double kw)
+{
+    return kw * 1000.0;
+}
+
+/** Convert watt-hours to kilowatt-hours. */
+constexpr double
+whToKwh(double wh)
+{
+    return wh / kWhPerKwh;
+}
+
+/** Convert kilowatt-hours to watt-hours. */
+constexpr double
+kwhToWh(double kwh)
+{
+    return kwh * kWhPerKwh;
+}
+
+/**
+ * Energy (Wh) from holding a constant power (W) for a duration (s).
+ *
+ * @param power_w constant power over the interval, in watts
+ * @param duration_s interval length in seconds
+ * @return energy in watt-hours
+ */
+constexpr double
+energyWh(double power_w, TimeS duration_s)
+{
+    return power_w * static_cast<double>(duration_s) / kSecondsPerHour;
+}
+
+/**
+ * Average power (W) implied by an energy amount over a duration.
+ *
+ * @param energy_wh energy in watt-hours
+ * @param duration_s interval length in seconds (must be > 0)
+ * @return average power in watts
+ */
+constexpr double
+powerW(double energy_wh, TimeS duration_s)
+{
+    return energy_wh * kSecondsPerHour / static_cast<double>(duration_s);
+}
+
+/**
+ * Carbon mass (g CO2-eq) emitted by consuming energy at a given
+ * grid carbon intensity.
+ *
+ * @param energy_wh energy drawn from the grid, in watt-hours
+ * @param intensity_g_per_kwh grid carbon intensity in gCO2/kWh
+ * @return grams of CO2-equivalent
+ */
+constexpr double
+carbonGrams(double energy_wh, double intensity_g_per_kwh)
+{
+    return whToKwh(energy_wh) * intensity_g_per_kwh;
+}
+
+/** Clamp a value into [lo, hi]. */
+constexpr double
+clamp(double v, double lo, double hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** True when two doubles are within an absolute epsilon. */
+inline bool
+nearlyEqual(double a, double b, double eps = 1e-9)
+{
+    return std::fabs(a - b) <= eps;
+}
+
+} // namespace ecov
+
+#endif // ECOV_UTIL_UNITS_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Elastic batch job model used by the Section 5.1 case studies.
+ *
+ * A batch job runs a fixed amount of work on a horizontally scalable
+ * set of single-core containers. Its *scaling behaviour* — how
+ * throughput grows with worker count — is the application-specific
+ * property that makes one-size-fits-all policies suboptimal:
+ *
+ *  - The PyTorch ResNet-34 training job synchronizes across workers,
+ *    so scaling up adds coordination delay and throughput grows
+ *    sub-linearly (the paper finds 2x scaling worthwhile but not 3x).
+ *  - NCBI-BLAST is embarrassingly parallel and scales almost linearly
+ *    until its central queue server saturates at ~3x the base worker
+ *    count, beyond which extra workers add energy but no speedup.
+ *
+ * Suspension models WaitAWhile-style temporal shifting: a suspended
+ * job releases its containers (distributed apps on COPs are already
+ * resilient to revocation), so it draws no power and makes no
+ * progress.
+ */
+
+#ifndef ECOV_WORKLOADS_BATCH_JOB_H
+#define ECOV_WORKLOADS_BATCH_JOB_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cop/cluster.h"
+#include "util/units.h"
+
+namespace ecov::wl {
+
+/**
+ * Throughput multiplier as a function of the scale factor
+ * (workers / base workers). speedup(1) must be 1.
+ */
+using SpeedupCurve = std::function<double(double scale)>;
+
+/** Synchronization-limited speedup (distributed ML training). */
+SpeedupCurve syncOverheadSpeedup(double overhead_per_worker);
+
+/**
+ * Near-linear speedup saturating at a bottleneck scale (BLAST's
+ * central queue server).
+ */
+SpeedupCurve bottleneckSpeedup(double efficiency, double saturation_scale);
+
+/** Batch job configuration. */
+struct BatchJobConfig
+{
+    std::string app;                 ///< application name on the COP
+    double total_work = 3600.0;      ///< base-worker-seconds of work
+    int base_workers = 4;            ///< worker count at scale 1
+    double cores_per_worker = 1.0;   ///< container core allocation
+    SpeedupCurve speedup;            ///< scaling behaviour
+};
+
+/**
+ * The job itself. Workload-phase object: call onTick() once per tick
+ * (or register with a Simulation at TickPhase::Workload).
+ */
+class BatchJob
+{
+  public:
+    /**
+     * @param cluster borrowed COP
+     * @param config job parameters (speedup must be set)
+     */
+    BatchJob(cop::Cluster *cluster, BatchJobConfig config);
+
+    ~BatchJob();
+
+    BatchJob(const BatchJob &) = delete;
+    BatchJob &operator=(const BatchJob &) = delete;
+
+    /** Launch at scale 1 (creates base_workers containers). */
+    void start(TimeS now_s);
+
+    /** Release all containers; the job halts but retains progress. */
+    void suspend();
+
+    /** Recreate containers at the current scale factor. */
+    void resume();
+
+    /**
+     * Set the scale factor (1.0 = base). Takes effect immediately when
+     * running; otherwise on the next resume().
+     */
+    void setScale(double scale);
+
+    /** Current scale factor. */
+    double scale() const { return scale_; }
+
+    /** True while containers exist and work remains. */
+    bool running() const { return !containers_.empty() && !done(); }
+
+    /** True once all work is complete. */
+    bool done() const { return work_done_ >= config_.total_work; }
+
+    /** Completed fraction in [0, 1]. */
+    double progress() const;
+
+    /** Live container ids. */
+    const std::vector<cop::ContainerId> &containers() const
+    {
+        return containers_;
+    }
+
+    /** Simulated completion time; valid once done(). */
+    TimeS completionTime() const { return completion_s_; }
+
+    /** Time the job was started. */
+    TimeS startTime() const { return start_s_; }
+
+    /** Elapsed runtime (completion - start); valid once done(). */
+    TimeS runtime() const { return completion_s_ - start_s_; }
+
+    /**
+     * Advance one tick: set container demand and accrue work at the
+     * speedup-curve rate. No-op when suspended or done.
+     */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  private:
+    int targetWorkers() const;
+    void reconcileWorkers();
+
+    cop::Cluster *cluster_;
+    BatchJobConfig config_;
+    std::vector<cop::ContainerId> containers_;
+    double scale_ = 1.0;
+    double work_done_ = 0.0;
+    bool started_ = false;
+    bool suspended_ = true;
+    TimeS start_s_ = 0;
+    TimeS completion_s_ = -1;
+};
+
+/** The paper's ML training configuration (ResNet-34 / CIFAR-100). */
+BatchJobConfig mlTrainingConfig(const std::string &app,
+                                double total_work = 4.0 * 3600.0);
+
+/** The paper's BLAST configuration (elastic BLAST-470). */
+BatchJobConfig blastConfig(const std::string &app,
+                           double total_work = 8.0 * 1200.0);
+
+} // namespace ecov::wl
+
+#endif // ECOV_WORKLOADS_BATCH_JOB_H

@@ -1,0 +1,104 @@
+#include "workloads/spark_job.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ecov::wl {
+
+SparkJob::SparkJob(cop::Cluster *cluster, SparkJobConfig config)
+    : cluster_(cluster), config_(std::move(config))
+{
+    if (!cluster_)
+        fatal("SparkJob: null cluster");
+    if (config_.app.empty())
+        fatal("SparkJob: empty app name");
+    if (config_.total_work <= 0.0)
+        fatal("SparkJob: total work must be positive");
+    if (config_.checkpoint_interval_s <= 0)
+        fatal("SparkJob: checkpoint interval must be positive");
+    if (config_.max_workers < 1)
+        fatal("SparkJob: max workers must be >= 1");
+}
+
+SparkJob::~SparkJob()
+{
+    for (auto &w : pool_) {
+        if (cluster_->exists(w.id))
+            cluster_->destroyContainer(w.id);
+    }
+}
+
+void
+SparkJob::start(TimeS now_s)
+{
+    if (started_)
+        fatal("SparkJob::start: already started");
+    started_ = true;
+    start_s_ = now_s;
+}
+
+void
+SparkJob::setWorkers(int workers)
+{
+    if (!started_)
+        fatal("SparkJob::setWorkers: not started");
+    int target = std::clamp(workers, 0, config_.max_workers);
+    while (static_cast<int>(pool_.size()) > target) {
+        // Kill the newest worker; its uncommitted work is lost.
+        Worker &w = pool_.back();
+        lost_ += w.inflight;
+        cluster_->destroyContainer(w.id);
+        pool_.pop_back();
+    }
+    while (static_cast<int>(pool_.size()) < target) {
+        auto id = cluster_->createContainer(config_.app,
+                                            config_.cores_per_worker);
+        if (!id) {
+            warn("SparkJob(" + config_.app +
+                 "): cluster full; fewer workers than requested");
+            break;
+        }
+        pool_.push_back(Worker{*id, 0.0, 0});
+    }
+}
+
+double
+SparkJob::progress() const
+{
+    return std::min(1.0, committed_ / config_.total_work);
+}
+
+std::vector<cop::ContainerId>
+SparkJob::containers() const
+{
+    std::vector<cop::ContainerId> out;
+    out.reserve(pool_.size());
+    for (const auto &w : pool_)
+        out.push_back(w.id);
+    return out;
+}
+
+void
+SparkJob::onTick(TimeS start_s, TimeS dt_s)
+{
+    if (!started_ || done())
+        return;
+    for (auto &w : pool_) {
+        cluster_->setDemand(w.id, 1.0);
+        double rate = cluster_->container(w.id).effectiveUtil();
+        w.inflight += rate * static_cast<double>(dt_s);
+        w.since_checkpoint += dt_s;
+        if (w.since_checkpoint >= config_.checkpoint_interval_s) {
+            committed_ += w.inflight;
+            w.inflight = 0.0;
+            w.since_checkpoint = 0;
+        }
+    }
+    if (done() && completion_s_ < 0) {
+        completion_s_ = start_s + dt_s;
+        setWorkers(0); // release resources
+    }
+}
+
+} // namespace ecov::wl

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Delay-tolerant Spark-style batch job with checkpointing (§5.3).
+ *
+ * Models the paper's pyspark image preprocessing / feature extraction
+ * task: workers process a fixed pool of work and periodically
+ * checkpoint completed operations to HDFS. Workers terminated before
+ * their next checkpoint lose their in-flight (uncommitted) work —
+ * exactly the cost the paper's dynamic policy risks when it
+ * opportunistically scales onto excess solar and workers are later
+ * killed in the evening.
+ */
+
+#ifndef ECOV_WORKLOADS_SPARK_JOB_H
+#define ECOV_WORKLOADS_SPARK_JOB_H
+
+#include <string>
+#include <vector>
+
+#include "cop/cluster.h"
+#include "util/units.h"
+
+namespace ecov::wl {
+
+/** Spark job configuration. */
+struct SparkJobConfig
+{
+    std::string app;                ///< application name on the COP
+    double total_work = 8.0 * 3600.0; ///< worker-seconds of work
+    double cores_per_worker = 1.0;  ///< container core allocation
+    TimeS checkpoint_interval_s = 15 * 60; ///< commit cadence (HDFS)
+    int max_workers = 16;           ///< ceiling on the worker set
+};
+
+/**
+ * The job: an elastic worker pool with per-worker in-flight state.
+ */
+class SparkJob
+{
+  public:
+    /**
+     * @param cluster borrowed COP
+     * @param config job parameters
+     */
+    SparkJob(cop::Cluster *cluster, SparkJobConfig config);
+
+    ~SparkJob();
+
+    SparkJob(const SparkJob &) = delete;
+    SparkJob &operator=(const SparkJob &) = delete;
+
+    /** Launch (no workers yet; the policy sizes the pool). */
+    void start(TimeS now_s);
+
+    /**
+     * Resize the worker pool. Shrinking kills the newest workers
+     * first; killed workers lose uncommitted work (no checkpoint on
+     * the way out — the paper terminates incomplete workers without
+     * checkpointing every evening).
+     */
+    void setWorkers(int workers);
+
+    /** Current worker count. */
+    int workers() const { return static_cast<int>(pool_.size()); }
+
+    /** Configuration in use. */
+    const SparkJobConfig &config() const { return config_; }
+
+    /** Committed (checkpointed) work, worker-seconds. */
+    double committedWork() const { return committed_; }
+
+    /** Work lost to kills so far, worker-seconds. */
+    double lostWork() const { return lost_; }
+
+    /** Completed fraction of total work, in [0, 1]. */
+    double progress() const;
+
+    /** True once the committed work covers the total. */
+    bool done() const { return committed_ >= config_.total_work; }
+
+    /** Completion time; valid once done(). */
+    TimeS completionTime() const { return completion_s_; }
+
+    /** Start time. */
+    TimeS startTime() const { return start_s_; }
+
+    /** Live container ids. */
+    std::vector<cop::ContainerId> containers() const;
+
+    /** Advance one tick: accrue and periodically commit work. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  private:
+    struct Worker
+    {
+        cop::ContainerId id;
+        double inflight = 0.0;      ///< uncommitted work
+        TimeS since_checkpoint = 0; ///< time since last commit
+    };
+
+    cop::Cluster *cluster_;
+    SparkJobConfig config_;
+    std::vector<Worker> pool_;
+    double committed_ = 0.0;
+    double lost_ = 0.0;
+    bool started_ = false;
+    TimeS start_s_ = 0;
+    TimeS completion_s_ = -1;
+};
+
+} // namespace ecov::wl
+
+#endif // ECOV_WORKLOADS_SPARK_JOB_H

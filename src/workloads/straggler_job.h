@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Synthetic bulk-synchronous parallel job with straggler injection
+ * (Section 5.4).
+ *
+ * The job proceeds in rounds. In each round every worker computes a
+ * fixed quantum of work and then waits at a barrier, performing only
+ * I/O (near-idle demand) until the slowest worker arrives. Stragglers
+ * are injected per (worker, round) with configurable probability and
+ * slowdown. Worker compute speed is proportional to the effective
+ * utilization the COP grants — which is how per-container power caps
+ * (vertical scaling) translate into progress, and why dynamically
+ * rebalancing caps toward busy workers shortens rounds.
+ *
+ * Straggler mitigation: a policy may issue a replica for a slow task;
+ * the round's task completes when either copy finishes (at most one
+ * replica's work is useful, the rest is discarded — the "productive
+ * use of excess energy" trade Figure 11 quantifies).
+ */
+
+#ifndef ECOV_WORKLOADS_STRAGGLER_JOB_H
+#define ECOV_WORKLOADS_STRAGGLER_JOB_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cop/cluster.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace ecov::wl {
+
+/** Straggler job configuration. */
+struct StragglerJobConfig
+{
+    std::string app;              ///< application name on the COP
+    int workers = 10;             ///< one task per worker per round
+    int rounds = 12;              ///< barrier rounds to complete
+    double round_work = 600.0;    ///< core-seconds per task per round
+    double cores_per_worker = 1.0;
+    double io_demand = 0.05;      ///< demand while waiting at barrier
+    double straggler_prob = 0.0;  ///< per (worker, round) probability
+    double straggler_rate = 0.4;  ///< straggler compute-rate multiplier
+    std::uint64_t seed = 1;       ///< straggler injection stream
+};
+
+/**
+ * The job. Policies inspect per-worker status and may set power caps
+ * (through the ecovisor) or request replicas.
+ */
+class StragglerJob
+{
+  public:
+    /** Per-worker view exposed to policies. */
+    struct WorkerStatus
+    {
+        cop::ContainerId id;            ///< primary container
+        bool computing;                 ///< still working this round
+        double round_progress;          ///< fraction of round done
+        bool straggling;                ///< injected straggler
+        bool has_replica;               ///< replica currently running
+        cop::ContainerId replica_id;    ///< replica container or -1
+    };
+
+    /**
+     * @param cluster borrowed COP
+     * @param config job parameters
+     */
+    StragglerJob(cop::Cluster *cluster, StragglerJobConfig config);
+
+    ~StragglerJob();
+
+    StragglerJob(const StragglerJob &) = delete;
+    StragglerJob &operator=(const StragglerJob &) = delete;
+
+    /** Launch: create the worker containers and start round 0. */
+    void start(TimeS now_s);
+
+    /** True when all rounds have completed. */
+    bool done() const { return round_ >= config_.rounds; }
+
+    /** Current round index. */
+    int round() const { return round_; }
+
+    /** Completion time; valid once done(). */
+    TimeS completionTime() const { return completion_s_; }
+
+    /** Start time. */
+    TimeS startTime() const { return start_s_; }
+
+    /** Per-worker status snapshot. */
+    std::vector<WorkerStatus> status() const;
+
+    /**
+     * Issue a replica for a worker's current-round task. No-op when
+     * the worker already has one, is finished, or the cluster is full.
+     *
+     * @return true when a replica container was created
+     */
+    bool addReplica(int worker_idx);
+
+    /** Total replicas issued over the job's lifetime. */
+    int replicasIssued() const { return replicas_issued_; }
+
+    /** Primary container ids (replicas excluded). */
+    std::vector<cop::ContainerId> containers() const;
+
+    /** Advance one tick. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  private:
+    struct Worker
+    {
+        cop::ContainerId id = cop::kInvalidContainer;
+        double progress = 0.0;       ///< core-seconds done this round
+        double rate_mult = 1.0;      ///< 1.0 or straggler_rate
+        bool round_done = false;
+        cop::ContainerId replica_id = cop::kInvalidContainer;
+        double replica_progress = 0.0;
+    };
+
+    void beginRound();
+    void destroyReplica(Worker &w);
+
+    cop::Cluster *cluster_;
+    StragglerJobConfig config_;
+    Rng rng_;
+    std::vector<Worker> workers_;
+    int round_ = 0;
+    bool started_ = false;
+    int replicas_issued_ = 0;
+    TimeS start_s_ = 0;
+    TimeS completion_s_ = -1;
+};
+
+} // namespace ecov::wl
+
+#endif // ECOV_WORKLOADS_STRAGGLER_JOB_H

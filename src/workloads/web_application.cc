@@ -1,0 +1,139 @@
+#include "workloads/web_application.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ecov::wl {
+
+WebApplication::WebApplication(cop::Cluster *cluster,
+                               const RequestTrace *trace,
+                               WebAppConfig config)
+    : cluster_(cluster), trace_(trace), config_(std::move(config))
+{
+    if (!cluster_)
+        fatal("WebApplication: null cluster");
+    if (!trace_)
+        fatal("WebApplication: null trace");
+    if (config_.app.empty())
+        fatal("WebApplication: empty app name");
+    if (config_.worker_capacity_rps <= 0.0)
+        fatal("WebApplication: worker capacity must be positive");
+    if (config_.min_workers < 1 ||
+        config_.max_workers < config_.min_workers)
+        fatal("WebApplication: invalid worker bounds");
+}
+
+WebApplication::~WebApplication()
+{
+    for (cop::ContainerId id : containers_) {
+        if (cluster_->exists(id))
+            cluster_->destroyContainer(id);
+    }
+}
+
+void
+WebApplication::start(int workers)
+{
+    if (started_)
+        fatal("WebApplication::start: already started");
+    started_ = true;
+    setWorkers(workers);
+}
+
+void
+WebApplication::setWorkers(int workers)
+{
+    if (!started_)
+        fatal("WebApplication::setWorkers: not started");
+    int target = std::clamp(workers, config_.min_workers,
+                            config_.max_workers);
+    while (static_cast<int>(containers_.size()) > target) {
+        cluster_->destroyContainer(containers_.back());
+        containers_.pop_back();
+    }
+    while (static_cast<int>(containers_.size()) < target) {
+        auto id = cluster_->createContainer(config_.app,
+                                            config_.cores_per_worker);
+        if (!id) {
+            warn("WebApplication(" + config_.app +
+                 "): cluster full; fewer workers than requested");
+            break;
+        }
+        containers_.push_back(*id);
+    }
+}
+
+double
+WebApplication::offeredLoad(TimeS t) const
+{
+    return trace_->rateAt(t);
+}
+
+int
+WebApplication::workersForSlo(double load_rps) const
+{
+    for (int n = config_.min_workers; n <= config_.max_workers; ++n) {
+        if (predictP95Ms(load_rps, n) <= config_.slo_p95_ms)
+            return n;
+    }
+    return config_.max_workers;
+}
+
+double
+WebApplication::predictP95Ms(double load_rps, int workers,
+                             double util_cap) const
+{
+    if (workers <= 0)
+        return config_.overload_latency_ms;
+    double capacity = static_cast<double>(workers) *
+                      config_.worker_capacity_rps *
+                      clamp(util_cap, 0.0, 1.0);
+    if (capacity <= 0.0)
+        return config_.overload_latency_ms;
+    double rho = load_rps / capacity;
+    if (rho >= 0.98) {
+        // Saturated: latency degrades toward the overload ceiling as
+        // the queue grows without bound.
+        double over = std::min(rho - 0.98, 1.0);
+        return std::min(config_.overload_latency_ms,
+                        config_.base_latency_ms +
+                            config_.queue_factor_ms * 49.0 +
+                            over * config_.overload_latency_ms);
+    }
+    return config_.base_latency_ms +
+           config_.queue_factor_ms * rho / (1.0 - rho);
+}
+
+void
+WebApplication::onTick(TimeS start_s, TimeS dt_s)
+{
+    (void)dt_s;
+    if (!started_ || containers_.empty())
+        return;
+
+    double load = offeredLoad(start_s);
+    int n = workers();
+
+    // Per-worker demand: fraction of capacity the balanced share uses,
+    // bounded by the cgroup utilization cap (the ecovisor may have
+    // lowered it to enforce a power cap).
+    double min_cap = 1.0;
+    for (cop::ContainerId id : containers_) {
+        double share = load / static_cast<double>(n);
+        double demand = share / config_.worker_capacity_rps;
+        cluster_->setDemand(id, std::min(1.0, demand));
+        min_cap = std::min(min_cap, cluster_->container(id).util_cap);
+    }
+
+    last_rho_ = load / (static_cast<double>(n) *
+                        config_.worker_capacity_rps *
+                        std::max(1e-9, min_cap));
+    last_p95_ms_ = predictP95Ms(load, n, min_cap);
+    latency_log_.emplace_back(start_s, last_p95_ms_);
+    if (last_p95_ms_ > config_.slo_p95_ms)
+        ++slo_violations_;
+}
+
+} // namespace ecov::wl

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Distributed web application model (Sections 5.2-5.3).
+ *
+ * A front-end load balancer spreads requests over a horizontally
+ * scalable set of worker containers (the paper serves a Wikipedia
+ * copy). The performance model is an M/M/c-flavoured queueing
+ * approximation: per-tick 95th-percentile latency grows with worker
+ * utilization and blows up as the offered load approaches capacity —
+ * enough to reproduce the SLO-violation behaviour in Figures 6 and 8.
+ */
+
+#ifndef ECOV_WORKLOADS_WEB_APPLICATION_H
+#define ECOV_WORKLOADS_WEB_APPLICATION_H
+
+#include <string>
+#include <vector>
+
+#include "cop/cluster.h"
+#include "util/stats.h"
+#include "workloads/request_trace.h"
+
+namespace ecov::wl {
+
+/** Web application configuration. */
+struct WebAppConfig
+{
+    std::string app;               ///< application name on the COP
+    double cores_per_worker = 1.0; ///< container core allocation
+    double worker_capacity_rps = 40.0; ///< throughput at utilization 1
+    double base_latency_ms = 20.0; ///< service latency when unloaded
+    double queue_factor_ms = 14.0; ///< queueing growth coefficient
+    double overload_latency_ms = 500.0; ///< latency ceiling when drowned
+    double slo_p95_ms = 60.0;      ///< latency SLO
+    int min_workers = 1;           ///< floor on the active set
+    int max_workers = 32;          ///< ceiling on the active set
+};
+
+/**
+ * The web application: load balancer + elastic worker set.
+ *
+ * Policies call setWorkers(); the workload phase calls onTick(), which
+ * converts offered load into per-container demand and records the
+ * tick's p95 latency.
+ */
+class WebApplication
+{
+  public:
+    /**
+     * @param cluster borrowed COP
+     * @param trace borrowed request trace; must outlive the app
+     * @param config parameters
+     */
+    WebApplication(cop::Cluster *cluster, const RequestTrace *trace,
+                   WebAppConfig config);
+
+    ~WebApplication();
+
+    WebApplication(const WebApplication &) = delete;
+    WebApplication &operator=(const WebApplication &) = delete;
+
+    /** Launch with an initial worker count. */
+    void start(int workers);
+
+    /** Horizontally scale the active set (clamped to config bounds). */
+    void setWorkers(int workers);
+
+    /** Current worker count. */
+    int workers() const { return static_cast<int>(containers_.size()); }
+
+    /** Configuration in use. */
+    const WebAppConfig &config() const { return config_; }
+
+    /** Offered load (requests/s) at time t. */
+    double offeredLoad(TimeS t) const;
+
+    /**
+     * Workers needed to keep p95 latency at or under the SLO for a
+     * given offered load (the autoscaling target).
+     */
+    int workersForSlo(double load_rps) const;
+
+    /**
+     * The p95 latency the model predicts for a load served by a
+     * worker count (with per-worker utilization cap applied).
+     */
+    double predictP95Ms(double load_rps, int workers,
+                        double util_cap = 1.0) const;
+
+    /** p95 latency recorded for the last tick, milliseconds. */
+    double lastP95Ms() const { return last_p95_ms_; }
+
+    /** Utilization (offered/capacity) over the last tick. */
+    double lastUtilization() const { return last_rho_; }
+
+    /** All recorded (time, p95) samples. */
+    const std::vector<std::pair<TimeS, double>> &latencyLog() const
+    {
+        return latency_log_;
+    }
+
+    /** Number of ticks whose p95 exceeded the SLO. */
+    int sloViolations() const { return slo_violations_; }
+
+    /** Live container ids. */
+    const std::vector<cop::ContainerId> &containers() const
+    {
+        return containers_;
+    }
+
+    /** Advance one tick: route load, set demand, record latency. */
+    void onTick(TimeS start_s, TimeS dt_s);
+
+  private:
+    cop::Cluster *cluster_;
+    const RequestTrace *trace_;
+    WebAppConfig config_;
+    std::vector<cop::ContainerId> containers_;
+    bool started_ = false;
+    double last_p95_ms_ = 0.0;
+    double last_rho_ = 0.0;
+    int slo_violations_ = 0;
+    std::vector<std::pair<TimeS, double>> latency_log_;
+};
+
+} // namespace ecov::wl
+
+#endif // ECOV_WORKLOADS_WEB_APPLICATION_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Carbon-intensity signal tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "carbon/carbon_signal.h"
+#include "util/logging.h"
+
+namespace ecov::carbon {
+namespace {
+
+TraceCarbonSignal
+simpleTrace()
+{
+    return TraceCarbonSignal({{0, 100.0}, {300, 200.0}, {600, 50.0}});
+}
+
+TEST(TraceCarbonSignal, PiecewiseConstantLookup)
+{
+    auto s = simpleTrace();
+    EXPECT_DOUBLE_EQ(s.intensityAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(s.intensityAt(299), 100.0);
+    EXPECT_DOUBLE_EQ(s.intensityAt(300), 200.0);
+    EXPECT_DOUBLE_EQ(s.intensityAt(599), 200.0);
+    EXPECT_DOUBLE_EQ(s.intensityAt(600), 50.0);
+}
+
+TEST(TraceCarbonSignal, HoldsBeforeAndAfter)
+{
+    auto s = simpleTrace();
+    EXPECT_DOUBLE_EQ(s.intensityAt(-100), 100.0);
+    EXPECT_DOUBLE_EQ(s.intensityAt(1000000), 50.0);
+}
+
+TEST(TraceCarbonSignal, PeriodicWrap)
+{
+    TraceCarbonSignal s({{0, 10.0}, {500, 20.0}}, 1000);
+    EXPECT_DOUBLE_EQ(s.intensityAt(1000), 10.0);
+    EXPECT_DOUBLE_EQ(s.intensityAt(1500), 20.0);
+    EXPECT_DOUBLE_EQ(s.intensityAt(2499), 10.0); // 2499 mod 1000 = 499
+    EXPECT_DOUBLE_EQ(s.intensityAt(2599), 20.0);
+    // Negative times wrap too.
+    EXPECT_DOUBLE_EQ(s.intensityAt(-500), 20.0);
+}
+
+TEST(TraceCarbonSignal, RejectsBadTraces)
+{
+    EXPECT_THROW(TraceCarbonSignal({}), FatalError);
+    EXPECT_THROW(TraceCarbonSignal({{0, 1.0}, {0, 2.0}}), FatalError);
+    EXPECT_THROW(TraceCarbonSignal({{10, 1.0}, {5, 2.0}}), FatalError);
+    // Trace beyond the wrap period.
+    EXPECT_THROW(TraceCarbonSignal({{0, 1.0}, {1500, 2.0}}, 1000),
+                 FatalError);
+}
+
+TEST(TraceCarbonSignal, PercentileOverWholeTrace)
+{
+    TraceCarbonSignal s(
+        {{0, 10.0}, {60, 20.0}, {120, 30.0}, {180, 40.0}, {240, 50.0}});
+    EXPECT_DOUBLE_EQ(s.intensityPercentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.intensityPercentile(50), 30.0);
+    EXPECT_DOUBLE_EQ(s.intensityPercentile(100), 50.0);
+}
+
+TEST(TraceCarbonSignal, PercentileOverWindow)
+{
+    TraceCarbonSignal s(
+        {{0, 10.0}, {60, 20.0}, {120, 30.0}, {180, 40.0}, {240, 50.0}});
+    // Window [120, 250) covers {30, 40, 50}.
+    EXPECT_DOUBLE_EQ(s.intensityPercentile(50, 120, 250), 40.0);
+    // Empty window falls back to whole-trace percentile.
+    EXPECT_DOUBLE_EQ(s.intensityPercentile(50, 5000, 6000), 30.0);
+}
+
+TEST(TraceCarbonSignal, ThresholdSelectsLowCarbonShare)
+{
+    // The WaitAWhile usage pattern: a 30th-percentile threshold should
+    // classify roughly 30 % of samples as low-carbon.
+    std::vector<TraceCarbonSignal::Point> pts;
+    for (int i = 0; i < 1000; ++i)
+        pts.push_back({static_cast<TimeS>(i * 60),
+                       100.0 + static_cast<double>((i * 7919) % 200)});
+    TraceCarbonSignal s(std::move(pts));
+    double thr = s.intensityPercentile(30);
+    int below = 0;
+    for (const auto &p : s.points())
+        below += p.intensity_g_per_kwh <= thr ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(below) / 1000.0, 0.30, 0.05);
+}
+
+} // namespace
+} // namespace ecov::carbon

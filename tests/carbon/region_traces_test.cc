@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Region trace generator tests: the Figure 1 qualitative statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "carbon/region_traces.h"
+#include "util/stats.h"
+
+namespace ecov::carbon {
+namespace {
+
+RunningStats
+statsOf(const TraceCarbonSignal &s)
+{
+    RunningStats r;
+    for (const auto &p : s.points())
+        r.add(p.intensity_g_per_kwh);
+    return r;
+}
+
+TEST(RegionTraces, OntarioIsLowestAndFlattest)
+{
+    auto ont = statsOf(makeRegionTrace(ontarioProfile(), 4, 1));
+    auto uru = statsOf(makeRegionTrace(uruguayProfile(), 4, 1));
+    auto cal = statsOf(makeRegionTrace(californiaProfile(), 4, 1));
+
+    // Figure 1 ordering: Ontario < Uruguay < California in mean.
+    EXPECT_LT(ont.mean(), uru.mean());
+    EXPECT_LT(uru.mean(), cal.mean());
+
+    // California also has the highest variability.
+    EXPECT_GT(cal.stddev(), uru.stddev());
+    EXPECT_GT(cal.stddev(), ont.stddev());
+}
+
+TEST(RegionTraces, PlausibleAbsoluteLevels)
+{
+    auto ont = statsOf(makeRegionTrace(ontarioProfile(), 4, 2));
+    auto cal = statsOf(makeRegionTrace(californiaProfile(), 4, 2));
+    // Ontario: nuclear-dominated tens of g/kWh.
+    EXPECT_GT(ont.mean(), 15.0);
+    EXPECT_LT(ont.mean(), 60.0);
+    // California: 100-350 g/kWh band, as in Figure 1.
+    EXPECT_GT(cal.mean(), 120.0);
+    EXPECT_LT(cal.max(), 400.0);
+    EXPECT_GT(cal.min(), 50.0);
+}
+
+TEST(RegionTraces, SampleSpacingAndLength)
+{
+    auto s = makeRegionTrace(californiaProfile(), 2, 3);
+    ASSERT_FALSE(s.points().empty());
+    EXPECT_EQ(s.points()[1].time_s - s.points()[0].time_s,
+              kCarbonSampleInterval);
+    EXPECT_EQ(s.points().size(),
+              static_cast<std::size_t>(2 * 24 * 3600 /
+                                       kCarbonSampleInterval));
+    EXPECT_EQ(s.period(), 2 * 24 * 3600);
+}
+
+TEST(RegionTraces, Deterministic)
+{
+    auto a = makeRegionTrace(californiaProfile(), 2, 42);
+    auto b = makeRegionTrace(californiaProfile(), 2, 42);
+    ASSERT_EQ(a.points().size(), b.points().size());
+    for (std::size_t i = 0; i < a.points().size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.points()[i].intensity_g_per_kwh,
+                         b.points()[i].intensity_g_per_kwh);
+    }
+}
+
+TEST(RegionTraces, SeedChangesNoise)
+{
+    auto a = makeRegionTrace(californiaProfile(), 1, 1);
+    auto b = makeRegionTrace(californiaProfile(), 1, 2);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.points().size(); ++i) {
+        any_diff |= a.points()[i].intensity_g_per_kwh !=
+                    b.points()[i].intensity_g_per_kwh;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(RegionTraces, CaliforniaHasMidDayDip)
+{
+    // The duck curve: intensity around 13:00 is below the 20:00 peak.
+    auto s = makeRegionTrace(californiaProfile(), 1, 7);
+    double noon = s.intensityAt(13 * 3600);
+    double evening = s.intensityAt(19 * 3600 + 1800);
+    EXPECT_LT(noon, evening);
+}
+
+TEST(CaisoLikeTrace, DayToDayVariation)
+{
+    auto s = makeCaisoLikeTrace(10, 11);
+    // Compare the mid-day dip across days: amplitudes should differ.
+    RunningStats dips;
+    for (int d = 0; d < 10; ++d)
+        dips.add(s.intensityAt(d * 24 * 3600 + 13 * 3600));
+    EXPECT_GT(dips.stddev(), 5.0);
+}
+
+TEST(CaisoLikeTrace, RespectsFloor)
+{
+    auto s = makeCaisoLikeTrace(5, 13);
+    for (const auto &p : s.points())
+        EXPECT_GE(p.intensity_g_per_kwh,
+                  californiaProfile().floor_g_per_kwh);
+}
+
+/** Property sweep: every region's floor holds for any seed. */
+class RegionFloor : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RegionFloor, NeverBelowFloor)
+{
+    for (const auto &prof :
+         {ontarioProfile(), uruguayProfile(), californiaProfile()}) {
+        auto s = makeRegionTrace(prof, 2, GetParam());
+        for (const auto &p : s.points())
+            EXPECT_GE(p.intensity_g_per_kwh, prof.floor_g_per_kwh);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionFloor,
+                         ::testing::Values(1, 2, 3, 10, 99, 12345));
+
+} // namespace
+} // namespace ecov::carbon

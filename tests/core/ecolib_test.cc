@@ -1,0 +1,275 @@
+/**
+ * @file
+ * EcoLib (Table 2) tests: interval queries, carbon rate/budget,
+ * asynchronous notifications.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carbon/carbon_signal.h"
+#include "core/ecolib.h"
+#include "util/logging.h"
+
+namespace ecov::core {
+namespace {
+
+struct Rig
+{
+    carbon::TraceCarbonSignal signal{
+        {{0, 100.0}, {3600, 400.0}}, 7200};
+    energy::GridConnection grid{&signal};
+    energy::SolarArray solar{
+        {{0, 0.0}, {6 * 3600, 100.0}, {18 * 3600, 0.0}}, 24 * 3600};
+    cop::Cluster cluster{4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
+    energy::PhysicalEnergySystem phys;
+    Ecovisor eco;
+
+    Rig() : phys(&grid, &solar, energy::BatteryConfig{}),
+            eco(&cluster, &phys)
+    {
+        AppShareConfig share;
+        share.solar_fraction = 1.0;
+        energy::BatteryConfig b;
+        b.capacity_wh = 1440.0;
+        b.initial_soc = 0.5;
+        share.battery = b;
+        eco.addApp("app", share);
+    }
+
+    /** Run n ticks of dt seconds, dispatching callbacks + settling. */
+    void
+    run(int n, TimeS dt = 60, TimeS start = 0)
+    {
+        for (int i = 0; i < n; ++i) {
+            TimeS t = start + static_cast<TimeS>(i) * dt;
+            eco.dispatchTickCallbacks(t, dt);
+            eco.settleTick(t, dt);
+        }
+    }
+};
+
+TEST(EcoLib, RequiresKnownApp)
+{
+    Rig rig;
+    EXPECT_THROW(EcoLib(&rig.eco, "missing"), FatalError);
+    EXPECT_THROW(EcoLib(nullptr, "app"), FatalError);
+}
+
+TEST(EcoLib, AppPowerAndIntervalEnergy)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    auto id = rig.cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0); // 5 W
+    rig.run(60, 60); // one hour
+    EXPECT_NEAR(lib.getAppPower(), 5.0, 1e-9);
+    // Energy over the hour: ~5 Wh (last tick extends to 3600).
+    double wh = lib.getAppEnergyWh(0, 3600);
+    EXPECT_NEAR(wh, 5.0, 0.2);
+}
+
+TEST(EcoLib, ContainerEnergyAndCarbon)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    auto id = rig.cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.run(60, 60);
+    double wh = lib.getContainerEnergyWh(*id, 0, 3600);
+    EXPECT_NEAR(wh, 5.0, 0.2);
+    // Sole container: its carbon equals the app's interval carbon.
+    EXPECT_NEAR(lib.getContainerCarbonG(*id, 0, 3600),
+                lib.getAppCarbonG(0, 3600), 1e-9);
+}
+
+TEST(EcoLib, CumulativeCarbonMatchesVes)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    auto id = rig.cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.run(10, 60);
+    EXPECT_DOUBLE_EQ(lib.getAppCarbonG(),
+                     rig.eco.ves("app").totalCarbonG());
+}
+
+TEST(EcoLib, CarbonBudgetTracksRemaining)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    EXPECT_FALSE(lib.hasCarbonBudget());
+    EXPECT_THROW(lib.carbonBudgetRemaining(), FatalError);
+
+    // Disable the battery so the load is served from the grid.
+    rig.eco.setBatteryMaxDischarge("app", 0.0);
+    auto id = rig.cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    lib.setCarbonBudget(1.0); // 1 g
+    EXPECT_NEAR(lib.carbonBudgetRemaining(), 1.0, 1e-12);
+    rig.run(60, 60); // 5 Wh at 100 g/kWh = 0.5 g
+    EXPECT_NEAR(lib.carbonBudgetRemaining(), 0.5, 0.05);
+}
+
+TEST(EcoLib, BudgetSetAfterSpendingCountsFromNow)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    auto id = rig.cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.run(60, 60);
+    lib.setCarbonBudget(1.0);
+    EXPECT_NEAR(lib.carbonBudgetRemaining(), 1.0, 1e-12);
+}
+
+TEST(EcoLib, CarbonRateCapsContainers)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    // Drain the battery share so only grid serves the load.
+    rig.eco.setBatteryMaxDischarge("app", 0.0);
+    auto id = rig.cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+
+    // At 100 g/kWh, 1e-4 g/s allows 3.6 W of grid power (plus zero
+    // solar at midnight).
+    lib.setCarbonRate(1e-4);
+    rig.run(30, 60);
+    double cap = rig.eco.getContainerPowercap(*id);
+    EXPECT_NEAR(cap, 3.6, 0.1);
+    // Achieved carbon rate respects the limit.
+    const auto &s = rig.eco.ves("app").lastSettlement();
+    EXPECT_LE(s.carbon_g / 60.0, 1e-4 + 1e-9);
+
+    lib.clearCarbonRate();
+    EXPECT_FALSE(lib.carbonRate().has_value());
+    EXPECT_TRUE(std::isinf(rig.eco.getContainerPowercap(*id)));
+}
+
+TEST(EcoLib, ContainerCarbonRateCapsSingleContainer)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    rig.eco.setBatteryMaxDischarge("app", 0.0);
+    auto limited = rig.cluster.createContainer("app", 4.0);
+    auto free_c = rig.cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(limited && free_c);
+    rig.cluster.setDemand(*limited, 1.0);
+    rig.cluster.setDemand(*free_c, 1.0);
+
+    // 1e-4 g/s at 100 g/kWh allows 3.6 W for the limited container;
+    // the other one stays uncapped.
+    lib.setContainerCarbonRate(*limited, 1e-4);
+    rig.run(10, 60);
+    EXPECT_NEAR(rig.eco.getContainerPowercap(*limited), 3.6, 0.1);
+    EXPECT_TRUE(std::isinf(rig.eco.getContainerPowercap(*free_c)));
+    EXPECT_NEAR(rig.eco.getContainerPower(*limited), 3.6, 0.1);
+    EXPECT_NEAR(rig.eco.getContainerPower(*free_c), 5.0, 1e-9);
+
+    lib.clearContainerCarbonRate(*limited);
+    EXPECT_TRUE(std::isinf(rig.eco.getContainerPowercap(*limited)));
+}
+
+TEST(EcoLib, ContainerCarbonRateRejectsForeignContainer)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    EXPECT_THROW(lib.setContainerCarbonRate(42, 1e-4), FatalError);
+}
+
+TEST(EcoLib, CarbonChangeNotification)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    int fires = 0;
+    double seen_prev = -1, seen_now = -1;
+    lib.notifyCarbonChange(
+        [&](double prev, double now) {
+            ++fires;
+            seen_prev = prev;
+            seen_now = now;
+        },
+        0.5);
+    // Intensity jumps 100 -> 400 at t=3600 (a 3x relative change).
+    rig.run(61, 60);
+    EXPECT_GE(fires, 1);
+    EXPECT_DOUBLE_EQ(seen_prev, 100.0);
+    EXPECT_DOUBLE_EQ(seen_now, 400.0);
+}
+
+TEST(EcoLib, SolarChangeNotification)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    int fires = 0;
+    lib.notifySolarChange([&](double, double) { ++fires; }, 0.5);
+    // Cross sunrise at 6 h: solar 0 -> 100 W.
+    rig.run(2, 3600, 5 * 3600);
+    EXPECT_GE(fires, 1);
+}
+
+TEST(EcoLib, BatteryFullNotificationEdgeTriggered)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    int full_fires = 0;
+    lib.notifyBatteryFull([&] { ++full_fires; });
+
+    // Charge to full from the grid at max rate (night: no solar).
+    rig.eco.setBatteryChargeRate("app", 360.0);
+    rig.run(5, 3600); // 0.25C fills from 50 % in 2 h; stay full after
+    EXPECT_EQ(full_fires, 1); // edge-triggered: fires exactly once
+}
+
+TEST(EcoLib, BatteryEmptyNotificationEdgeTriggered)
+{
+    // Dedicated setup with no solar share so the battery only drains.
+    carbon::TraceCarbonSignal signal({{0, 100.0}});
+    energy::GridConnection grid(&signal);
+    cop::Cluster cluster(4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0});
+    energy::PhysicalEnergySystem phys(&grid, nullptr,
+                                      energy::BatteryConfig{});
+    Ecovisor eco(&cluster, &phys);
+    AppShareConfig share;
+    energy::BatteryConfig b;
+    b.capacity_wh = 1440.0;
+    b.initial_soc = 0.32; // 28.8 Wh above the floor
+    share.battery = b;
+    eco.addApp("app", share);
+
+    EcoLib lib(&eco, "app");
+    int empty_fires = 0;
+    lib.notifyBatteryEmpty([&] { ++empty_fires; });
+
+    eco.setBatteryMaxDischarge("app", 1440.0);
+    auto id = cluster.createContainer("app", 4.0);
+    ASSERT_TRUE(id);
+    cluster.setDemand(*id, 1.0); // 5 W
+    for (int i = 0; i < 10; ++i) {
+        TimeS t = static_cast<TimeS>(i) * 3600;
+        eco.dispatchTickCallbacks(t, 3600);
+        eco.settleTick(t, 3600);
+    }
+    // 28.8 Wh at 5 W drains within ~6 h; fires exactly once.
+    EXPECT_EQ(empty_fires, 1);
+}
+
+TEST(EcoLib, InvalidArgumentsFatal)
+{
+    Rig rig;
+    EcoLib lib(&rig.eco, "app");
+    EXPECT_THROW(lib.setCarbonRate(-1.0), FatalError);
+    EXPECT_THROW(lib.setCarbonBudget(-1.0), FatalError);
+    EXPECT_THROW(lib.notifySolarChange(nullptr), FatalError);
+    EXPECT_THROW(lib.notifyBatteryFull(nullptr), FatalError);
+}
+
+} // namespace
+} // namespace ecov::core

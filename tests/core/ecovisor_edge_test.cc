@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Ecovisor edge cases and failure injection: empty systems, container
+ * churn under power caps, grid-share shedding, heterogeneous (GPU)
+ * nodes, and zero-demand accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "carbon/carbon_signal.h"
+#include "core/ecovisor.h"
+#include "util/logging.h"
+
+namespace ecov::core {
+namespace {
+
+struct Rig
+{
+    carbon::TraceCarbonSignal signal{{{0, 200.0}}};
+    energy::GridConnection grid{&signal};
+    energy::SolarArray solar{{{0, 100.0}}, 24 * 3600};
+    cop::Cluster cluster{4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
+    energy::PhysicalEnergySystem phys;
+    Ecovisor eco;
+
+    Rig() : phys(&grid, &solar, energy::BatteryConfig{}),
+            eco(&cluster, &phys)
+    {}
+};
+
+TEST(EcovisorEdge, SettleWithNoAppsIsHarmless)
+{
+    Rig rig;
+    // No apps registered: settlement still runs; unowned solar is
+    // curtailed in full.
+    rig.eco.settleTick(0, 3600);
+    EXPECT_NEAR(rig.eco.curtailedWh(), 100.0, 1e-9);
+    EXPECT_DOUBLE_EQ(rig.grid.totalEnergyWh(), 0.0);
+}
+
+TEST(EcovisorEdge, AppWithNoContainersDrawsNothing)
+{
+    Rig rig;
+    AppShareConfig share;
+    rig.eco.addApp("idle", share);
+    rig.eco.settleTick(0, 3600);
+    EXPECT_DOUBLE_EQ(rig.eco.getGridPower("idle"), 0.0);
+    EXPECT_DOUBLE_EQ(rig.eco.ves("idle").totalCarbonG(), 0.0);
+}
+
+TEST(EcovisorEdge, PowercapSurvivesContainerChurn)
+{
+    Rig rig;
+    rig.eco.addApp("a", AppShareConfig{});
+    auto id = rig.cluster.createContainer("a", 1.0);
+    ASSERT_TRUE(id);
+    rig.eco.setContainerPowercap(*id, 0.8);
+    // Destroy the container behind the ecovisor's back (resource
+    // revocation); the next settlement must clean the stale cap up
+    // rather than crash.
+    rig.cluster.destroyContainer(*id);
+    rig.eco.settleTick(0, 60);
+    EXPECT_TRUE(std::isinf(rig.eco.getContainerPowercap(*id)));
+}
+
+TEST(EcovisorEdge, ZeroPowercapStopsContainer)
+{
+    Rig rig;
+    rig.eco.addApp("a", AppShareConfig{});
+    auto id = rig.cluster.createContainer("a", 1.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.eco.setContainerPowercap(*id, 0.0);
+    // A zero cap is below even the idle share: utilization drops to
+    // zero, so the attributed power is just the idle share.
+    EXPECT_NEAR(rig.eco.getContainerPower(*id), 1.35 / 4.0, 1e-9);
+}
+
+TEST(EcovisorEdge, GridShareShedsLoad)
+{
+    Rig rig;
+    AppShareConfig share;
+    share.grid_max_w = 2.0; // tiny feeder share
+    rig.eco.addApp("capped", share);
+    auto id = rig.cluster.createContainer("capped", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0); // wants 5 W
+    rig.eco.settleTick(0, 3600);
+    // Demand beyond the share is shed: grid draw clamps at 2 W.
+    EXPECT_NEAR(rig.eco.getGridPower("capped"), 2.0, 1e-9);
+    EXPECT_NEAR(rig.grid.totalEnergyWh(), 2.0, 1e-9);
+}
+
+TEST(EcovisorEdge, GpuNodesAttributeExtraPower)
+{
+    // Heterogeneous cluster: one CPU node, one Jetson-style GPU node.
+    carbon::TraceCarbonSignal signal({{0, 100.0}});
+    energy::GridConnection grid(&signal);
+    std::vector<power::ServerPowerConfig> nodes{
+        {4, 1.35, 5.0, 0.0}, {4, 1.35, 5.0, 5.0}};
+    cop::Cluster cluster(nodes);
+    energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
+    Ecovisor eco(&cluster, &phys);
+    eco.addApp("gpu", AppShareConfig{});
+
+    // Two containers spread over the two nodes (fewest-instances).
+    auto c1 = cluster.createContainer("gpu", 4.0);
+    auto c2 = cluster.createContainer("gpu", 4.0);
+    ASSERT_TRUE(c1 && c2);
+    cluster.setDemand(*c1, 1.0);
+    cluster.setDemand(*c2, 1.0);
+    // The GPU container (whichever landed on node 1) at full GPU
+    // utilization draws 10 W total.
+    cop::ContainerId gpu_c =
+        cluster.container(*c1).node == 1 ? *c1 : *c2;
+    cluster.setGpuUtil(gpu_c, 1.0);
+    EXPECT_NEAR(eco.getContainerPower(gpu_c), 10.0, 1e-9);
+    eco.settleTick(0, 3600);
+    // App power = 5 (CPU node) + 10 (GPU node).
+    EXPECT_NEAR(eco.ves("gpu").lastSettlement().demand_w, 15.0, 1e-9);
+}
+
+TEST(EcovisorEdge, BatteryShareExactlyAtPhysicalLimitAccepted)
+{
+    Rig rig;
+    AppShareConfig share;
+    energy::BatteryConfig b; // defaults = the full physical bank
+    share.battery = b;
+    EXPECT_NO_THROW(rig.eco.addApp("whole-bank", share));
+}
+
+TEST(EcovisorEdge, SolarOnlyAppNeverTouchesGrid)
+{
+    Rig rig;
+    AppShareConfig share;
+    share.solar_fraction = 1.0;
+    share.grid_max_w = 0.001; // effectively no grid
+    rig.eco.addApp("solar-only", share);
+    auto id = rig.cluster.createContainer("solar-only", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0); // 5 W vs 100 W of solar
+    rig.eco.settleTick(0, 3600);
+    EXPECT_NEAR(rig.eco.ves("solar-only").totalCarbonG(), 0.0, 1e-6);
+    EXPECT_NEAR(rig.eco.ves("solar-only").lastSettlement().solar_used_w,
+                5.0, 1e-9);
+}
+
+TEST(EcovisorEdge, TelemetryCanBeDisabled)
+{
+    carbon::TraceCarbonSignal signal({{0, 100.0}});
+    energy::GridConnection grid(&signal);
+    cop::Cluster cluster(1, power::ServerPowerConfig{});
+    energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
+    EcovisorOptions opts;
+    opts.record_telemetry = false;
+    Ecovisor eco(&cluster, &phys, opts);
+    eco.addApp("a", AppShareConfig{});
+    for (TimeS t = 0; t < 600; t += 60)
+        eco.settleTick(t, 60);
+    EXPECT_EQ(eco.db().seriesCount(), 0u);
+}
+
+TEST(EcovisorEdge, NonPositiveTickIsFatal)
+{
+    Rig rig;
+    EXPECT_THROW(rig.eco.settleTick(0, 0), FatalError);
+    EXPECT_THROW(rig.eco.settleTick(0, -60), FatalError);
+}
+
+} // namespace
+} // namespace ecov::core

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Ecovisor tests: Table 1 API semantics, share validation,
+ * multiplexing invariants, telemetry, and simulation integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "carbon/carbon_signal.h"
+#include "core/ecovisor.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ecov::core {
+namespace {
+
+/** A full test rig: cluster + energy system + ecovisor. */
+struct Rig
+{
+    carbon::TraceCarbonSignal signal{
+        {{0, 100.0}, {3600, 300.0}, {7200, 50.0}}, 10800};
+    energy::GridConnection grid{&signal};
+    energy::SolarArray solar{
+        {{0, 0.0}, {6 * 3600, 200.0}, {18 * 3600, 0.0}}, 24 * 3600};
+    cop::Cluster cluster{4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
+    energy::PhysicalEnergySystem phys;
+    Ecovisor eco;
+
+    explicit Rig(EcovisorOptions opts = {})
+        : phys(&grid, &solar, energy::BatteryConfig{}),
+          eco(&cluster, &phys, opts)
+    {}
+};
+
+AppShareConfig
+appShare(double solar_fraction, double batt_capacity_wh,
+         double initial_soc = 0.5)
+{
+    AppShareConfig s;
+    s.solar_fraction = solar_fraction;
+    energy::BatteryConfig b;
+    b.capacity_wh = batt_capacity_wh;
+    b.soc_floor = 0.30;
+    b.max_charge_w = batt_capacity_wh / 4.0;  // 0.25C
+    b.max_discharge_w = batt_capacity_wh;     // 1C
+    b.initial_soc = initial_soc;
+    s.battery = b;
+    return s;
+}
+
+TEST(Ecovisor, AppRegistration)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.5, 700.0));
+    rig.eco.addApp("b", appShare(0.5, 700.0));
+    EXPECT_TRUE(rig.eco.hasApp("a"));
+    EXPECT_FALSE(rig.eco.hasApp("c"));
+    auto names = rig.eco.appNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "b");
+    EXPECT_THROW(rig.eco.addApp("a", appShare(0.0, 10.0)), FatalError);
+}
+
+TEST(Ecovisor, ShareOversubscriptionRejected)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.7, 700.0));
+    // Solar beyond 100 %.
+    EXPECT_THROW(rig.eco.addApp("b", appShare(0.4, 100.0)), FatalError);
+    // Battery capacity beyond the 1440 Wh physical bank.
+    EXPECT_THROW(rig.eco.addApp("c", appShare(0.1, 1000.0)),
+                 FatalError);
+}
+
+TEST(Ecovisor, SolarShareWithoutArrayRejected)
+{
+    carbon::TraceCarbonSignal sig({{0, 100.0}});
+    energy::GridConnection grid(&sig);
+    cop::Cluster cluster(1, power::ServerPowerConfig{});
+    energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
+    Ecovisor eco(&cluster, &phys);
+    AppShareConfig s;
+    s.solar_fraction = 0.5;
+    EXPECT_THROW(eco.addApp("a", s), FatalError);
+    // Battery share without a bank.
+    AppShareConfig s2;
+    s2.battery = energy::BatteryConfig{};
+    EXPECT_THROW(eco.addApp("b", s2), FatalError);
+}
+
+TEST(Ecovisor, GetSolarPowerSplitsByFraction)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.25, 360.0));
+    rig.eco.addApp("b", appShare(0.75, 1080.0));
+    // Before any settlement, time 0: solar is 0 at midnight.
+    EXPECT_DOUBLE_EQ(rig.eco.getSolarPower("a"), 0.0);
+    // Settle up to 6 h (solar turns on at 200 W).
+    rig.eco.settleTick(6 * 3600 - 60, 60);
+    EXPECT_DOUBLE_EQ(rig.eco.getSolarPower("a"), 50.0);
+    EXPECT_DOUBLE_EQ(rig.eco.getSolarPower("b"), 150.0);
+}
+
+TEST(Ecovisor, GridCarbonTracksSignal)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(1.0, 1440.0));
+    EXPECT_DOUBLE_EQ(rig.eco.getGridCarbon(), 100.0);
+    rig.eco.settleTick(3600 - 60, 60);
+    // Next tick starts at 3600 where intensity is 300.
+    EXPECT_DOUBLE_EQ(rig.eco.getGridCarbon(), 300.0);
+}
+
+TEST(Ecovisor, ContainerPowercapTranslatesToUtilization)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(1.0, 1440.0));
+    auto id = rig.cluster.createContainer("a", 1.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    EXPECT_NEAR(rig.eco.getContainerPower(*id), 1.25, 1e-9);
+    EXPECT_TRUE(std::isinf(rig.eco.getContainerPowercap(*id)));
+
+    rig.eco.setContainerPowercap(*id, 0.8);
+    EXPECT_DOUBLE_EQ(rig.eco.getContainerPowercap(*id), 0.8);
+    EXPECT_NEAR(rig.eco.getContainerPower(*id), 0.8, 1e-9);
+
+    // Removing the cap restores full power.
+    rig.eco.setContainerPowercap(*id, kUnlimitedW);
+    EXPECT_NEAR(rig.eco.getContainerPower(*id), 1.25, 1e-9);
+}
+
+TEST(Ecovisor, PowercapReappliedAfterVerticalScale)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(1.0, 1440.0));
+    auto id = rig.cluster.createContainer("a", 1.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.eco.setContainerPowercap(*id, 1.0);
+    // Vertical scale changes the core allocation; the cap must be
+    // re-derived at the next settlement.
+    rig.cluster.setCores(*id, 2.0);
+    rig.eco.settleTick(0, 60);
+    EXPECT_NEAR(rig.eco.getContainerPower(*id), 1.0, 1e-6);
+}
+
+TEST(Ecovisor, SettlementChargesAppsForGridPower)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.0, 360.0, 0.30));
+    auto id = rig.cluster.createContainer("a", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.eco.settleTick(0, 3600);
+    // 5 W for 1 h at 100 g/kWh: 0.5 g. Battery is at its floor, no
+    // solar share, so everything came from the grid.
+    EXPECT_NEAR(rig.eco.getGridPower("a"), 5.0, 1e-9);
+    EXPECT_NEAR(rig.eco.ves("a").totalCarbonG(), 0.5, 1e-9);
+    // Global meter agrees.
+    EXPECT_NEAR(rig.grid.totalCarbonG(), 0.5, 1e-9);
+}
+
+TEST(Ecovisor, BatteryChargeAndDischargeSettings)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.0, 360.0, 0.5));
+    rig.eco.setBatteryChargeRate("a", 90.0);
+    rig.eco.settleTick(0, 3600);
+    // 90 Wh stored from the grid (rate limit is 90 W at 0.25C).
+    EXPECT_NEAR(rig.eco.getBatteryChargeLevel("a"), 180.0 + 90.0, 1e-9);
+
+    // Now discharge: cap the rate and add load.
+    rig.eco.setBatteryChargeRate("a", 0.0);
+    rig.eco.setBatteryMaxDischarge("a", 3.0);
+    auto id = rig.cluster.createContainer("a", 4.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.eco.settleTick(3600, 3600);
+    EXPECT_NEAR(rig.eco.getBatteryDischargeRate("a"), 3.0, 1e-9);
+    // Residual 2 W came from the grid.
+    EXPECT_NEAR(rig.eco.getGridPower("a"), 2.0, 1e-9);
+}
+
+TEST(Ecovisor, AggregateBatteryNeverExceedsPhysicalLimits)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.5, 720.0, 1.0));
+    rig.eco.addApp("b", appShare(0.5, 720.0, 1.0));
+    rig.eco.setBatteryMaxDischarge("a", 720.0);
+    rig.eco.setBatteryMaxDischarge("b", 720.0);
+    // Aggregate virtual level mirrors into the physical bank.
+    rig.eco.settleTick(0, 60);
+    EXPECT_NEAR(rig.eco.aggregateBatteryWh(), 1440.0, 1e-6);
+    EXPECT_NEAR(rig.phys.battery().energyWh(), 1440.0, 1e-6);
+    // Virtual rate limits are shares of the physical 1C rate: the sum
+    // of what both apps could discharge stays within the physical cap.
+    double max_sum = rig.eco.ves("a").battery().config().max_discharge_w +
+                     rig.eco.ves("b").battery().config().max_discharge_w;
+    EXPECT_LE(max_sum, rig.phys.battery().config().max_discharge_w + 1e-9);
+}
+
+TEST(Ecovisor, UnownedSolarIsCurtailedByDefault)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.25, 1440.0, 1.0)); // battery full
+    // At 7 h solar is 200 W; app owns 50 W, rest is unowned.
+    rig.eco.settleTick(7 * 3600, 3600);
+    // 150 W unowned + 50 W owned-but-full = 200 W curtailed for 1 h.
+    EXPECT_NEAR(rig.eco.curtailedWh(), 200.0, 1e-6);
+}
+
+TEST(Ecovisor, NetMeterPolicyExportsExcess)
+{
+    EcovisorOptions opts;
+    opts.excess_solar = ExcessSolarPolicy::NetMeter;
+    Rig rig(opts);
+    rig.eco.addApp("a", appShare(1.0, 1440.0, 1.0));
+    rig.eco.settleTick(7 * 3600, 3600);
+    EXPECT_NEAR(rig.eco.netMeteredWh(), 200.0, 1e-6);
+    EXPECT_DOUBLE_EQ(rig.eco.curtailedWh(), 0.0);
+}
+
+TEST(Ecovisor, RedistributePolicyFillsOtherBatteries)
+{
+    EcovisorOptions opts;
+    opts.excess_solar = ExcessSolarPolicy::Redistribute;
+    Rig rig(opts);
+    rig.eco.addApp("full", appShare(1.0, 720.0, 1.0));
+    rig.eco.addApp("hungry", appShare(0.0, 720.0, 0.5));
+    rig.eco.settleTick(7 * 3600, 3600);
+    // "full" cannot store its 200 W excess; "hungry" absorbs up to its
+    // 180 W charge limit; the 20 W remainder is curtailed.
+    EXPECT_NEAR(rig.eco.ves("hungry").battery().energyWh(),
+                360.0 + 180.0, 1e-6);
+    EXPECT_NEAR(rig.eco.curtailedWh(), 20.0, 1e-6);
+}
+
+TEST(Ecovisor, TickCallbackDispatch)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(1.0, 1440.0));
+    int calls = 0;
+    rig.eco.registerTickCallback("a", [&](TimeS, TimeS) { ++calls; });
+    rig.eco.dispatchTickCallbacks(0, 60);
+    rig.eco.dispatchTickCallbacks(60, 60);
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(Ecovisor, AttachDrivesCallbacksAndSettlement)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(1.0, 1440.0));
+    sim::Simulation simul(60);
+    rig.eco.attach(simul);
+    int ticks = 0;
+    rig.eco.registerTickCallback("a", [&](TimeS, TimeS) { ++ticks; });
+    simul.runTicks(10);
+    EXPECT_EQ(ticks, 10);
+    EXPECT_EQ(rig.eco.lastSettledTick(), 9 * 60);
+    // Telemetry recorded one sample per tick.
+    EXPECT_EQ(rig.eco.db().series("grid_carbon").size(), 10u);
+    EXPECT_EQ(rig.eco.db().series("app_power_w", "a").size(), 10u);
+}
+
+TEST(Ecovisor, GettersSeeCurrentTickOnOffsetStart)
+{
+    // A simulation starting mid-day must expose that tick's signals
+    // on the very first policy-phase read, not midnight's.
+    Rig rig;
+    rig.eco.addApp("a", appShare(1.0, 1440.0));
+    sim::Simulation simul(60, 7 * 3600);
+    rig.eco.attach(simul);
+    double first_solar = -1.0, first_carbon = -1.0;
+    simul.addListener(
+        [&](TimeS, TimeS) {
+            if (first_solar < 0.0) {
+                first_solar = rig.eco.getSolarPower("a");
+                first_carbon = rig.eco.getGridCarbon();
+            }
+        },
+        sim::TickPhase::Policy);
+    simul.step();
+    EXPECT_DOUBLE_EQ(first_solar, 200.0); // solar is up at 7 am
+    // 7 h mod the 3 h signal period = 3600 -> 300 g/kWh.
+    EXPECT_DOUBLE_EQ(first_carbon, 300.0);
+}
+
+TEST(Ecovisor, TelemetryRecordsPerContainerSeries)
+{
+    Rig rig;
+    rig.eco.addApp("a", appShare(0.0, 360.0, 0.30));
+    auto id = rig.cluster.createContainer("a", 1.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 1.0);
+    rig.eco.settleTick(0, 60);
+    EXPECT_TRUE(rig.eco.db().has("container_power_w",
+                                 std::to_string(*id)));
+    EXPECT_TRUE(rig.eco.db().has("container_carbon_g",
+                                 std::to_string(*id)));
+}
+
+TEST(Ecovisor, UnknownAppOrContainerIsFatal)
+{
+    Rig rig;
+    EXPECT_THROW(rig.eco.getSolarPower("nope"), FatalError);
+    EXPECT_THROW(rig.eco.setBatteryChargeRate("nope", 1.0), FatalError);
+    EXPECT_THROW(rig.eco.setContainerPowercap(42, 1.0), FatalError);
+    EXPECT_THROW(rig.eco.registerTickCallback("nope", [](TimeS, TimeS) {}),
+                 FatalError);
+}
+
+TEST(Ecovisor, NullDependenciesFatal)
+{
+    Rig rig;
+    EXPECT_THROW(Ecovisor(nullptr, &rig.phys), FatalError);
+    EXPECT_THROW(Ecovisor(&rig.cluster, nullptr), FatalError);
+}
+
+/**
+ * Property: across random apps/loads, per-app carbon sums to the
+ * global grid meter and energy books balance.
+ */
+class MultiplexAccounting : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MultiplexAccounting, PerAppSumsMatchGlobalMeters)
+{
+    Rig rig;
+    Rng rng(GetParam());
+    rig.eco.addApp("a", appShare(0.3, 400.0, rng.uniform(0.3, 1.0)));
+    rig.eco.addApp("b", appShare(0.3, 400.0, rng.uniform(0.3, 1.0)));
+    rig.eco.addApp("c", appShare(0.4, 600.0, rng.uniform(0.3, 1.0)));
+
+    std::vector<cop::ContainerId> ids;
+    for (int i = 0; i < 9; ++i) {
+        auto id = rig.cluster.createContainer(
+            std::string(1, static_cast<char>('a' + i % 3)), 1.0);
+        ASSERT_TRUE(id);
+        ids.push_back(*id);
+    }
+
+    TimeS t = 0;
+    for (int tick = 0; tick < 500; ++tick) {
+        for (auto id : ids)
+            rig.cluster.setDemand(id, rng.uniform(0.0, 1.0));
+        if (rng.bernoulli(0.1)) {
+            rig.eco.setBatteryChargeRate("a", rng.uniform(0.0, 100.0));
+            rig.eco.setBatteryMaxDischarge("b", rng.uniform(0.0, 400.0));
+        }
+        rig.eco.settleTick(t, 60);
+        t += 60;
+    }
+
+    double app_carbon = 0.0, app_grid_wh = 0.0;
+    for (const auto &name : rig.eco.appNames()) {
+        app_carbon += rig.eco.ves(name).totalCarbonG();
+        app_grid_wh += rig.eco.ves(name).totalGridWh();
+    }
+    EXPECT_NEAR(app_carbon, rig.grid.totalCarbonG(), 1e-6);
+    EXPECT_NEAR(app_grid_wh, rig.grid.totalEnergyWh(), 1e-6);
+    // The physical battery mirrors the aggregate of virtual ones.
+    EXPECT_NEAR(rig.phys.battery().energyWh(),
+                rig.eco.aggregateBatteryWh(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiplexAccounting,
+                         ::testing::Values(1, 7, 42, 1001));
+
+} // namespace
+} // namespace ecov::core

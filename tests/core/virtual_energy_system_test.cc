@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Virtual energy system tests: the Section 3.1 settlement ordering
+ * (solar -> battery -> grid), carbon attribution, and the
+ * energy-conservation invariant under random operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/virtual_energy_system.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ecov::core {
+namespace {
+
+energy::BatteryConfig
+smallBattery(double initial_soc = 0.5)
+{
+    energy::BatteryConfig cfg;
+    cfg.capacity_wh = 100.0;
+    cfg.soc_floor = 0.30;
+    cfg.max_charge_w = 50.0;
+    cfg.max_discharge_w = 100.0;
+    cfg.initial_soc = initial_soc;
+    return cfg;
+}
+
+AppShareConfig
+shareWithBattery(double initial_soc = 0.5)
+{
+    AppShareConfig s;
+    s.solar_fraction = 0.5;
+    s.battery = smallBattery(initial_soc);
+    return s;
+}
+
+TEST(VirtualEnergySystem, SolarFirstServesDemand)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    // Demand 10 W, solar 30 W: all demand from solar.
+    const auto &s = v.settle(10.0, 30.0, 200.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.solar_used_w, 10.0);
+    EXPECT_DOUBLE_EQ(s.batt_discharge_w, 0.0);
+    EXPECT_DOUBLE_EQ(s.grid_to_demand_w, 0.0);
+    EXPECT_DOUBLE_EQ(s.carbon_g, 0.0);
+}
+
+TEST(VirtualEnergySystem, ExcessSolarChargesBattery)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    const auto &s = v.settle(10.0, 30.0, 200.0, 0, 60);
+    // 20 W excess, well under the 50 W charge limit: all stored.
+    EXPECT_DOUBLE_EQ(s.batt_charge_solar_w, 20.0);
+    EXPECT_DOUBLE_EQ(s.curtailed_w, 0.0);
+    EXPECT_NEAR(v.battery().energyWh(), 50.0 + energyWh(20.0, 60),
+                1e-9);
+}
+
+TEST(VirtualEnergySystem, ExcessBeyondChargeRateIsCurtailed)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    // 90 W excess but the battery accepts at most 50 W.
+    const auto &s = v.settle(10.0, 100.0, 200.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.batt_charge_solar_w, 50.0);
+    EXPECT_DOUBLE_EQ(s.curtailed_w, 40.0);
+}
+
+TEST(VirtualEnergySystem, FullBatteryCurtailsAllExcess)
+{
+    VirtualEnergySystem v("app", shareWithBattery(1.0));
+    const auto &s = v.settle(0.0, 60.0, 200.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.batt_charge_solar_w, 0.0);
+    EXPECT_DOUBLE_EQ(s.curtailed_w, 60.0);
+}
+
+TEST(VirtualEnergySystem, DeficitUsesBatteryThenGrid)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    v.setMaxDischargeW(15.0);
+    // Demand 100 W, solar 20 W: deficit 80 W -> 15 W battery, 65 grid.
+    const auto &s = v.settle(100.0, 20.0, 300.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.solar_used_w, 20.0);
+    EXPECT_DOUBLE_EQ(s.batt_discharge_w, 15.0);
+    EXPECT_DOUBLE_EQ(s.grid_to_demand_w, 65.0);
+    // Carbon: 65 W for 60 s at 300 g/kWh.
+    EXPECT_NEAR(s.carbon_g, carbonGrams(energyWh(65.0, 60), 300.0),
+                1e-12);
+}
+
+TEST(VirtualEnergySystem, EmptyBatteryFallsThroughToGrid)
+{
+    VirtualEnergySystem v("app", shareWithBattery(0.30));
+    const auto &s = v.settle(50.0, 0.0, 100.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.batt_discharge_w, 0.0);
+    EXPECT_DOUBLE_EQ(s.grid_to_demand_w, 50.0);
+}
+
+TEST(VirtualEnergySystem, GridSupplementsChargeRate)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    v.setChargeRateW(40.0);
+    // Demand 0, solar 10 W: excess 10 W + 30 W grid supplement.
+    const auto &s = v.settle(0.0, 10.0, 250.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.batt_charge_solar_w, 10.0);
+    EXPECT_DOUBLE_EQ(s.batt_charge_grid_w, 30.0);
+    EXPECT_DOUBLE_EQ(s.grid_w, 30.0);
+    // Grid charging carries carbon (the paper's attribution rule).
+    EXPECT_NEAR(s.carbon_g, carbonGrams(energyWh(30.0, 60), 250.0),
+                1e-12);
+}
+
+TEST(VirtualEnergySystem, CarbonArbitragePureGridCharge)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    v.setChargeRateW(50.0);
+    // No solar, no demand: charge from the grid at the set rate.
+    const auto &s = v.settle(0.0, 0.0, 50.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.batt_charge_grid_w, 50.0);
+    EXPECT_GT(s.carbon_g, 0.0);
+}
+
+TEST(VirtualEnergySystem, NoGridChargeWhileDischarging)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    v.setChargeRateW(50.0);
+    v.setMaxDischargeW(100.0);
+    // Deficit tick: battery discharges; the grid supplement is
+    // suppressed (it would just round-trip energy).
+    const auto &s = v.settle(60.0, 0.0, 100.0, 0, 60);
+    EXPECT_GT(s.batt_discharge_w, 0.0);
+    EXPECT_DOUBLE_EQ(s.batt_charge_grid_w, 0.0);
+}
+
+TEST(VirtualEnergySystem, NoBatteryShareStillWorks)
+{
+    AppShareConfig share;
+    share.solar_fraction = 1.0;
+    VirtualEnergySystem v("app", share);
+    EXPECT_FALSE(v.hasBattery());
+    const auto &s = v.settle(50.0, 30.0, 200.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.solar_used_w, 30.0);
+    EXPECT_DOUBLE_EQ(s.grid_to_demand_w, 20.0);
+    EXPECT_DOUBLE_EQ(s.curtailed_w, 0.0);
+    EXPECT_THROW(v.battery(), FatalError);
+}
+
+TEST(VirtualEnergySystem, GridShareLimitShedsChargeFirst)
+{
+    AppShareConfig share = shareWithBattery();
+    share.grid_max_w = 20.0;
+    VirtualEnergySystem v("app", share);
+    v.setChargeRateW(50.0);
+    // No solar, no demand: wants 50 W of grid charge, only 20 allowed.
+    const auto &s = v.settle(0.0, 0.0, 100.0, 0, 60);
+    EXPECT_DOUBLE_EQ(s.grid_w, 20.0);
+    EXPECT_DOUBLE_EQ(s.batt_charge_grid_w, 20.0);
+}
+
+TEST(VirtualEnergySystem, CumulativeMetersAccumulate)
+{
+    // Disable the battery path so demand is pure grid.
+    AppShareConfig share;
+    share.solar_fraction = 0.0;
+    VirtualEnergySystem v("app", share);
+    v.settle(100.0, 0.0, 100.0, 0, 3600);
+    v.settle(100.0, 0.0, 100.0, 3600, 3600);
+    EXPECT_NEAR(v.totalEnergyWh(), 200.0, 1e-9);
+    EXPECT_NEAR(v.totalGridWh(), 200.0, 1e-9);
+    // 0.2 kWh at 100 g/kWh = 20 g.
+    EXPECT_NEAR(v.totalCarbonG(), 20.0, 1e-9);
+    EXPECT_DOUBLE_EQ(v.totalSolarWh(), 0.0);
+    EXPECT_DOUBLE_EQ(v.totalCurtailedWh(), 0.0);
+}
+
+TEST(VirtualEnergySystem, RedistributionRespectsTickChargeLimit)
+{
+    // The 0.25C-style charge limit applies to the whole tick, not per
+    // call: settlement charged 30 W of own excess, so redistribution
+    // may add at most 20 W more against the 50 W limit.
+    VirtualEnergySystem v("app", shareWithBattery());
+    v.settle(0.0, 30.0, 200.0, 0, 60);
+    EXPECT_DOUBLE_EQ(v.absorbRedistributedSolar(100.0, 60), 20.0);
+    // A second offer within the same tick is fully rejected.
+    EXPECT_DOUBLE_EQ(v.absorbRedistributedSolar(100.0, 60), 0.0);
+}
+
+TEST(VirtualEnergySystem, RedistributedSolarAbsorption)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    double took = v.absorbRedistributedSolar(30.0, 60);
+    EXPECT_DOUBLE_EQ(took, 30.0);
+    // Without a battery nothing can be absorbed.
+    AppShareConfig share;
+    share.solar_fraction = 0.0;
+    VirtualEnergySystem nb("nb", share);
+    EXPECT_DOUBLE_EQ(nb.absorbRedistributedSolar(30.0, 60), 0.0);
+}
+
+TEST(VirtualEnergySystem, InvalidInputsFatal)
+{
+    VirtualEnergySystem v("app", shareWithBattery());
+    EXPECT_THROW(v.settle(-1.0, 0.0, 100.0, 0, 60), FatalError);
+    EXPECT_THROW(v.settle(0.0, -1.0, 100.0, 0, 60), FatalError);
+    EXPECT_THROW(v.settle(0.0, 0.0, 100.0, 0, 0), FatalError);
+    EXPECT_THROW(v.setChargeRateW(-1.0), FatalError);
+    EXPECT_THROW(v.setMaxDischargeW(-1.0), FatalError);
+    AppShareConfig bad;
+    bad.solar_fraction = 1.5;
+    EXPECT_THROW(VirtualEnergySystem("x", bad), FatalError);
+}
+
+/**
+ * Property (the paper's physics): the virtual energy system is
+ * energy-conserving every tick —
+ *   demand == solar_used + battery_discharge + grid_to_demand
+ *   solar  == solar_used + battery_solar_charge + curtailed
+ *   grid   == grid_to_demand + battery_grid_charge
+ * and the battery's energy delta matches the settled flows.
+ */
+class EnergyConservation : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EnergyConservation, HoldsUnderRandomOperation)
+{
+    Rng rng(GetParam());
+    AppShareConfig share = shareWithBattery(rng.uniform(0.3, 1.0));
+    VirtualEnergySystem v("app", share);
+
+    TimeS t = 0;
+    for (int i = 0; i < 3000; ++i) {
+        TimeS dt = rng.uniformInt(1, 300);
+        if (rng.bernoulli(0.2))
+            v.setChargeRateW(rng.uniform(0.0, 80.0));
+        if (rng.bernoulli(0.2))
+            v.setMaxDischargeW(rng.uniform(0.0, 120.0));
+
+        double before_wh = v.battery().energyWh();
+        double demand = rng.uniform(0.0, 150.0);
+        double solar = rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 120.0);
+        double intensity = rng.uniform(20.0, 400.0);
+        const auto &s = v.settle(demand, solar, intensity, t, dt);
+
+        // Demand balance.
+        EXPECT_NEAR(s.demand_w,
+                    s.solar_used_w + s.batt_discharge_w +
+                        s.grid_to_demand_w,
+                    1e-9);
+        // Solar balance.
+        EXPECT_NEAR(s.solar_w,
+                    s.solar_used_w + s.batt_charge_solar_w +
+                        s.curtailed_w,
+                    1e-9);
+        // Grid balance.
+        EXPECT_NEAR(s.grid_w, s.grid_to_demand_w + s.batt_charge_grid_w,
+                    1e-9);
+        // Battery ledger.
+        double delta_wh =
+            energyWh(s.batt_charge_solar_w + s.batt_charge_grid_w, dt) *
+                v.battery().config().efficiency -
+            energyWh(s.batt_discharge_w, dt);
+        EXPECT_NEAR(v.battery().energyWh() - before_wh, delta_wh, 1e-6);
+        // Carbon equals grid energy times intensity.
+        EXPECT_NEAR(s.carbon_g,
+                    carbonGrams(energyWh(s.grid_w, dt), intensity),
+                    1e-9);
+        // No negative flows, ever.
+        EXPECT_GE(s.solar_used_w, 0.0);
+        EXPECT_GE(s.batt_discharge_w, 0.0);
+        EXPECT_GE(s.grid_w, 0.0);
+        EXPECT_GE(s.curtailed_w, 0.0);
+        t += dt;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnergyConservation,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42,
+                                           99, 1234));
+
+} // namespace
+} // namespace ecov::core

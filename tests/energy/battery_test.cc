@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Battery model tests: the paper's charge-controller semantics
+ * (SOC floor, 0.25C charge / 1C discharge limits) plus property
+ * sweeps over random operation sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/battery.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ecov::energy {
+namespace {
+
+/** The paper's battery bank (Section 4). */
+BatteryConfig
+paperConfig()
+{
+    BatteryConfig cfg;
+    cfg.capacity_wh = 1440.0;
+    cfg.soc_floor = 0.30;
+    cfg.max_charge_w = 360.0;    // 0.25C
+    cfg.max_discharge_w = 1440.0; // 1C
+    cfg.initial_soc = 0.30;
+    return cfg;
+}
+
+TEST(Battery, InitialState)
+{
+    Battery b(paperConfig());
+    EXPECT_DOUBLE_EQ(b.soc(), 0.30);
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.full());
+    EXPECT_DOUBLE_EQ(b.availableWh(), 0.0);
+    EXPECT_NEAR(b.headroomWh(), 0.70 * 1440.0, 1e-9);
+}
+
+TEST(Battery, ChargeRespectsRateLimit)
+{
+    Battery b(paperConfig());
+    // Ask for 1000 W; only 0.25C = 360 W is accepted.
+    double accepted = b.charge(1000.0, 3600);
+    EXPECT_DOUBLE_EQ(accepted, 360.0);
+    EXPECT_NEAR(b.energyWh(), 0.30 * 1440.0 + 360.0, 1e-9);
+}
+
+TEST(Battery, FourHourFullCharge)
+{
+    // The paper: 0.25C charges the bank to full in 4 hours (from 0).
+    BatteryConfig cfg = paperConfig();
+    cfg.initial_soc = 0.0;
+    Battery b(cfg);
+    for (int h = 0; h < 4; ++h)
+        b.charge(360.0, 3600);
+    EXPECT_NEAR(b.soc(), 1.0, 1e-9);
+    EXPECT_TRUE(b.full());
+}
+
+TEST(Battery, DischargeRespectsRateLimit)
+{
+    BatteryConfig cfg = paperConfig();
+    cfg.initial_soc = 1.0;
+    Battery b(cfg);
+    double delivered = b.discharge(5000.0, 60);
+    EXPECT_DOUBLE_EQ(delivered, 1440.0); // 1C cap
+}
+
+TEST(Battery, DischargeStopsAtSocFloor)
+{
+    BatteryConfig cfg = paperConfig();
+    cfg.initial_soc = 0.35; // 72 Wh above the floor
+    Battery b(cfg);
+    // Request an hour at 100 W; only 72 Wh are available.
+    double delivered = b.discharge(100.0, 3600);
+    EXPECT_NEAR(delivered, 72.0, 1e-9);
+    EXPECT_TRUE(b.empty());
+    EXPECT_NEAR(b.soc(), 0.30, 1e-9);
+    // Further discharge yields nothing.
+    EXPECT_DOUBLE_EQ(b.discharge(100.0, 3600), 0.0);
+}
+
+TEST(Battery, ChargeStopsAtCeiling)
+{
+    BatteryConfig cfg = paperConfig();
+    cfg.initial_soc = 0.99;
+    Battery b(cfg);
+    double accepted = b.charge(360.0, 3600);
+    EXPECT_NEAR(accepted, 0.01 * 1440.0, 1e-9);
+    EXPECT_TRUE(b.full());
+    EXPECT_DOUBLE_EQ(b.charge(360.0, 3600), 0.0);
+}
+
+TEST(Battery, EfficiencyLossOnCharge)
+{
+    BatteryConfig cfg = paperConfig();
+    cfg.efficiency = 0.9;
+    cfg.initial_soc = 0.5;
+    Battery b(cfg);
+    b.charge(100.0, 3600); // 100 Wh in, 90 Wh stored
+    EXPECT_NEAR(b.energyWh(), 0.5 * 1440.0 + 90.0, 1e-9);
+}
+
+TEST(Battery, MaxChargePowerReflectsHeadroom)
+{
+    BatteryConfig cfg = paperConfig();
+    cfg.initial_soc = 0.95;
+    Battery b(cfg);
+    // Headroom 72 Wh over one hour: 72 W < the 360 W rate limit.
+    EXPECT_NEAR(b.maxChargePowerW(3600), 72.0, 1e-9);
+    // Over one minute the rate limit binds instead.
+    EXPECT_DOUBLE_EQ(b.maxChargePowerW(60), 360.0);
+}
+
+TEST(Battery, MaxDischargePowerReflectsAvailable)
+{
+    BatteryConfig cfg = paperConfig();
+    cfg.initial_soc = 0.32; // 28.8 Wh available
+    Battery b(cfg);
+    EXPECT_NEAR(b.maxDischargePowerW(3600), 28.8, 1e-9);
+    EXPECT_DOUBLE_EQ(b.maxDischargePowerW(60), 1440.0);
+}
+
+TEST(Battery, ZeroDurationIsNoop)
+{
+    Battery b(paperConfig());
+    EXPECT_DOUBLE_EQ(b.charge(100.0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(b.discharge(100.0, 0), 0.0);
+}
+
+TEST(Battery, NegativePowerIsFatal)
+{
+    Battery b(paperConfig());
+    EXPECT_THROW(b.charge(-1.0, 60), FatalError);
+    EXPECT_THROW(b.discharge(-1.0, 60), FatalError);
+}
+
+TEST(Battery, InvalidConfigsRejected)
+{
+    BatteryConfig cfg = paperConfig();
+    cfg.capacity_wh = 0.0;
+    EXPECT_THROW(Battery{cfg}, FatalError);
+
+    cfg = paperConfig();
+    cfg.soc_floor = 1.0;
+    EXPECT_THROW(Battery{cfg}, FatalError);
+
+    cfg = paperConfig();
+    cfg.soc_ceiling = 0.2; // below the floor
+    EXPECT_THROW(Battery{cfg}, FatalError);
+
+    cfg = paperConfig();
+    cfg.efficiency = 0.0;
+    EXPECT_THROW(Battery{cfg}, FatalError);
+
+    cfg = paperConfig();
+    cfg.initial_soc = 1.5;
+    EXPECT_THROW(Battery{cfg}, FatalError);
+}
+
+/**
+ * Property: under any random sequence of charge/discharge calls the
+ * SOC stays within [floor-as-empty, ceiling] and energy never appears
+ * from nowhere (conservation against the operation ledger).
+ */
+class BatteryRandomOps : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BatteryRandomOps, InvariantsHold)
+{
+    Rng rng(GetParam());
+    BatteryConfig cfg = paperConfig();
+    cfg.initial_soc = rng.uniform(0.0, 1.0);
+    Battery b(cfg);
+
+    double ledger_wh = b.energyWh();
+    for (int i = 0; i < 2000; ++i) {
+        TimeS dt = rng.uniformInt(1, 600);
+        if (rng.bernoulli(0.5)) {
+            double accepted = b.charge(rng.uniform(0.0, 2000.0), dt);
+            EXPECT_LE(accepted, cfg.max_charge_w + 1e-9);
+            ledger_wh += energyWh(accepted, dt) * cfg.efficiency;
+        } else {
+            double delivered =
+                b.discharge(rng.uniform(0.0, 3000.0), dt);
+            EXPECT_LE(delivered, cfg.max_discharge_w + 1e-9);
+            ledger_wh -= energyWh(delivered, dt);
+        }
+        EXPECT_GE(b.soc(), 0.0);
+        EXPECT_LE(b.soc(), cfg.soc_ceiling + 1e-9);
+        EXPECT_NEAR(b.energyWh(), ledger_wh, 1e-6);
+        // Discharge below the floor is impossible unless we started
+        // below it.
+        if (cfg.initial_soc >= cfg.soc_floor) {
+            EXPECT_GE(b.soc(), cfg.soc_floor - 1e-9);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatteryRandomOps,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace ecov::energy

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Physical energy system composition tests: Section 2's "any subset
+ * of sources" model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "carbon/carbon_signal.h"
+#include "energy/physical_energy_system.h"
+#include "util/logging.h"
+
+namespace ecov::energy {
+namespace {
+
+carbon::TraceCarbonSignal
+signal()
+{
+    return carbon::TraceCarbonSignal({{0, 200.0}});
+}
+
+SolarArray
+array()
+{
+    return SolarArray({{0, 0.0}, {6 * 3600, 300.0}}, 24 * 3600);
+}
+
+TEST(PhysicalEnergySystem, FullComposition)
+{
+    auto sig = signal();
+    GridConnection grid(&sig);
+    auto sol = array();
+    PhysicalEnergySystem sys(&grid, &sol, BatteryConfig{});
+    EXPECT_TRUE(sys.hasGrid());
+    EXPECT_TRUE(sys.hasSolar());
+    EXPECT_TRUE(sys.hasBattery());
+    EXPECT_DOUBLE_EQ(sys.gridCarbonAt(0), 200.0);
+    EXPECT_DOUBLE_EQ(sys.solarPowerAt(7 * 3600), 300.0);
+}
+
+TEST(PhysicalEnergySystem, GridOnlyDatacenter)
+{
+    auto sig = signal();
+    GridConnection grid(&sig);
+    PhysicalEnergySystem sys(&grid, nullptr, std::nullopt);
+    EXPECT_TRUE(sys.hasGrid());
+    EXPECT_FALSE(sys.hasSolar());
+    EXPECT_FALSE(sys.hasBattery());
+    EXPECT_DOUBLE_EQ(sys.solarPowerAt(12 * 3600), 0.0);
+}
+
+TEST(PhysicalEnergySystem, SelfPoweredEdgeSite)
+{
+    auto sol = array();
+    PhysicalEnergySystem sys(nullptr, &sol, BatteryConfig{});
+    EXPECT_FALSE(sys.hasGrid());
+    EXPECT_DOUBLE_EQ(sys.gridCarbonAt(0), 0.0);
+    EXPECT_TRUE(sys.hasBattery());
+}
+
+TEST(PhysicalEnergySystem, BatteryAccessWithoutBatteryIsFatal)
+{
+    auto sig = signal();
+    GridConnection grid(&sig);
+    PhysicalEnergySystem sys(&grid, nullptr, std::nullopt);
+    EXPECT_THROW(sys.battery(), FatalError);
+}
+
+TEST(PhysicalEnergySystem, NoSourcesIsFatal)
+{
+    EXPECT_THROW(PhysicalEnergySystem(nullptr, nullptr, std::nullopt),
+                 FatalError);
+}
+
+TEST(PhysicalEnergySystem, BatteryIsLive)
+{
+    auto sig = signal();
+    GridConnection grid(&sig);
+    BatteryConfig cfg;
+    cfg.initial_soc = 0.5;
+    PhysicalEnergySystem sys(&grid, nullptr, cfg);
+    double before = sys.battery().energyWh();
+    sys.battery().charge(100.0, 3600);
+    EXPECT_GT(sys.battery().energyWh(), before);
+}
+
+} // namespace
+} // namespace ecov::energy

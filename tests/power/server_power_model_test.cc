@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Server power model tests, parameterized with the paper's
+ * microserver numbers (1.35 W idle, 5 W CPU-peak, 10 W with GPU).
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/server_power_model.h"
+#include "util/logging.h"
+
+namespace ecov::power {
+namespace {
+
+ServerPowerConfig
+microserver()
+{
+    return ServerPowerConfig{4, 1.35, 5.0, 0.0};
+}
+
+ServerPowerConfig
+gpuMicroserver()
+{
+    return ServerPowerConfig{4, 1.35, 5.0, 5.0};
+}
+
+TEST(ServerPowerModel, PaperEndpoints)
+{
+    ServerPowerModel m(microserver());
+    EXPECT_DOUBLE_EQ(m.nodePowerW(0.0), 1.35);   // idle
+    EXPECT_DOUBLE_EQ(m.nodePowerW(4.0), 5.0);    // 100 % CPU
+    ServerPowerModel g(gpuMicroserver());
+    EXPECT_DOUBLE_EQ(g.nodePowerW(4.0, 1.0), 10.0); // CPU + GPU flat out
+}
+
+TEST(ServerPowerModel, LinearInUtilization)
+{
+    ServerPowerModel m(microserver());
+    double half = m.nodePowerW(2.0);
+    EXPECT_NEAR(half, (1.35 + 5.0) / 2.0, 1e-9);
+}
+
+TEST(ServerPowerModel, UtilizationClamped)
+{
+    ServerPowerModel m(microserver());
+    EXPECT_DOUBLE_EQ(m.nodePowerW(100.0), 5.0);
+    EXPECT_DOUBLE_EQ(m.nodePowerW(-3.0), 1.35);
+}
+
+TEST(ServerPowerModel, ContainerAttributionSumsToNode)
+{
+    ServerPowerModel m(microserver());
+    // Four 1-core containers at identical utilization account for the
+    // entire node power.
+    for (double util : {0.0, 0.25, 0.5, 1.0}) {
+        double total = 4.0 * m.containerPowerW(1.0, util);
+        EXPECT_NEAR(total, m.nodePowerW(4.0 * util), 1e-9);
+    }
+}
+
+TEST(ServerPowerModel, IdleShareProportionalToCores)
+{
+    ServerPowerModel m(microserver());
+    EXPECT_NEAR(m.containerPowerW(2.0, 0.0),
+                2.0 * m.containerPowerW(1.0, 0.0), 1e-9);
+    EXPECT_NEAR(m.containerPowerW(1.0, 0.0), 1.35 / 4.0, 1e-9);
+}
+
+TEST(ServerPowerModel, CapInversionRoundTrips)
+{
+    ServerPowerModel m(microserver());
+    for (double cap_w : {0.5, 0.8, 1.0, 1.2}) {
+        double util = m.utilizationForCap(1.0, cap_w);
+        if (util > 0.0 && util < 1.0) {
+            // At the derived utilization, power equals the cap.
+            EXPECT_NEAR(m.containerPowerW(1.0, util), cap_w, 1e-9);
+        }
+    }
+}
+
+TEST(ServerPowerModel, CapBelowIdleShareGivesZeroUtil)
+{
+    ServerPowerModel m(microserver());
+    // Idle share of one core is 0.3375 W; a lower cap cannot be met
+    // by throttling, so utilization goes to zero.
+    EXPECT_DOUBLE_EQ(m.utilizationForCap(1.0, 0.1), 0.0);
+}
+
+TEST(ServerPowerModel, CapAboveMaxIsUnconstraining)
+{
+    ServerPowerModel m(microserver());
+    EXPECT_DOUBLE_EQ(m.utilizationForCap(1.0, 100.0), 1.0);
+    EXPECT_NEAR(m.maxContainerPowerW(1.0), 1.25, 1e-9);
+}
+
+TEST(ServerPowerModel, GpuTermAdds)
+{
+    ServerPowerModel g(gpuMicroserver());
+    EXPECT_NEAR(g.containerPowerW(1.0, 1.0, 1.0),
+                g.containerPowerW(1.0, 1.0, 0.0) + 5.0, 1e-9);
+}
+
+TEST(ServerPowerModel, InvalidConfigsRejected)
+{
+    ServerPowerConfig c = microserver();
+    c.cores = 0;
+    EXPECT_THROW(ServerPowerModel{c}, FatalError);
+    c = microserver();
+    c.idle_w = -1.0;
+    EXPECT_THROW(ServerPowerModel{c}, FatalError);
+    c = microserver();
+    c.cpu_peak_w = 1.0; // below idle
+    EXPECT_THROW(ServerPowerModel{c}, FatalError);
+}
+
+/** Property: the cap inverse is monotone non-decreasing in the cap. */
+class CapMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CapMonotonicity, InverseIsMonotone)
+{
+    ServerPowerModel m(microserver());
+    double cores = GetParam();
+    double prev = -1.0;
+    for (double cap_w = 0.0; cap_w <= 6.0; cap_w += 0.05) {
+        double util = m.utilizationForCap(cores, cap_w);
+        EXPECT_GE(util, prev);
+        EXPECT_GE(util, 0.0);
+        EXPECT_LE(util, 1.0);
+        prev = util;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CapMonotonicity,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+} // namespace
+} // namespace ecov::power

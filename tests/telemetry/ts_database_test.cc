@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Multi-series database tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "telemetry/ts_database.h"
+
+namespace ecov::ts {
+namespace {
+
+TEST(TsDatabase, WriteCreatesSeries)
+{
+    TsDatabase db;
+    EXPECT_FALSE(db.has("power", "app1"));
+    db.write("power", "app1", 0, 5.0);
+    EXPECT_TRUE(db.has("power", "app1"));
+    EXPECT_EQ(db.seriesCount(), 1u);
+}
+
+TEST(TsDatabase, UnknownSeriesIsEmptyNotFatal)
+{
+    TsDatabase db;
+    const TimeSeries &s = db.series("nope", "nothing");
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.integrateWh(0, 1000), 0.0);
+}
+
+TEST(TsDatabase, TagsSeparateSeries)
+{
+    TsDatabase db;
+    db.write("power", "app1", 0, 5.0);
+    db.write("power", "app2", 0, 7.0);
+    EXPECT_DOUBLE_EQ(db.series("power", "app1").last(), 5.0);
+    EXPECT_DOUBLE_EQ(db.series("power", "app2").last(), 7.0);
+    EXPECT_EQ(db.seriesCount(), 2u);
+}
+
+TEST(TsDatabase, MeasurementsSeparateSeries)
+{
+    TsDatabase db;
+    db.write("power", "x", 0, 1.0);
+    db.write("carbon", "x", 0, 2.0);
+    EXPECT_DOUBLE_EQ(db.series("power", "x").last(), 1.0);
+    EXPECT_DOUBLE_EQ(db.series("carbon", "x").last(), 2.0);
+}
+
+TEST(TsDatabase, KeysAreSortedAndComplete)
+{
+    TsDatabase db;
+    db.write("b", "2", 0, 0.0);
+    db.write("a", "1", 0, 0.0);
+    db.write("a", "2", 0, 0.0);
+    auto keys = db.keys();
+    ASSERT_EQ(keys.size(), 3u);
+    EXPECT_EQ(keys[0].measurement, "a");
+    EXPECT_EQ(keys[0].tag, "1");
+    EXPECT_EQ(keys[1].measurement, "a");
+    EXPECT_EQ(keys[1].tag, "2");
+    EXPECT_EQ(keys[2].measurement, "b");
+}
+
+TEST(TsDatabase, ClearDropsEverything)
+{
+    TsDatabase db;
+    db.write("m", "t", 0, 1.0);
+    db.clear();
+    EXPECT_EQ(db.seriesCount(), 0u);
+    EXPECT_FALSE(db.has("m", "t"));
+}
+
+TEST(TsDatabase, DefaultTagIsEmptyString)
+{
+    TsDatabase db;
+    db.write("grid_carbon", "", 0, 250.0);
+    EXPECT_TRUE(db.has("grid_carbon"));
+    EXPECT_DOUBLE_EQ(db.series("grid_carbon").last(), 250.0);
+}
+
+TEST(TsDatabase, AppendsAccumulate)
+{
+    TsDatabase db;
+    for (TimeS t = 0; t < 600; t += 60)
+        db.write("power", "a", t, static_cast<double>(t));
+    EXPECT_EQ(db.series("power", "a").size(), 10u);
+}
+
+} // namespace
+} // namespace ecov::ts

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * CSV trace I/O tests, including carbon/solar loader round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "carbon/trace_io.h"
+#include "energy/trace_io.h"
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace ecov {
+namespace {
+
+/** Write `content` to a temp file; returns its path. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &content)
+        : path_("/tmp/ecov_csv_test_" +
+                std::to_string(counter_++) + ".csv")
+    {
+        std::ofstream out(path_);
+        out << content;
+    }
+
+    ~TempFile() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    static int counter_;
+    std::string path_;
+};
+
+int TempFile::counter_ = 0;
+
+TEST(ReadTimeValueCsv, ParsesWithHeader)
+{
+    TempFile f("time_s,value\n0,1.5\n300,2.5\n600,3.5\n");
+    auto rows = readTimeValueCsv(f.path());
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].first, 0);
+    EXPECT_DOUBLE_EQ(rows[0].second, 1.5);
+    EXPECT_EQ(rows[2].first, 600);
+    EXPECT_DOUBLE_EQ(rows[2].second, 3.5);
+}
+
+TEST(ReadTimeValueCsv, ParsesWithoutHeader)
+{
+    TempFile f("0,10\n60,20\n");
+    auto rows = readTimeValueCsv(f.path());
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(rows[1].second, 20.0);
+}
+
+TEST(ReadTimeValueCsv, SkipsBlankLines)
+{
+    TempFile f("t,v\n0,1\n\n60,2\n");
+    EXPECT_EQ(readTimeValueCsv(f.path()).size(), 2u);
+}
+
+TEST(ReadTimeValueCsv, Errors)
+{
+    EXPECT_THROW(readTimeValueCsv("/nonexistent/file.csv"), FatalError);
+    TempFile empty("header_only\n");
+    EXPECT_THROW(readTimeValueCsv(empty.path()), FatalError);
+    TempFile malformed("0,1\nnot-a-number,2\n");
+    EXPECT_THROW(readTimeValueCsv(malformed.path()), FatalError);
+    TempFile decreasing("600,1\n0,2\n");
+    EXPECT_THROW(readTimeValueCsv(decreasing.path()), FatalError);
+}
+
+TEST(WriteTimeValueCsv, RoundTrips)
+{
+    std::string path = "/tmp/ecov_csv_test_rt.csv";
+    writeTimeValueCsv(path, "watts", {{0, 1.25}, {300, 2.5}});
+    auto rows = readTimeValueCsv(path);
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(rows[1].second, 2.5);
+    std::remove(path.c_str());
+}
+
+TEST(CarbonTraceIo, LoadAndQuery)
+{
+    TempFile f("time_s,gco2\n0,100\n300,200\n600,150\n");
+    auto sig = carbon::loadCarbonTraceCsv(f.path());
+    EXPECT_DOUBLE_EQ(sig.intensityAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(sig.intensityAt(450), 200.0);
+    EXPECT_DOUBLE_EQ(sig.intensityAt(10000), 150.0); // holds
+}
+
+TEST(CarbonTraceIo, RejectsNegativeIntensity)
+{
+    TempFile f("0,100\n300,-5\n");
+    EXPECT_THROW(carbon::loadCarbonTraceCsv(f.path()), FatalError);
+}
+
+TEST(CarbonTraceIo, SaveLoadRoundTrip)
+{
+    auto orig = carbon::TraceCarbonSignal(
+        {{0, 123.25}, {300, 456.5}, {600, 78.0}});
+    std::string path = "/tmp/ecov_csv_test_carbon_rt.csv";
+    carbon::saveCarbonTraceCsv(path, orig);
+    auto loaded = carbon::loadCarbonTraceCsv(path);
+    ASSERT_EQ(loaded.points().size(), orig.points().size());
+    for (std::size_t i = 0; i < orig.points().size(); ++i) {
+        EXPECT_DOUBLE_EQ(loaded.points()[i].intensity_g_per_kwh,
+                         orig.points()[i].intensity_g_per_kwh);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SolarTraceIo, LoadWithDerivedPeriod)
+{
+    TempFile f("time_s,watts\n0,0\n300,100\n600,50\n");
+    auto arr = energy::loadSolarTraceCsv(f.path());
+    EXPECT_DOUBLE_EQ(arr.powerAt(400), 100.0);
+    // Derived period: 600 + 300 = 900; wraps after that.
+    EXPECT_DOUBLE_EQ(arr.powerAt(900), 0.0);
+}
+
+TEST(SolarTraceIo, ExplicitPeriodAndNegativeReject)
+{
+    TempFile f("0,10\n300,20\n");
+    auto arr = energy::loadSolarTraceCsv(f.path(), 3600);
+    EXPECT_DOUBLE_EQ(arr.powerAt(3600), 10.0);
+    TempFile bad("0,10\n300,-1\n");
+    EXPECT_THROW(energy::loadSolarTraceCsv(bad.path()), FatalError);
+}
+
+TEST(SolarTraceIo, SaveLoadRoundTrip)
+{
+    energy::SolarTraceConfig cfg;
+    cfg.days = 1;
+    auto orig = energy::makeSolarTrace(cfg, 3);
+    std::string path = "/tmp/ecov_csv_test_solar_rt.csv";
+    energy::saveSolarTraceCsv(path, orig);
+    auto loaded = energy::loadSolarTraceCsv(path, 24 * 3600);
+    for (TimeS t = 0; t < 24 * 3600; t += 1800)
+        EXPECT_NEAR(loaded.powerAt(t), orig.powerAt(t), 1e-6);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ecov

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit-conversion helper tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace ecov {
+namespace {
+
+TEST(Units, WattsKilowattsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(wattsToKw(1500.0), 1.5);
+    EXPECT_DOUBLE_EQ(kwToWatts(1.5), 1500.0);
+    EXPECT_DOUBLE_EQ(kwToWatts(wattsToKw(37.25)), 37.25);
+}
+
+TEST(Units, WhKwhRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(whToKwh(2500.0), 2.5);
+    EXPECT_DOUBLE_EQ(kwhToWh(2.5), 2500.0);
+}
+
+TEST(Units, EnergyOfConstantPower)
+{
+    // 100 W for one hour is 100 Wh.
+    EXPECT_DOUBLE_EQ(energyWh(100.0, 3600), 100.0);
+    // 60 W for one minute is 1 Wh.
+    EXPECT_DOUBLE_EQ(energyWh(60.0, 60), 1.0);
+    // Zero power integrates to zero.
+    EXPECT_DOUBLE_EQ(energyWh(0.0, 3600), 0.0);
+}
+
+TEST(Units, PowerFromEnergy)
+{
+    EXPECT_DOUBLE_EQ(powerW(100.0, 3600), 100.0);
+    EXPECT_DOUBLE_EQ(powerW(1.0, 60), 60.0);
+    // energyWh and powerW are inverses.
+    EXPECT_NEAR(powerW(energyWh(123.4, 300), 300), 123.4, 1e-12);
+}
+
+TEST(Units, CarbonAttribution)
+{
+    // 1 kWh at 200 g/kWh emits 200 g.
+    EXPECT_DOUBLE_EQ(carbonGrams(1000.0, 200.0), 200.0);
+    // Half a kWh at 300 g/kWh emits 150 g.
+    EXPECT_DOUBLE_EQ(carbonGrams(500.0, 300.0), 150.0);
+    // Zero-carbon grid attributes nothing.
+    EXPECT_DOUBLE_EQ(carbonGrams(500.0, 0.0), 0.0);
+}
+
+TEST(Units, Clamp)
+{
+    EXPECT_DOUBLE_EQ(clamp(5.0, 0.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(clamp(-5.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(clamp(0.0, 0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(clamp(1.0, 0.0, 1.0), 1.0);
+}
+
+TEST(Units, NearlyEqual)
+{
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(nearlyEqual(1.0, 1.1));
+    EXPECT_TRUE(nearlyEqual(1.0, 1.05, 0.1));
+}
+
+/** Property sweep: energy integration is linear in power and time. */
+class EnergyLinearity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EnergyLinearity, ScalesWithPower)
+{
+    double p = GetParam();
+    EXPECT_NEAR(energyWh(2.0 * p, 600), 2.0 * energyWh(p, 600), 1e-9);
+    EXPECT_NEAR(energyWh(p, 1200), 2.0 * energyWh(p, 600), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnergyLinearity,
+                         ::testing::Values(0.0, 0.5, 1.35, 5.0, 100.0,
+                                           1440.0, 1e6));
+
+} // namespace
+} // namespace ecov

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Spark job tests: checkpoint commits, kill-induced work loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "workloads/spark_job.h"
+
+namespace ecov::wl {
+namespace {
+
+cop::Cluster
+makeCluster()
+{
+    return cop::Cluster(8, power::ServerPowerConfig{4, 1.35, 5.0, 0.0});
+}
+
+SparkJobConfig
+config(double work = 3600.0, TimeS checkpoint = 600)
+{
+    SparkJobConfig cfg;
+    cfg.app = "spark";
+    cfg.total_work = work;
+    cfg.checkpoint_interval_s = checkpoint;
+    cfg.max_workers = 16;
+    return cfg;
+}
+
+TEST(SparkJob, StartsWithNoWorkers)
+{
+    auto cluster = makeCluster();
+    SparkJob job(&cluster, config());
+    job.start(0);
+    EXPECT_EQ(job.workers(), 0);
+    EXPECT_DOUBLE_EQ(job.progress(), 0.0);
+}
+
+TEST(SparkJob, WorkCommitsAtCheckpoints)
+{
+    auto cluster = makeCluster();
+    SparkJob job(&cluster, config(10000.0, 600));
+    job.start(0);
+    job.setWorkers(2);
+    // 9 minutes: in-flight only, nothing committed.
+    for (TimeS t = 0; t < 540; t += 60)
+        job.onTick(t, 60);
+    EXPECT_DOUBLE_EQ(job.committedWork(), 0.0);
+    // The 10th minute crosses the checkpoint interval.
+    job.onTick(540, 60);
+    EXPECT_NEAR(job.committedWork(), 2.0 * 600.0, 1e-9);
+}
+
+TEST(SparkJob, KilledWorkersLoseInflightWork)
+{
+    auto cluster = makeCluster();
+    SparkJob job(&cluster, config(100000.0, 600));
+    job.start(0);
+    job.setWorkers(4);
+    for (TimeS t = 0; t < 300; t += 60)
+        job.onTick(t, 60); // 5 min in-flight each
+    job.setWorkers(1); // kill 3 workers before their checkpoint
+    EXPECT_NEAR(job.lostWork(), 3.0 * 300.0, 1e-9);
+    EXPECT_DOUBLE_EQ(job.committedWork(), 0.0);
+}
+
+TEST(SparkJob, SurvivorKeepsItsInflight)
+{
+    auto cluster = makeCluster();
+    SparkJob job(&cluster, config(100000.0, 600));
+    job.start(0);
+    job.setWorkers(2);
+    for (TimeS t = 0; t < 300; t += 60)
+        job.onTick(t, 60);
+    job.setWorkers(1);
+    // Continue to the checkpoint: the survivor commits a full 600 s.
+    for (TimeS t = 300; t < 600; t += 60)
+        job.onTick(t, 60);
+    EXPECT_NEAR(job.committedWork(), 600.0, 1e-9);
+}
+
+TEST(SparkJob, CompletionReleasesWorkers)
+{
+    auto cluster = makeCluster();
+    SparkJob job(&cluster, config(1200.0, 600));
+    job.start(0);
+    job.setWorkers(2);
+    TimeS t = 0;
+    while (!job.done()) {
+        job.onTick(t, 60);
+        t += 60;
+        ASSERT_LT(t, 100000);
+    }
+    EXPECT_EQ(job.workers(), 0);
+    EXPECT_GT(job.completionTime(), 0);
+    EXPECT_GE(job.progress(), 1.0);
+}
+
+TEST(SparkJob, UtilizationCapSlowsAccrual)
+{
+    auto cluster = makeCluster();
+    SparkJob job(&cluster, config(100000.0, 600));
+    job.start(0);
+    job.setWorkers(1);
+    for (auto id : job.containers())
+        cluster.setUtilizationCap(id, 0.5);
+    for (TimeS t = 0; t < 600; t += 60)
+        job.onTick(t, 60);
+    EXPECT_NEAR(job.committedWork(), 300.0, 1e-9);
+}
+
+TEST(SparkJob, MaxWorkersClamped)
+{
+    auto cluster = makeCluster();
+    SparkJobConfig cfg = config();
+    cfg.max_workers = 3;
+    SparkJob job(&cluster, cfg);
+    job.start(0);
+    job.setWorkers(100);
+    EXPECT_EQ(job.workers(), 3);
+    job.setWorkers(-5);
+    EXPECT_EQ(job.workers(), 0);
+}
+
+TEST(SparkJob, InvalidUseFatal)
+{
+    auto cluster = makeCluster();
+    EXPECT_THROW(SparkJob(nullptr, config()), FatalError);
+    SparkJobConfig bad = config();
+    bad.total_work = 0.0;
+    EXPECT_THROW(SparkJob(&cluster, bad), FatalError);
+    SparkJob job(&cluster, config());
+    EXPECT_THROW(job.setWorkers(1), FatalError); // before start
+    job.start(0);
+    EXPECT_THROW(job.start(0), FatalError);
+}
+
+/**
+ * Property: committed + inflight-lost work never exceeds the work a
+ * perfectly reliable pool would have produced.
+ */
+class SparkAccounting : public ::testing::TestWithParam<TimeS>
+{
+};
+
+TEST_P(SparkAccounting, NoWorkInventedByKills)
+{
+    TimeS checkpoint = GetParam();
+    auto cluster = makeCluster();
+    SparkJob job(&cluster, config(1e9, checkpoint));
+    job.start(0);
+    double ideal = 0.0;
+    TimeS t = 0;
+    for (int cycle = 0; cycle < 20; ++cycle) {
+        int n = 1 + cycle % 4;
+        job.setWorkers(n);
+        for (int i = 0; i < 7; ++i) {
+            job.onTick(t, 60);
+            ideal += n * 60.0;
+            t += 60;
+        }
+        job.setWorkers(0); // kill everyone
+    }
+    EXPECT_LE(job.committedWork() + job.lostWork(), ideal + 1e-6);
+    EXPECT_GE(job.committedWork(), 0.0);
+    EXPECT_GE(job.lostWork(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Checkpoints, SparkAccounting,
+                         ::testing::Values(60, 300, 600, 1800));
+
+} // namespace
+} // namespace ecov::wl

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Web application model tests: latency model, SLO accounting,
+ * horizontal scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+#include "workloads/web_application.h"
+
+namespace ecov::wl {
+namespace {
+
+cop::Cluster
+makeCluster()
+{
+    return cop::Cluster(16, power::ServerPowerConfig{4, 1.35, 5.0, 0.0});
+}
+
+WebAppConfig
+config(const std::string &name = "web", double slo = 60.0)
+{
+    WebAppConfig cfg;
+    cfg.app = name;
+    cfg.worker_capacity_rps = 40.0;
+    cfg.base_latency_ms = 20.0;
+    cfg.queue_factor_ms = 14.0;
+    cfg.slo_p95_ms = slo;
+    cfg.max_workers = 32;
+    return cfg;
+}
+
+RequestTrace
+flatTrace(double rps)
+{
+    return RequestTrace({{0, rps}}, 24 * 3600);
+}
+
+TEST(WebApplication, StartAndScale)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(100.0);
+    WebApplication app(&cluster, &trace, config());
+    app.start(4);
+    EXPECT_EQ(app.workers(), 4);
+    app.setWorkers(8);
+    EXPECT_EQ(app.workers(), 8);
+    app.setWorkers(0); // clamped to min_workers
+    EXPECT_EQ(app.workers(), 1);
+    app.setWorkers(1000); // clamped to max_workers
+    EXPECT_EQ(app.workers(), 32);
+}
+
+TEST(WebApplication, LatencyGrowsWithUtilization)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(100.0);
+    WebApplication app(&cluster, &trace, config());
+    // More load on the same workers -> higher p95.
+    double lo = app.predictP95Ms(40.0, 4);
+    double mid = app.predictP95Ms(100.0, 4);
+    double hi = app.predictP95Ms(150.0, 4);
+    EXPECT_LT(lo, mid);
+    EXPECT_LT(mid, hi);
+    // Unloaded latency approaches the base service time.
+    EXPECT_NEAR(app.predictP95Ms(0.0, 4), 20.0, 1e-9);
+}
+
+TEST(WebApplication, OverloadHitsCeiling)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(100.0);
+    WebApplication app(&cluster, &trace, config());
+    double drowned = app.predictP95Ms(10000.0, 1);
+    EXPECT_LE(drowned, app.config().overload_latency_ms + 1e-9);
+    EXPECT_GT(drowned, 200.0);
+    EXPECT_DOUBLE_EQ(app.predictP95Ms(100.0, 0),
+                     app.config().overload_latency_ms);
+}
+
+TEST(WebApplication, WorkersForSloIsSufficientAndTight)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(100.0);
+    WebApplication app(&cluster, &trace, config());
+    for (double load : {20.0, 80.0, 150.0, 400.0}) {
+        int n = app.workersForSlo(load);
+        EXPECT_LE(app.predictP95Ms(load, n), app.config().slo_p95_ms);
+        if (n > app.config().min_workers) {
+            // One fewer worker would violate the SLO.
+            EXPECT_GT(app.predictP95Ms(load, n - 1),
+                      app.config().slo_p95_ms);
+        }
+    }
+}
+
+TEST(WebApplication, OnTickRecordsLatencyAndViolations)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(200.0);
+    WebApplication app(&cluster, &trace, config());
+    app.start(2); // 80 rps capacity for 200 rps offered: overloaded
+    app.onTick(0, 60);
+    EXPECT_GT(app.lastP95Ms(), app.config().slo_p95_ms);
+    EXPECT_EQ(app.sloViolations(), 1);
+    EXPECT_EQ(app.latencyLog().size(), 1u);
+
+    app.setWorkers(10); // plenty
+    app.onTick(60, 60);
+    EXPECT_LE(app.lastP95Ms(), app.config().slo_p95_ms);
+    EXPECT_EQ(app.sloViolations(), 1);
+}
+
+TEST(WebApplication, DemandReflectsLoadShare)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(80.0);
+    WebApplication app(&cluster, &trace, config());
+    app.start(4);
+    app.onTick(0, 60);
+    // 80 rps over 4 workers of 40 rps: demand 0.5 per worker.
+    for (auto id : app.containers())
+        EXPECT_NEAR(cluster.container(id).demand, 0.5, 1e-9);
+    EXPECT_NEAR(app.lastUtilization(), 0.5, 1e-9);
+}
+
+TEST(WebApplication, PowerCapRaisesLatency)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(120.0);
+    WebApplication app(&cluster, &trace, config());
+    app.start(4);
+    app.onTick(0, 60);
+    double uncapped = app.lastP95Ms();
+    // Cap workers to half utilization: capacity halves.
+    for (auto id : app.containers())
+        cluster.setUtilizationCap(id, 0.5);
+    app.onTick(60, 60);
+    EXPECT_GT(app.lastP95Ms(), uncapped);
+}
+
+TEST(WebApplication, InvalidUseFatal)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(10.0);
+    EXPECT_THROW(WebApplication(nullptr, &trace, config()), FatalError);
+    EXPECT_THROW(WebApplication(&cluster, nullptr, config()),
+                 FatalError);
+    WebAppConfig bad = config();
+    bad.worker_capacity_rps = 0.0;
+    EXPECT_THROW(WebApplication(&cluster, &trace, bad), FatalError);
+
+    WebApplication app(&cluster, &trace, config());
+    EXPECT_THROW(app.setWorkers(4), FatalError); // before start
+    app.start(2);
+    EXPECT_THROW(app.start(2), FatalError);
+}
+
+/** Property: workersForSlo is non-decreasing in load. */
+class SloMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SloMonotonicity, MoreLoadNeedsMoreWorkers)
+{
+    auto cluster = makeCluster();
+    auto trace = flatTrace(10.0);
+    WebApplication app(&cluster, &trace, config("web", GetParam()));
+    int prev = 0;
+    for (double load = 0.0; load <= 800.0; load += 40.0) {
+        int n = app.workersForSlo(load);
+        EXPECT_GE(n, prev);
+        prev = n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slos, SloMonotonicity,
+                         ::testing::Values(60.0, 70.0, 100.0));
+
+} // namespace
+} // namespace ecov::wl
