@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verify, as CI runs it: configure with -Werror on the library,
+# build everything, run the full CTest suite. On failure the ctest log
+# is copied to $ECOV_ARTIFACT_DIR (default: ci/artifacts) so the run
+# can be inspected offline.
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${ECOV_BUILD_DIR:-${REPO_ROOT}/build-ci}"
+ARTIFACT_DIR="${ECOV_ARTIFACT_DIR:-${REPO_ROOT}/ci/artifacts}"
+JOBS="${ECOV_JOBS:-$(nproc)}"
+
+upload_log() {
+    mkdir -p "${ARTIFACT_DIR}"
+    local log="${BUILD_DIR}/Testing/Temporary/LastTest.log"
+    if [[ -f "${log}" ]]; then
+        cp "${log}" "${ARTIFACT_DIR}/LastTest.log"
+        echo "ctest log uploaded to ${ARTIFACT_DIR}/LastTest.log" >&2
+    fi
+}
+
+set -e
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DECOV_WERROR=ON
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+set +e
+(cd "${BUILD_DIR}" && ctest --output-on-failure -j "${JOBS}")
+status=$?
+if [[ ${status} -ne 0 ]]; then
+    upload_log
+fi
+exit "${status}"

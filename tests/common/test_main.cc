@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Shared gtest entry point for every ecovisor suite. Keeping a single
+ * main lets suites stay pure TEST() translation units and gives one
+ * place to hook global setup (logging level, locale) later.
+ */
+
+#include <gtest/gtest.h>
+
+int main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -9,25 +9,28 @@
 #include <cmath>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecolib.h"
 #include "util/logging.h"
 
 namespace ecov::core {
 namespace {
 
-struct Rig
+/**
+ * Canonical rig on a 2 h carbon trace (100/400 g/kWh) and a 100 W
+ * solar day, with a single "app" owning everything.
+ */
+struct Rig : testutil::Rig
 {
-    carbon::TraceCarbonSignal signal{
-        {{0, 100.0}, {3600, 400.0}}, 7200};
-    energy::GridConnection grid{&signal};
-    energy::SolarArray solar{
-        {{0, 0.0}, {6 * 3600, 100.0}, {18 * 3600, 0.0}}, 24 * 3600};
-    cop::Cluster cluster{4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys;
-    Ecovisor eco;
-
-    Rig() : phys(&grid, &solar, energy::BatteryConfig{}),
-            eco(&cluster, &phys)
+    Rig()
+        : testutil::Rig([] {
+              testutil::RigOptions o;
+              o.signal_points = {{0, 100.0}, {3600, 400.0}};
+              o.signal_period = 7200;
+              o.solar_points = {
+                  {0, 0.0}, {6 * 3600, 100.0}, {18 * 3600, 0.0}};
+              return o;
+          }())
     {
         AppShareConfig share;
         share.solar_fraction = 1.0;
@@ -36,17 +39,6 @@ struct Rig
         b.initial_soc = 0.5;
         share.battery = b;
         eco.addApp("app", share);
-    }
-
-    /** Run n ticks of dt seconds, dispatching callbacks + settling. */
-    void
-    run(int n, TimeS dt = 60, TimeS start = 0)
-    {
-        for (int i = 0; i < n; ++i) {
-            TimeS t = start + static_cast<TimeS>(i) * dt;
-            eco.dispatchTickCallbacks(t, dt);
-            eco.settleTick(t, dt);
-        }
     }
 };
 

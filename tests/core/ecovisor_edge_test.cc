@@ -10,23 +10,24 @@
 #include <cmath>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecovisor.h"
 #include "util/logging.h"
 
 namespace ecov::core {
 namespace {
 
-struct Rig
+/** Canonical rig with flat traces: 200 g/kWh grid, 100 W solar. */
+struct Rig : testutil::Rig
 {
-    carbon::TraceCarbonSignal signal{{{0, 200.0}}};
-    energy::GridConnection grid{&signal};
-    energy::SolarArray solar{{{0, 100.0}}, 24 * 3600};
-    cop::Cluster cluster{4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys;
-    Ecovisor eco;
-
-    Rig() : phys(&grid, &solar, energy::BatteryConfig{}),
-            eco(&cluster, &phys)
+    Rig()
+        : testutil::Rig([] {
+              testutil::RigOptions o;
+              o.signal_points = {{0, 200.0}};
+              o.signal_period = 0;
+              o.solar_points = {{0, 100.0}};
+              return o;
+          }())
     {}
 };
 

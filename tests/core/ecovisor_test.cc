@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecovisor.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -17,39 +18,10 @@
 namespace ecov::core {
 namespace {
 
-/** A full test rig: cluster + energy system + ecovisor. */
-struct Rig
-{
-    carbon::TraceCarbonSignal signal{
-        {{0, 100.0}, {3600, 300.0}, {7200, 50.0}}, 10800};
-    energy::GridConnection grid{&signal};
-    energy::SolarArray solar{
-        {{0, 0.0}, {6 * 3600, 200.0}, {18 * 3600, 0.0}}, 24 * 3600};
-    cop::Cluster cluster{4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys;
-    Ecovisor eco;
-
-    explicit Rig(EcovisorOptions opts = {})
-        : phys(&grid, &solar, energy::BatteryConfig{}),
-          eco(&cluster, &phys, opts)
-    {}
-};
-
-AppShareConfig
-appShare(double solar_fraction, double batt_capacity_wh,
-         double initial_soc = 0.5)
-{
-    AppShareConfig s;
-    s.solar_fraction = solar_fraction;
-    energy::BatteryConfig b;
-    b.capacity_wh = batt_capacity_wh;
-    b.soc_floor = 0.30;
-    b.max_charge_w = batt_capacity_wh / 4.0;  // 0.25C
-    b.max_discharge_w = batt_capacity_wh;     // 1C
-    b.initial_soc = initial_soc;
-    s.battery = b;
-    return s;
-}
+// Canonical rig (trace signal + grid + solar + 4-node cluster) and the
+// 0.25C/1C share helper come from the shared fixture header.
+using testutil::Rig;
+using testutil::appShare;
 
 TEST(Ecovisor, AppRegistration)
 {

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecovisor.h"
 #include "policies/battery_policies.h"
 #include "util/logging.h"
@@ -14,19 +15,22 @@
 namespace ecov::policy {
 namespace {
 
-struct Rig
+/**
+ * Canonical rig on a flat 200 g/kWh grid, a 40 W solar plateau from
+ * 6 h to 18 h, and a 32-node cluster; one "app" owns everything.
+ */
+struct Rig : testutil::Rig
 {
-    carbon::TraceCarbonSignal signal{{{0, 200.0}}};
-    energy::GridConnection grid{&signal};
-    // 40 W plateau from 6 h to 18 h, dark otherwise.
-    energy::SolarArray solar{
-        {{0, 0.0}, {6 * 3600, 40.0}, {18 * 3600, 0.0}}, 24 * 3600};
-    cop::Cluster cluster{32, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys;
-    core::Ecovisor eco;
-
-    Rig() : phys(&grid, &solar, energy::BatteryConfig{}),
-            eco(&cluster, &phys)
+    Rig()
+        : testutil::Rig([] {
+              testutil::RigOptions o;
+              o.signal_points = {{0, 200.0}};
+              o.signal_period = 0;
+              o.solar_points = {
+                  {0, 0.0}, {6 * 3600, 40.0}, {18 * 3600, 0.0}};
+              o.nodes = 32;
+              return o;
+          }())
     {
         core::AppShareConfig share;
         share.solar_fraction = 1.0;

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecovisor.h"
 #include "policies/carbon_arbitrage.h"
 #include "util/logging.h"
@@ -16,18 +17,16 @@ namespace ecov::policy {
 namespace {
 
 /** Carbon alternates clean (100) / dirty (300) every hour. */
-struct Rig
+struct Rig : testutil::Rig
 {
-    carbon::TraceCarbonSignal signal{
-        {{0, 100.0}, {3600, 300.0}}, 7200};
-    energy::GridConnection grid{&signal};
-    cop::Cluster cluster{4, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys;
-    core::Ecovisor eco;
-
     explicit Rig(double efficiency = 1.0)
-        : phys(&grid, nullptr, energy::BatteryConfig{}),
-          eco(&cluster, &phys)
+        : testutil::Rig([] {
+              testutil::RigOptions o;
+              o.signal_points = {{0, 100.0}, {3600, 300.0}};
+              o.signal_period = 7200;
+              o.use_solar = false;
+              return o;
+          }())
     {
         core::AppShareConfig share;
         energy::BatteryConfig b;

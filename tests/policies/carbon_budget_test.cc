@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecovisor.h"
 #include "policies/carbon_budget.h"
 #include "util/logging.h"
@@ -15,17 +16,19 @@
 namespace ecov::policy {
 namespace {
 
-struct Rig
+/** 32-node grid-only rig (no solar, no bank) driven by `sig`. */
+struct Rig : testutil::Rig
 {
-    carbon::TraceCarbonSignal signal;
-    energy::GridConnection grid;
-    cop::Cluster cluster{32, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys;
-    core::Ecovisor eco;
-
     explicit Rig(carbon::TraceCarbonSignal sig)
-        : signal(std::move(sig)), grid(&signal),
-          phys(&grid, nullptr, std::nullopt), eco(&cluster, &phys)
+        : testutil::Rig([&] {
+              testutil::RigOptions o;
+              o.signal_points = sig.points();
+              o.signal_period = sig.period();
+              o.use_solar = false;
+              o.nodes = 32;
+              o.physical_battery = std::nullopt;
+              return o;
+          }())
     {
         core::AppShareConfig share;
         eco.addApp("web", share);

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecovisor.h"
 #include "policies/carbon_reduction.h"
 #include "util/logging.h"
@@ -18,16 +19,18 @@ namespace ecov::policy {
 namespace {
 
 /** Carbon alternates low (100) / high (300) every hour. */
-struct Rig
+struct Rig : testutil::Rig
 {
-    carbon::TraceCarbonSignal signal{
-        {{0, 100.0}, {3600, 300.0}}, 7200};
-    energy::GridConnection grid{&signal};
-    cop::Cluster cluster{16, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys{&grid, nullptr, std::nullopt};
-    core::Ecovisor eco{&cluster, &phys};
-
     Rig()
+        : testutil::Rig([] {
+              testutil::RigOptions o;
+              o.signal_points = {{0, 100.0}, {3600, 300.0}};
+              o.signal_period = 7200;
+              o.use_solar = false;
+              o.nodes = 16;
+              o.physical_battery = std::nullopt;
+              return o;
+          }())
     {
         core::AppShareConfig share; // grid-only app
         eco.addApp("job", share);

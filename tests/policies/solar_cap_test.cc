@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "carbon/carbon_signal.h"
+#include "common/rig.h"
 #include "core/ecovisor.h"
 #include "policies/solar_cap.h"
 #include "util/logging.h"
@@ -14,18 +15,22 @@
 namespace ecov::policy {
 namespace {
 
-struct Rig
+/**
+ * Canonical rig: flat 200 g/kWh grid, constant configurable solar,
+ * 24-node cluster, no battery bank; app "par" owns all solar.
+ */
+struct Rig : testutil::Rig
 {
-    carbon::TraceCarbonSignal signal{{{0, 200.0}}};
-    energy::GridConnection grid{&signal};
-    energy::SolarArray solar; // constant output, configurable
-    cop::Cluster cluster{24, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}};
-    energy::PhysicalEnergySystem phys;
-    core::Ecovisor eco;
-
     explicit Rig(double solar_w)
-        : solar({{0, solar_w}}, 24 * 3600),
-          phys(&grid, &solar, std::nullopt), eco(&cluster, &phys)
+        : testutil::Rig([&] {
+              testutil::RigOptions o;
+              o.signal_points = {{0, 200.0}};
+              o.signal_period = 0;
+              o.solar_points = {{0, solar_w}};
+              o.nodes = 24;
+              o.physical_battery = std::nullopt;
+              return o;
+          }())
     {
         core::AppShareConfig share;
         share.solar_fraction = 1.0;
