@@ -1,0 +1,286 @@
+#include "common/bench_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace ecov::bench {
+
+namespace {
+
+/** Relative delta in percent with a guarded denominator. */
+double
+relativeDeltaPct(double baseline, double current, double eps)
+{
+    const double denom = std::max(std::fabs(baseline), eps);
+    return 100.0 * std::fabs(current - baseline) / denom;
+}
+
+/** Scenario entries keyed by name; malformed entries are skipped. */
+std::map<std::string, const JsonValue *>
+scenarioIndex(const JsonValue &report)
+{
+    std::map<std::string, const JsonValue *> out;
+    const JsonValue *arr = report.find("scenarios");
+    if (!arr || !arr->isArray())
+        return out;
+    for (const auto &entry : arr->asArray()) {
+        std::string name = entry.stringOr("name", "");
+        if (!name.empty())
+            out.emplace(std::move(name), &entry);
+    }
+    return out;
+}
+
+/**
+ * Compare one metric section ("metrics" or "perf") of a scenario
+ * pair, appending to the result according to the section's policy.
+ */
+void
+diffSection(const std::string &scenario, const JsonValue &base_entry,
+            const JsonValue &cur_entry, const char *section, bool perf,
+            const DiffOptions &opt, DiffResult *result)
+{
+    const JsonValue *base_sec = base_entry.find(section);
+    const JsonValue *cur_sec = cur_entry.find(section);
+    static const JsonValue::Object empty;
+    const auto &base_map =
+        base_sec && base_sec->isObject() ? base_sec->asObject() : empty;
+    const auto &cur_map =
+        cur_sec && cur_sec->isObject() ? cur_sec->asObject() : empty;
+
+    const double tol = perf ? opt.perf_tolerance_pct : opt.tolerance_pct;
+    const bool enforce = !perf || opt.perf_tolerance_pct >= 0.0;
+
+    for (const auto &[name, base_val] : base_map) {
+        if (!base_val.isNumber()) {
+            // A NaN metric serializes as null; if that ever reaches a
+            // baseline, the gate would silently narrow. Warn so the
+            // unhealthy baseline gets regenerated.
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::NonNumeric;
+            e.perf = perf;
+            e.scenario = scenario;
+            e.metric = name;
+            result->warnings.push_back(std::move(e));
+            continue;
+        }
+        auto it = cur_map.find(name);
+        DiffEntry e;
+        e.perf = perf;
+        e.scenario = scenario;
+        e.metric = name;
+        e.baseline = base_val.asDouble();
+        // When perf enforcement is requested, perf metrics follow the
+        // same structural rules as domain metrics.
+        if (it == cur_map.end()) {
+            e.kind = DiffEntry::Kind::MissingMetric;
+            if (enforce)
+                result->regressions.push_back(std::move(e));
+            else
+                result->warnings.push_back(std::move(e));
+            continue;
+        }
+        if (!it->second.isNumber()) {
+            // Present but e.g. null (a NaN at generation): point the
+            // investigator at the value, not at a dropped metric.
+            e.kind = DiffEntry::Kind::NonNumeric;
+            e.current_side = true;
+            if (enforce)
+                result->regressions.push_back(std::move(e));
+            else
+                result->warnings.push_back(std::move(e));
+            continue;
+        }
+        e.current = it->second.asDouble();
+        if (std::fabs(e.current - e.baseline) <= opt.abs_epsilon)
+            continue; // bit-equal or within absolute slack: silent
+        e.kind = DiffEntry::Kind::Changed;
+        e.delta_pct =
+            relativeDeltaPct(e.baseline, e.current, opt.abs_epsilon);
+        if (enforce && e.delta_pct > tol)
+            result->regressions.push_back(std::move(e));
+        else if (perf && !enforce)
+            result->warnings.push_back(std::move(e));
+        else
+            result->infos.push_back(std::move(e));
+    }
+    for (const auto &[name, cur_val] : cur_map) {
+        if (base_map.count(name))
+            continue;
+        DiffEntry e;
+        e.kind = DiffEntry::Kind::AddedMetric;
+        e.perf = perf;
+        e.scenario = scenario;
+        e.metric = name;
+        e.current = cur_val.isNumber() ? cur_val.asDouble() : 0.0;
+        result->infos.push_back(std::move(e));
+    }
+}
+
+} // namespace
+
+std::string
+DiffEntry::describe() const
+{
+    char buf[256];
+    const char *sec = perf ? "perf" : "metric";
+    switch (kind) {
+      case Kind::SchemaMismatch:
+        if (scenario.empty())
+            std::snprintf(buf, sizeof buf,
+                          "report header mismatch: %s", metric.c_str());
+        else
+            std::snprintf(buf, sizeof buf,
+                          "%s: config mismatch: %s — reports are not "
+                          "comparable",
+                          scenario.c_str(), metric.c_str());
+        break;
+      case Kind::MissingScenario:
+        std::snprintf(buf, sizeof buf,
+                      "scenario %s missing from current report",
+                      scenario.c_str());
+        break;
+      case Kind::AddedScenario:
+        std::snprintf(buf, sizeof buf,
+                      "scenario %s is new in current report",
+                      scenario.c_str());
+        break;
+      case Kind::MissingMetric:
+        std::snprintf(buf, sizeof buf, "%s: %s %s missing from current",
+                      scenario.c_str(), sec, metric.c_str());
+        break;
+      case Kind::AddedMetric:
+        std::snprintf(buf, sizeof buf, "%s: %s %s is new (%g)",
+                      scenario.c_str(), sec, metric.c_str(), current);
+        break;
+      case Kind::Changed:
+        std::snprintf(buf, sizeof buf,
+                      "%s: %s %s drifted %.3f%% (%g -> %g)",
+                      scenario.c_str(), sec, metric.c_str(), delta_pct,
+                      baseline, current);
+        break;
+      case Kind::NonNumeric:
+        std::snprintf(buf, sizeof buf,
+                      "%s: %s %s %s is non-numeric (NaN at "
+                      "generation?) — not compared; fix the producing "
+                      "run",
+                      scenario.c_str(),
+                      current_side ? "current" : "baseline", sec,
+                      metric.c_str());
+        break;
+    }
+    return buf;
+}
+
+DiffResult
+diffReports(const JsonValue &baseline, const JsonValue &current,
+            const DiffOptions &options)
+{
+    DiffResult result;
+
+    // Reports are only comparable when produced under the same run
+    // configuration; a drifting header is itself a regression.
+    // `figures` matters because figure printing happens inside the
+    // timed runner and skews perf numbers.
+    for (const char *field :
+         {"schema_version", "horizon", "tick_s", "figures"}) {
+        const JsonValue *b = baseline.find(field);
+        const JsonValue *c = current.find(field);
+        auto render = [](const JsonValue *v) -> std::string {
+            if (!v)
+                return "<absent>";
+            if (v->isNumber())
+                return JsonWriter::formatDouble(v->asDouble());
+            if (v->isString())
+                return v->asString();
+            if (v->isBool())
+                return v->asBool() ? "true" : "false";
+            return "<non-scalar>";
+        };
+        if (render(b) != render(c)) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::SchemaMismatch;
+            e.metric = std::string(field) + " " + render(b) +
+                       " vs " + render(c);
+            result.regressions.push_back(std::move(e));
+        }
+    }
+
+    auto base_idx = scenarioIndex(baseline);
+    auto cur_idx = scenarioIndex(current);
+
+    for (const auto &[name, base_entry] : base_idx) {
+        auto it = cur_idx.find(name);
+        if (it == cur_idx.end()) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::MissingScenario;
+            e.scenario = name;
+            result.regressions.push_back(std::move(e));
+            continue;
+        }
+        // Different seeds mean different experiments: flag the config
+        // drift itself instead of burying it under dozens of metric
+        // "regressions".
+        const double b_seed = base_entry->numberOr("seed", -1.0);
+        const double c_seed = it->second->numberOr("seed", -1.0);
+        if (b_seed != c_seed) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::SchemaMismatch;
+            e.scenario = name;
+            e.metric = "seed " + JsonWriter::formatDouble(b_seed) +
+                       " vs " + JsonWriter::formatDouble(c_seed);
+            result.regressions.push_back(std::move(e));
+            continue; // metric deltas would be pure seed noise
+        }
+        diffSection(name, *base_entry, *it->second, "metrics", false,
+                    options, &result);
+        diffSection(name, *base_entry, *it->second, "perf", true,
+                    options, &result);
+        // Tick counts are deterministic for a fixed configuration;
+        // compare them as an exact domain value. Absence is handled
+        // explicitly so a sentinel never masquerades as a measurement.
+        const JsonValue *b_ticks = base_entry->find("ticks");
+        const JsonValue *c_ticks = it->second->find("ticks");
+        const bool b_has = b_ticks && b_ticks->isNumber();
+        const bool c_has = c_ticks && c_ticks->isNumber();
+        if (b_has && !c_has) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::MissingMetric;
+            e.scenario = name;
+            e.metric = "ticks";
+            e.baseline = b_ticks->asDouble();
+            result.regressions.push_back(std::move(e));
+        } else if (!b_has && c_has) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::AddedMetric;
+            e.scenario = name;
+            e.metric = "ticks";
+            e.current = c_ticks->asDouble();
+            result.infos.push_back(std::move(e));
+        } else if (b_has && c_has &&
+                   b_ticks->asDouble() != c_ticks->asDouble()) {
+            DiffEntry e;
+            e.scenario = name;
+            e.metric = "ticks";
+            e.baseline = b_ticks->asDouble();
+            e.current = c_ticks->asDouble();
+            e.delta_pct = relativeDeltaPct(e.baseline, e.current,
+                                           options.abs_epsilon);
+            result.regressions.push_back(std::move(e));
+        }
+    }
+    for (const auto &[name, entry] : cur_idx) {
+        (void)entry;
+        if (!base_idx.count(name)) {
+            DiffEntry e;
+            e.kind = DiffEntry::Kind::AddedScenario;
+            e.scenario = name;
+            result.infos.push_back(std::move(e));
+        }
+    }
+    return result;
+}
+
+} // namespace ecov::bench

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Regression diffing for ecobench JSON reports.
+ *
+ * `ecobench diff baseline.json current.json` compares two reports
+ * produced by `ecobench run --format=json`. Domain metrics are
+ * compared against a relative tolerance and produce *regressions*
+ * (non-zero exit); perf metrics (wall-clock derived) vary by host and
+ * only *warn* unless a separate perf tolerance is given. Keeping this
+ * in C++ means CI regression checking needs no extra runtime.
+ */
+
+#ifndef ECOV_BENCH_COMMON_BENCH_DIFF_H
+#define ECOV_BENCH_COMMON_BENCH_DIFF_H
+
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ecov::bench {
+
+/** Tolerances for diffReports(). Percentages are relative. */
+struct DiffOptions
+{
+    /** Max relative drift for domain metrics, in percent. */
+    double tolerance_pct = 0.1;
+    /**
+     * Max relative drift for perf metrics, in percent. Negative
+     * disables perf checking (perf deltas are reported as info only).
+     */
+    double perf_tolerance_pct = -1.0;
+    /**
+     * Absolute slack: deltas no larger than this never count,
+     * regardless of relative size (guards near-zero baselines).
+     */
+    double abs_epsilon = 1e-9;
+};
+
+/** One compared value. */
+struct DiffEntry
+{
+    enum class Kind
+    {
+        Changed,        ///< value drifted beyond tolerance
+        MissingScenario,///< scenario in baseline, absent from current
+        MissingMetric,  ///< metric in baseline, absent from current
+        AddedScenario,  ///< new scenario (informational)
+        AddedMetric,    ///< new metric (informational)
+        SchemaMismatch, ///< schema_version/horizon/tick disagree
+        NonNumeric,     ///< baseline value is not a number (e.g. a
+                        ///< NaN metric serialized as null) — the
+                        ///< comparison cannot cover it
+    };
+
+    Kind kind = Kind::Changed;
+    bool perf = false;         ///< true when from the "perf" section
+    bool current_side = false; ///< NonNumeric: offending side
+    std::string scenario;
+    std::string metric;
+    double baseline = 0.0;
+    double current = 0.0;
+    double delta_pct = 0.0;  ///< 100 * |cur - base| / max(|base|, eps)
+
+    std::string describe() const;
+};
+
+/** Outcome of a report comparison. */
+struct DiffResult
+{
+    std::vector<DiffEntry> regressions; ///< fail the diff
+    std::vector<DiffEntry> warnings;    ///< perf drift (no perf tol.)
+    std::vector<DiffEntry> infos;       ///< additions, in-tolerance drift
+
+    bool ok() const { return regressions.empty(); }
+};
+
+/**
+ * Compare two parsed ecobench reports.
+ *
+ * Regressions: schema/horizon/tick mismatches, scenarios or domain
+ * metrics that disappeared, domain metrics drifting beyond
+ * `tolerance_pct`, and — when `perf_tolerance_pct` >= 0 — perf
+ * metrics drifting beyond it.
+ */
+DiffResult diffReports(const JsonValue &baseline,
+                       const JsonValue &current,
+                       const DiffOptions &options);
+
+} // namespace ecov::bench
+
+#endif // ECOV_BENCH_COMMON_BENCH_DIFF_H

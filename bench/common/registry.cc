@@ -1,0 +1,155 @@
+#include "common/registry.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sim/simulation.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace ecov::bench {
+
+bool
+parseHorizon(const std::string &s, Horizon *out)
+{
+    if (s == "full") {
+        *out = Horizon::Full;
+        return true;
+    }
+    if (s == "short") {
+        *out = Horizon::Short;
+        return true;
+    }
+    return false;
+}
+
+const char *
+horizonName(Horizon h)
+{
+    return h == Horizon::Full ? "full" : "short";
+}
+
+ScenarioRegistry &
+ScenarioRegistry::instance()
+{
+    static ScenarioRegistry registry;
+    return registry;
+}
+
+void
+ScenarioRegistry::add(Scenario s)
+{
+    if (s.name.empty() || !s.run)
+        fatal("ScenarioRegistry::add: scenario needs a name and runner");
+    if (find(s.name))
+        fatal("ScenarioRegistry::add: duplicate scenario " + s.name);
+    scenarios_.push_back(std::move(s));
+}
+
+const Scenario *
+ScenarioRegistry::find(const std::string &name) const
+{
+    for (const auto &s : scenarios_)
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+std::vector<const Scenario *>
+ScenarioRegistry::all() const
+{
+    std::vector<const Scenario *> out;
+    out.reserve(scenarios_.size());
+    for (const auto &s : scenarios_)
+        out.push_back(&s);
+    std::sort(out.begin(), out.end(),
+              [](const Scenario *a, const Scenario *b) {
+                  return a->name < b->name;
+              });
+    return out;
+}
+
+std::vector<ParamSpec>
+commonParamSpecs()
+{
+    return {
+        {"seed", "deterministic RNG seed for traces and arrivals",
+         "per-scenario"},
+        {"horizon", "experiment scale: full (paper) or short (CI)",
+         "full"},
+        {"tick", "simulation tick length in seconds", "60"},
+    };
+}
+
+ScenarioReport
+runScenario(const Scenario &scenario, const ScenarioOptions &opts)
+{
+    ScenarioReport report;
+    report.name = scenario.name;
+    report.seed = opts.seed;
+
+    const std::uint64_t ticks_before = sim::Simulation::globalTickCount();
+    const auto wall_start = std::chrono::steady_clock::now();
+    report.outcome = scenario.run(opts);
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    report.ticks = sim::Simulation::globalTickCount() - ticks_before;
+    report.wall_time_s =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    report.ticks_per_sec =
+        report.wall_time_s > 0.0
+            ? static_cast<double>(report.ticks) / report.wall_time_s
+            : 0.0;
+    return report;
+}
+
+std::string
+reportsToJson(const std::vector<ScenarioReport> &reports,
+              Horizon horizon, TimeS tick_s, bool figures)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema_version");
+    w.value(std::int64_t{1});
+    w.key("horizon");
+    w.value(horizonName(horizon));
+    w.key("tick_s");
+    w.value(static_cast<std::int64_t>(tick_s));
+    w.key("figures");
+    w.value(figures);
+    w.key("scenarios");
+    w.beginArray();
+    for (const auto &r : reports) {
+        w.beginObject();
+        w.key("name");
+        w.value(r.name);
+        w.key("seed");
+        w.value(r.seed);
+        w.key("ticks");
+        w.value(r.ticks);
+        w.key("metrics");
+        w.beginObject();
+        for (const auto &m : r.outcome.metrics) {
+            w.key(m.name);
+            w.value(m.value);
+        }
+        w.endObject();
+        w.key("perf");
+        w.beginObject();
+        w.key("wall_time_s");
+        w.value(r.wall_time_s);
+        w.key("ticks_per_sec");
+        w.value(r.ticks_per_sec);
+        for (const auto &m : r.outcome.perf) {
+            w.key(m.name);
+            w.value(m.value);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace ecov::bench

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The ecobench scenario registry.
+ *
+ * Every paper-figure reproduction, ablation, and microbenchmark
+ * registers itself here as a named scenario: a description, a small
+ * parameter schema, and a runner that returns structured metrics.
+ * The `ecobench` CLI is a thin shell over this registry (`list`,
+ * `run <name|all>`, `diff`); the former standalone `fig*` binaries
+ * are now registrations compiled into it.
+ *
+ * Scenario runners are deterministic functions of their options:
+ * same seed + horizon + tick => identical domain metrics. That is
+ * what makes the checked-in BENCH_baseline.json diffable in CI.
+ */
+
+#ifndef ECOV_BENCH_COMMON_REGISTRY_H
+#define ECOV_BENCH_COMMON_REGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+
+namespace ecov::bench {
+
+/** Horizon preset: paper-scale or CI-smoke-scale. */
+enum class Horizon
+{
+    Full, ///< the paper's experiment lengths
+    Short ///< reduced traces/repeats for CI smoke runs
+};
+
+/** Parse "full"/"short"; returns false on anything else. */
+bool parseHorizon(const std::string &s, Horizon *out);
+
+/** "full" or "short". */
+const char *horizonName(Horizon h);
+
+/** Options every scenario runner receives. */
+struct ScenarioOptions
+{
+    std::uint64_t seed = 0;      ///< filled with the scenario default
+    Horizon horizon = Horizon::Full;
+    TimeS tick_s = 60;           ///< simulation tick length
+    bool print_figures = false;  ///< emit the human figure output
+};
+
+/**
+ * One named measurement produced by a scenario.
+ *
+ * Domain metrics (carbon_g, runtime_s, p95 latency, SLO violations,
+ * ...) are deterministic and participate in `ecobench diff`
+ * regression checks. Perf metrics (wall-clock derived) vary by host
+ * and are compared warn-only.
+ */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+};
+
+/** What a scenario runner returns. */
+struct ScenarioOutcome
+{
+    std::vector<Metric> metrics; ///< deterministic domain metrics
+    std::vector<Metric> perf;    ///< host-dependent (ns/op, ...)
+
+    void metric(std::string name, double value)
+    {
+        metrics.push_back({std::move(name), value});
+    }
+    void perfMetric(std::string name, double value)
+    {
+        perf.push_back({std::move(name), value});
+    }
+};
+
+/** One entry in a scenario's parameter schema (for `list`). */
+struct ParamSpec
+{
+    std::string name;
+    std::string description;
+    std::string default_value;
+};
+
+/** A registered scenario. */
+struct Scenario
+{
+    std::string name;        ///< CLI name, e.g. "fig04_wait_and_scale"
+    std::string description; ///< one-line summary for `list`
+    std::uint64_t default_seed = 1;
+    std::vector<ParamSpec> extra_params; ///< beyond seed/horizon/tick
+    std::function<ScenarioOutcome(const ScenarioOptions &)> run;
+};
+
+/** The process-wide registry. */
+class ScenarioRegistry
+{
+  public:
+    static ScenarioRegistry &instance();
+
+    /** Register a scenario; duplicate names are fatal. */
+    void add(Scenario s);
+
+    /** Find by exact name; nullptr when absent. */
+    const Scenario *find(const std::string &name) const;
+
+    /** All scenarios, sorted by name. */
+    std::vector<const Scenario *> all() const;
+
+    std::size_t size() const { return scenarios_.size(); }
+
+  private:
+    std::vector<Scenario> scenarios_;
+};
+
+/** Registers a scenario at static-initialization time. */
+struct ScenarioRegistrar
+{
+    explicit ScenarioRegistrar(Scenario s)
+    {
+        ScenarioRegistry::instance().add(std::move(s));
+    }
+};
+
+/** The parameter schema shared by every scenario. */
+std::vector<ParamSpec> commonParamSpecs();
+
+/** A finished scenario run: outcome plus harness measurements. */
+struct ScenarioReport
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    double wall_time_s = 0.0;    ///< runner wall-clock (perf)
+    std::uint64_t ticks = 0;     ///< simulation ticks executed (domain)
+    double ticks_per_sec = 0.0;  ///< throughput (perf)
+    ScenarioOutcome outcome;
+};
+
+/**
+ * Run one scenario with timing + tick accounting. The seed in `opts`
+ * should already be resolved (scenario default or CLI override).
+ */
+ScenarioReport runScenario(const Scenario &scenario,
+                           const ScenarioOptions &opts);
+
+/**
+ * Serialize reports as the ecobench JSON document (schema_version 1).
+ *
+ * Layout:
+ *   { "schema_version": 1, "horizon": "short", "tick_s": 60,
+ *     "figures": false,
+ *     "scenarios": [ { "name": ..., "seed": ..., "ticks": ...,
+ *                      "metrics": {...}, "perf": {...} }, ... ] }
+ *
+ * `figures` records whether the run also printed the human figure
+ * output — that printing happens inside the timed runner, so perf
+ * numbers from figure runs are not comparable to plain runs and the
+ * diff header check treats the flag as part of the configuration.
+ */
+std::string reportsToJson(const std::vector<ScenarioReport> &reports,
+                          Horizon horizon, TimeS tick_s,
+                          bool figures = false);
+
+} // namespace ecov::bench
+
+#endif // ECOV_BENCH_COMMON_REGISTRY_H

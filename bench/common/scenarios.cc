@@ -50,7 +50,7 @@ microserver()
 
 BatchRunResult
 runBatchScenario(const wl::BatchJobConfig &job_config,
-                 const BatchRunConfig &run)
+                 const BatchRunConfig &run, const ScenarioTuning &tuning)
 {
     auto signal = carbon::makeCaisoLikeTrace(8, run.trace_seed);
     energy::GridConnection grid(&signal);
@@ -82,7 +82,7 @@ runBatchScenario(const wl::BatchJobConfig &job_config,
         break;
     }
 
-    sim::Simulation simul(60, run.arrival_s);
+    sim::Simulation simul(tuning.tick_s, run.arrival_s);
     simul.addListener([&](TimeS t, TimeS dt) { pol->onTick(t, dt); },
                       sim::TickPhase::Policy);
     simul.addListener([&](TimeS t, TimeS dt) { job.onTick(t, dt); },
@@ -104,13 +104,14 @@ runBatchScenario(const wl::BatchJobConfig &job_config,
 
 BatchAggregate
 aggregateBatchRuns(const wl::BatchJobConfig &job, BatchRunConfig run,
-                   int runs, std::uint64_t arrival_seed)
+                   int runs, std::uint64_t arrival_seed,
+                   const ScenarioTuning &tuning)
 {
     Rng rng(arrival_seed);
     RunningStats runtime_h, carbon_g;
     for (int i = 0; i < runs; ++i) {
         run.arrival_s = rng.uniformInt(0, 4 * 24 * 3600);
-        auto r = runBatchScenario(job, run);
+        auto r = runBatchScenario(job, run, tuning);
         runtime_h.add(static_cast<double>(r.runtime_s) / 3600.0);
         carbon_g.add(r.carbon_g);
     }
@@ -119,9 +120,14 @@ aggregateBatchRuns(const wl::BatchJobConfig &job, BatchRunConfig run,
 }
 
 MultiTenantBatchResult
-runMultiTenantBatch(std::uint64_t seed)
+runMultiTenantBatch(std::uint64_t seed, const ScenarioTuning &tuning)
 {
-    auto signal = carbon::makeCaisoLikeTrace(4, seed);
+    // Short horizon: half the trace and horizon, quarter-size jobs —
+    // both jobs still pause and resume at least once.
+    const int days = tuning.short_horizon ? 2 : 4;
+    const double work_scale = tuning.short_horizon ? 0.25 : 1.0;
+
+    auto signal = carbon::makeCaisoLikeTrace(days, seed);
     energy::GridConnection grid(&signal);
     cop::Cluster cluster(48, microserver());
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
@@ -129,8 +135,10 @@ runMultiTenantBatch(std::uint64_t seed)
     eco.addApp("ml", AppShareConfig{});
     eco.addApp("blast", AppShareConfig{});
 
-    auto ml_cfg = wl::mlTrainingConfig("ml", 4.0 * 5.0 * 3600.0);
-    auto blast_cfg = wl::blastConfig("blast", 8.0 * 3.0 * 3600.0);
+    auto ml_cfg =
+        wl::mlTrainingConfig("ml", 4.0 * 5.0 * 3600.0 * work_scale);
+    auto blast_cfg =
+        wl::blastConfig("blast", 8.0 * 3.0 * 3600.0 * work_scale);
     wl::BatchJob ml(&cluster, ml_cfg);
     wl::BatchJob blast(&cluster, blast_cfg);
 
@@ -139,7 +147,7 @@ runMultiTenantBatch(std::uint64_t seed)
     policy::WaitAndScalePolicy ml_pol(&eco, &ml, ml_thr, 2.0);
     policy::WaitAndScalePolicy blast_pol(&eco, &blast, blast_thr, 3.0);
 
-    sim::Simulation simul(60);
+    sim::Simulation simul(tuning.tick_s);
     simul.addListener(
         [&](TimeS t, TimeS dt) {
             if (!ml.done())
@@ -159,7 +167,7 @@ runMultiTenantBatch(std::uint64_t seed)
     ml.start(0);
     blast.start(0);
     while ((!ml.done() || !blast.done()) &&
-           simul.now() < 4LL * 24 * 3600)
+           simul.now() < static_cast<TimeS>(days) * 24 * 3600)
         simul.step();
 
     MultiTenantBatchResult out;
@@ -178,10 +186,14 @@ runMultiTenantBatch(std::uint64_t seed)
 // ---------------------------------------------------------------------
 
 WebBudgetResult
-runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed)
+runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed,
+                     const ScenarioTuning &tuning)
 {
+    // Short horizon: one diurnal cycle instead of two.
+    const int days = tuning.short_horizon ? 1 : 2;
+
     auto signal =
-        carbon::makeRegionTrace(carbon::californiaProfile(), 2, seed);
+        carbon::makeRegionTrace(carbon::californiaProfile(), days, seed);
     energy::GridConnection grid(&signal);
     cop::Cluster cluster(32, microserver());
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
@@ -209,7 +221,7 @@ runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed)
     // static policy over-provisions when carbon is cheap) but binding
     // during the evening carbon ramp.
     const double rate = 0.8e-3;
-    const TimeS horizon = 2 * 24 * 3600;
+    const TimeS horizon = static_cast<TimeS>(days) * 24 * 3600;
 
     policy::StaticCarbonRatePolicy st1(&eco, &app1, rate);
     policy::StaticCarbonRatePolicy st2(&eco, &app2, rate);
@@ -218,7 +230,7 @@ runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed)
 
     Series rate1, rate2, load1, load2;
 
-    sim::Simulation simul(60);
+    sim::Simulation simul(tuning.tick_s);
     simul.addListener(
         [&](TimeS t, TimeS dt) {
             if (dynamic_budget) {
@@ -278,15 +290,22 @@ runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed)
 // ---------------------------------------------------------------------
 
 BatteryScenarioResult
-runBatteryScenario(bool dynamic, std::uint64_t seed)
+runBatteryScenario(bool dynamic, std::uint64_t seed,
+                   const ScenarioTuning &tuning)
 {
+    // Short horizon: two solar days instead of three, and a Spark job
+    // scaled so it still finishes within the window under the static
+    // policy (keeping the runtime-reduction metric meaningful).
+    const int days = tuning.short_horizon ? 2 : 3;
+    const double work_scale = tuning.short_horizon ? 0.5 : 1.0;
+
     carbon::TraceCarbonSignal signal({{0, 250.0}});
     energy::GridConnection grid(&signal);
 
     energy::SolarTraceConfig sc;
     sc.peak_w = 80.0; // cluster-level solar (split between the apps)
     sc.cloudiness = 0.25;
-    sc.days = 3;
+    sc.days = days;
     auto solar = energy::makeSolarTrace(sc, seed);
 
     cop::Cluster cluster(32, microserver());
@@ -314,7 +333,7 @@ runBatteryScenario(bool dynamic, std::uint64_t seed)
 
     wl::SparkJobConfig jc;
     jc.app = "spark";
-    jc.total_work = 12.0 * 10.0 * 3600.0;
+    jc.total_work = 12.0 * 10.0 * 3600.0 * work_scale;
     jc.checkpoint_interval_s = 900;
     jc.max_workers = 48;
     wl::SparkJob spark(&cluster, jc);
@@ -326,7 +345,7 @@ runBatteryScenario(bool dynamic, std::uint64_t seed)
     {
         Rng wl_rng(seed + 7);
         const TimeS day = 24 * 3600;
-        for (TimeS t = 0; t < 3 * day; t += 60) {
+        for (TimeS t = 0; t < days * day; t += 60) {
             double hour = static_cast<double>(t % day) / 3600.0;
             double rate = 0.2; // dormant baseline
             if (hour > 6.5 && hour < 17.5) {
@@ -338,7 +357,8 @@ runBatteryScenario(bool dynamic, std::uint64_t seed)
             wl_pts.push_back({t, rate});
         }
     }
-    wl::RequestTrace trace(std::move(wl_pts), 3 * 24 * 3600);
+    wl::RequestTrace trace(std::move(wl_pts),
+                           static_cast<TimeS>(days) * 24 * 3600);
     wl::WebAppConfig wc;
     wc.app = "web";
     wc.worker_capacity_rps = 40.0;
@@ -359,7 +379,7 @@ runBatteryScenario(bool dynamic, std::uint64_t seed)
 
     Series spark_workers, web_workers, spark_batt_w, web_batt_w;
 
-    sim::Simulation simul(60);
+    sim::Simulation simul(tuning.tick_s);
     simul.addListener(
         [&](TimeS t, TimeS dt) {
             if (dynamic) {
@@ -397,11 +417,11 @@ runBatteryScenario(bool dynamic, std::uint64_t seed)
 
     spark.start(0);
     web.start(1);
-    simul.runUntil(3 * 24 * 3600);
+    simul.runUntil(static_cast<TimeS>(days) * 24 * 3600);
 
     BatteryScenarioResult out;
     out.solar_w = copySeries(eco.db().series("solar_w"));
-    for (TimeS t = 0; t < 3 * 24 * 3600; t += 300)
+    for (TimeS t = 0; t < static_cast<TimeS>(days) * 24 * 3600; t += 300)
         out.web_workload.emplace_back(t, trace.rateAt(t));
     out.spark_workers = std::move(spark_workers);
     out.web_workers = std::move(web_workers);
@@ -426,8 +446,13 @@ runBatteryScenario(bool dynamic, std::uint64_t seed)
 
 SolarCapResult
 runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
-                    std::uint64_t seed, bool inject_stragglers)
+                    std::uint64_t seed, bool inject_stragglers,
+                    const ScenarioTuning &tuning)
 {
+    // The trace doubles as the completion deadline; the job normally
+    // finishes within a day or two, so the short trace stays generous.
+    const int days = tuning.short_horizon ? 10 : 30;
+
     carbon::TraceCarbonSignal signal({{0, 250.0}});
     energy::GridConnection grid(&signal);
 
@@ -437,7 +462,7 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
     // peak comfortably exceeds the 10 nodes' maximum power.
     sc.peak_w = 22.5;
     sc.cloudiness = 0.15;
-    sc.days = 30;
+    sc.days = days;
     auto solar = energy::makeSolarTrace(sc, seed);
     solar.setScale(solar_fraction_pct / 100.0);
 
@@ -457,6 +482,8 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
     // The straggler-mitigation variant runs a longer job so that it
     // is still in flight when midday excess solar appears.
     jc.rounds = inject_stragglers ? 4 : 3;
+    if (tuning.short_horizon)
+        jc.rounds -= 1;
     jc.round_work = inject_stragglers ? 900.0 : 700.0;
     jc.straggler_prob = inject_stragglers ? 0.3 : 0.25;
     jc.straggler_rate = inject_stragglers ? 0.5 : 0.6;
@@ -469,7 +496,7 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
 
     Series mean_caps;
 
-    sim::Simulation simul(60, 6 * 3600); // start at sunrise
+    sim::Simulation simul(tuning.tick_s, 6 * 3600); // start at sunrise
     simul.addListener(
         [&](TimeS t, TimeS dt) {
             switch (kind) {
@@ -506,7 +533,7 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
         sim::TickPhase::Telemetry);
 
     job.start(6 * 3600);
-    const TimeS deadline = 30LL * 24 * 3600;
+    const TimeS deadline = static_cast<TimeS>(days) * 24 * 3600;
     while (!job.done() && simul.now() < deadline)
         simul.step();
 

@@ -26,6 +26,20 @@ namespace ecov::bench {
 /** A (time, value) series copied out of a finished scenario. */
 using Series = std::vector<std::pair<TimeS, double>>;
 
+/**
+ * Harness-level knobs shared by every scenario runner.
+ *
+ * `tick_s` overrides the simulation tick (paper default 60 s).
+ * `short_horizon` selects reduced trace lengths and job sizes so CI
+ * smoke runs finish quickly while exercising the same code paths;
+ * results remain deterministic for a fixed (seed, tuning) pair.
+ */
+struct ScenarioTuning
+{
+    TimeS tick_s = 60;
+    bool short_horizon = false;
+};
+
 // ---------------------------------------------------------------------
 // Figures 4 and 5 (Section 5.1): carbon reduction for batch jobs.
 // ---------------------------------------------------------------------
@@ -59,7 +73,8 @@ struct BatchRunConfig
 
 /** Run one batch job under one policy on a CAISO-like signal. */
 BatchRunResult runBatchScenario(const wl::BatchJobConfig &job,
-                                const BatchRunConfig &run);
+                                const BatchRunConfig &run,
+                                const ScenarioTuning &tuning = {});
 
 /**
  * Mean/stddev of runtime and carbon over `runs` random arrivals
@@ -75,7 +90,8 @@ struct BatchAggregate
 
 BatchAggregate aggregateBatchRuns(const wl::BatchJobConfig &job,
                                   BatchRunConfig run, int runs,
-                                  std::uint64_t arrival_seed);
+                                  std::uint64_t arrival_seed,
+                                  const ScenarioTuning &tuning = {});
 
 /** Figure 5: ML (W&S 2x) and BLAST (W&S 3x) sharing the cluster. */
 struct MultiTenantBatchResult
@@ -88,7 +104,9 @@ struct MultiTenantBatchResult
     double blast_threshold = 0.0;
 };
 
-MultiTenantBatchResult runMultiTenantBatch(std::uint64_t seed);
+MultiTenantBatchResult
+runMultiTenantBatch(std::uint64_t seed,
+                    const ScenarioTuning &tuning = {});
 
 // ---------------------------------------------------------------------
 // Figures 6 and 7 (Section 5.2): carbon budgeting for web services.
@@ -119,7 +137,8 @@ struct WebBudgetResult
  * carbon-rate policy or the dynamic budgeting policy.
  */
 WebBudgetResult runWebBudgetScenario(bool dynamic_budget,
-                                     std::uint64_t seed);
+                                     std::uint64_t seed,
+                                     const ScenarioTuning &tuning = {});
 
 // ---------------------------------------------------------------------
 // Figures 8 and 9 (Section 5.3): virtual batteries.
@@ -148,7 +167,8 @@ struct BatteryScenarioResult
  * (application-specific) battery policies for both applications.
  */
 BatteryScenarioResult runBatteryScenario(bool dynamic,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         const ScenarioTuning &tuning = {});
 
 // ---------------------------------------------------------------------
 // Figures 10 and 11 (Section 5.4): direct solar exploitation.
@@ -181,7 +201,8 @@ enum class SolarPolicyKind
 SolarCapResult runSolarCapScenario(SolarPolicyKind kind,
                                    double solar_fraction_pct,
                                    std::uint64_t seed,
-                                   bool inject_stragglers);
+                                   bool inject_stragglers,
+                                   const ScenarioTuning &tuning = {});
 
 } // namespace ecov::bench
 

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Small shared helpers for scenario registrations: reductions over
+ * measurement Series (backed by the library's RunningStats so empty-
+ * series conventions stay in one place) and the ScenarioOptions ->
+ * ScenarioTuning mapping. Header-only; used by bench/scenarios/*.cc.
+ */
+
+#ifndef ECOV_BENCH_COMMON_SERIES_STATS_H
+#define ECOV_BENCH_COMMON_SERIES_STATS_H
+
+#include <cmath>
+
+#include "common/registry.h"
+#include "common/scenarios.h"
+#include "util/stats.h"
+
+namespace ecov::bench {
+
+/** The scenario-runner tuning implied by the harness options. */
+inline ScenarioTuning
+tuningFor(const ScenarioOptions &opt)
+{
+    return ScenarioTuning{opt.tick_s, opt.horizon == Horizon::Short};
+}
+
+/** Accumulate a series' values into a RunningStats. */
+inline RunningStats
+seriesStats(const Series &s)
+{
+    RunningStats st;
+    for (const auto &p : s)
+        st.add(p.second);
+    return st;
+}
+
+/** Largest value in the series (0 when empty). */
+inline double
+seriesMax(const Series &s)
+{
+    return seriesStats(s).max();
+}
+
+/** Smallest value in the series (`fallback` when empty). */
+inline double
+seriesMin(const Series &s, double fallback)
+{
+    auto st = seriesStats(s);
+    return st.count() ? st.min() : fallback;
+}
+
+/** Arithmetic mean (0 when empty). */
+inline double
+seriesMean(const Series &s)
+{
+    return seriesStats(s).mean();
+}
+
+/** Largest absolute value in the series (0 when empty). */
+inline double
+seriesAbsMax(const Series &s)
+{
+    RunningStats st;
+    for (const auto &p : s)
+        st.add(std::fabs(p.second));
+    return st.max();
+}
+
+} // namespace ecov::bench
+
+#endif // ECOV_BENCH_COMMON_SERIES_STATS_H

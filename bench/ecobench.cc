@@ -1,0 +1,477 @@
+/**
+ * @file
+ * ecobench: the registry-driven scenario runner.
+ *
+ *   ecobench list [--format=json]
+ *   ecobench run <name...|all> [--seed=N] [--horizon=full|short]
+ *                [--tick=SECONDS] [--format=human|json] [--out=FILE]
+ *                [--figures]
+ *   ecobench diff <baseline.json> <current.json> [--tolerance=PCT]
+ *                [--perf-tolerance=PCT]
+ *
+ * `run --format=json` emits the schema described in
+ * common/registry.h; `diff` compares two such reports and exits
+ * non-zero on regressions, so CI needs no extra runtime to gate on
+ * bench results. Exit codes: 0 success, 1 regression/failure, 2 usage.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bench_diff.h"
+#include "common/registry.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace ecov::bench {
+namespace {
+
+int
+usage(FILE *to)
+{
+    std::fprintf(
+        to,
+        "ecobench — ecovisor scenario runner\n"
+        "\n"
+        "usage:\n"
+        "  ecobench list [--format=json]\n"
+        "  ecobench run <name...|all> [--seed=N] "
+        "[--horizon=full|short]\n"
+        "               [--tick=SECONDS] [--format=human|json]\n"
+        "               [--out=FILE] [--figures]\n"
+        "  ecobench diff <baseline.json> <current.json> "
+        "[--tolerance=PCT]\n"
+        "               [--perf-tolerance=PCT]\n"
+        "\n"
+        "run options:\n"
+        "  --seed=N        override the scenario's default seed\n"
+        "  --horizon=H     full (paper scale, default) or short (CI)\n"
+        "  --tick=S        simulation tick length in seconds "
+        "(default 60)\n"
+        "  --format=F      human (default) or json\n"
+        "  --out=FILE      write the JSON report to FILE (implies "
+        "--format=json)\n"
+        "  --figures       also print the per-figure tables/series\n"
+        "\n"
+        "diff options:\n"
+        "  --tolerance=PCT       max relative drift for domain "
+        "metrics (default 0.1)\n"
+        "  --perf-tolerance=PCT  also enforce perf metrics "
+        "(default: warn only)\n"
+        "  --abs-epsilon=X       absolute slack: deltas <= X never "
+        "count, and X floors\n"
+        "                        the relative-delta denominator for "
+        "near-zero baselines\n"
+        "                        (default 1e-9; raise when comparing "
+        "across compilers)\n");
+    return to == stdout ? 0 : 2;
+}
+
+/** "--name=value" parser; true when `arg` starts with "--name=". */
+bool
+optValue(const std::string &arg, const char *name, std::string *value)
+{
+    const std::string prefix = std::string("--") + name + "=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    *value = arg.substr(prefix.size());
+    return true;
+}
+
+/** Strict non-negative integer parse: digits only, no sign/space. */
+bool
+parseUint(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size())
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Strict finite non-negative double parse; rejects sign/space/inf. */
+bool
+parseNonNegDouble(const std::string &s, double *out)
+{
+    if (s.empty() || !(std::isdigit(static_cast<unsigned char>(s[0])) ||
+                       s[0] == '.'))
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size() ||
+        !std::isfinite(v) || v < 0.0)
+        return false;
+    *out = v;
+    return true;
+}
+
+int
+cmdList(const std::vector<std::string> &args)
+{
+    bool json = false;
+    for (const auto &a : args) {
+        std::string v;
+        if (optValue(a, "format", &v)) {
+            if (v == "json")
+                json = true;
+            else if (v != "human") {
+                std::fprintf(stderr, "ecobench: unknown format %s\n",
+                             v.c_str());
+                return 2;
+            }
+        } else {
+            std::fprintf(stderr, "ecobench: unknown list option %s\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+
+    auto scenarios = ScenarioRegistry::instance().all();
+    if (json) {
+        JsonWriter w;
+        w.beginObject();
+        w.key("scenarios");
+        w.beginArray();
+        for (const auto *s : scenarios) {
+            w.beginObject();
+            w.key("name");
+            w.value(s->name);
+            w.key("description");
+            w.value(s->description);
+            w.key("default_seed");
+            w.value(s->default_seed);
+            w.key("params");
+            w.beginArray();
+            auto params = commonParamSpecs();
+            params.insert(params.end(), s->extra_params.begin(),
+                          s->extra_params.end());
+            for (const auto &p : params) {
+                w.beginObject();
+                w.key("name");
+                w.value(p.name);
+                w.key("description");
+                w.value(p.description);
+                w.key("default");
+                w.value(p.default_value);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        std::printf("%s\n", w.str().c_str());
+        return 0;
+    }
+
+    TextTable t({"scenario", "seed", "description"});
+    for (const auto *s : scenarios)
+        t.addRow({s->name, std::to_string(s->default_seed),
+                  s->description});
+    t.print();
+    std::printf("\n%zu scenarios. Common params: seed, horizon "
+                "(full|short), tick.\n",
+                scenarios.size());
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    std::vector<std::string> names;
+    bool run_all = false;
+    bool json = false;
+    bool figures = false;
+    bool seed_overridden = false;
+    std::uint64_t seed = 0;
+    Horizon horizon = Horizon::Full;
+    TimeS tick_s = 60;
+    std::string out_path;
+
+    for (const auto &a : args) {
+        std::string v;
+        if (optValue(a, "seed", &v)) {
+            if (!parseUint(v, &seed)) {
+                std::fprintf(stderr, "ecobench: bad seed '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+            seed_overridden = true;
+        } else if (optValue(a, "horizon", &v)) {
+            if (!parseHorizon(v, &horizon)) {
+                std::fprintf(stderr, "ecobench: unknown horizon %s\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (optValue(a, "tick", &v)) {
+            std::uint64_t t = 0;
+            if (!parseUint(v, &t) || t == 0 || t > 24 * 3600) {
+                std::fprintf(stderr, "ecobench: bad tick '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+            tick_s = static_cast<TimeS>(t);
+        } else if (optValue(a, "format", &v)) {
+            if (v == "json")
+                json = true;
+            else if (v != "human") {
+                std::fprintf(stderr, "ecobench: unknown format %s\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (optValue(a, "out", &v)) {
+            out_path = v;
+            json = true; // a report file is always JSON
+        } else if (a == "--figures") {
+            figures = true;
+        } else if (a == "all") {
+            run_all = true;
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "ecobench: unknown run option %s\n",
+                         a.c_str());
+            return 2;
+        } else {
+            names.push_back(a);
+        }
+    }
+
+    // The figure output and the JSON document share stdout; only
+    // allow the combination when the report goes to a file.
+    if (json && figures && out_path.empty()) {
+        std::fprintf(stderr,
+                     "ecobench: --figures with --format=json needs "
+                     "--out=FILE (figures and JSON would interleave "
+                     "on stdout)\n");
+        return 2;
+    }
+
+    auto &registry = ScenarioRegistry::instance();
+    std::vector<const Scenario *> selected;
+    if (run_all) {
+        if (!names.empty()) {
+            std::fprintf(stderr,
+                         "ecobench: 'all' cannot be combined with "
+                         "scenario names\n");
+            return 2;
+        }
+        selected = registry.all();
+    } else {
+        if (names.empty()) {
+            std::fprintf(stderr,
+                         "ecobench: run needs scenario names or "
+                         "'all'\n");
+            return 2;
+        }
+        for (const auto &n : names) {
+            const Scenario *s = registry.find(n);
+            if (!s) {
+                std::fprintf(stderr,
+                             "ecobench: unknown scenario '%s' (see "
+                             "'ecobench list')\n",
+                             n.c_str());
+                return 1;
+            }
+            // Duplicate entries would collide in the report (diff
+            // indexes scenarios by name).
+            if (std::find(selected.begin(), selected.end(), s) !=
+                selected.end()) {
+                std::fprintf(stderr,
+                             "ecobench: scenario '%s' given twice\n",
+                             n.c_str());
+                return 2;
+            }
+            selected.push_back(s);
+        }
+    }
+
+    std::vector<ScenarioReport> reports;
+    for (const Scenario *s : selected) {
+        ScenarioOptions opts;
+        opts.seed = seed_overridden ? seed : s->default_seed;
+        opts.horizon = horizon;
+        opts.tick_s = tick_s;
+        opts.print_figures = figures;
+        if (!json && !figures)
+            std::printf("running %s ...\n", s->name.c_str());
+        reports.push_back(runScenario(*s, opts));
+    }
+
+    if (json) {
+        std::string doc =
+            reportsToJson(reports, horizon, tick_s, figures);
+        if (out_path.empty()) {
+            std::printf("%s\n", doc.c_str());
+        } else {
+            std::ofstream out(out_path);
+            out << doc << "\n";
+            out.flush(); // surface late write errors (e.g. ENOSPC)
+            if (!out) {
+                std::fprintf(stderr, "ecobench: cannot write %s\n",
+                             out_path.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "report written to %s\n",
+                         out_path.c_str());
+        }
+        return 0;
+    }
+
+    TextTable summary({"scenario", "wall_s", "ticks", "ticks/sec",
+                       "metrics"});
+    for (const auto &r : reports)
+        summary.addRow({r.name, TextTable::fmt(r.wall_time_s, 3),
+                        std::to_string(r.ticks),
+                        TextTable::fmt(r.ticks_per_sec, 0),
+                        std::to_string(r.outcome.metrics.size())});
+    std::printf("\n");
+    summary.print();
+
+    for (const auto &r : reports) {
+        std::printf("\n%s:\n", r.name.c_str());
+        TextTable t({"metric", "value"});
+        for (const auto &m : r.outcome.metrics)
+            t.addRow({m.name, TextTable::fmt(m.value, 4)});
+        for (const auto &m : r.outcome.perf)
+            t.addRow({m.name + " (perf)", TextTable::fmt(m.value, 1)});
+        t.print();
+    }
+    return 0;
+}
+
+/** Load + parse one report file; exits via return code on failure. */
+std::optional<JsonValue>
+loadReport(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "ecobench: cannot open %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string error;
+    auto doc = JsonValue::parse(ss.str(), &error);
+    if (!doc)
+        std::fprintf(stderr, "ecobench: %s: %s\n", path.c_str(),
+                     error.c_str());
+    return doc;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    std::vector<std::string> paths;
+    DiffOptions opts;
+    for (const auto &a : args) {
+        std::string v;
+        if (optValue(a, "tolerance", &v)) {
+            if (!parseNonNegDouble(v, &opts.tolerance_pct)) {
+                std::fprintf(stderr, "ecobench: bad tolerance '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (optValue(a, "perf-tolerance", &v)) {
+            if (!parseNonNegDouble(v, &opts.perf_tolerance_pct)) {
+                std::fprintf(stderr,
+                             "ecobench: bad perf-tolerance '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (optValue(a, "abs-epsilon", &v)) {
+            if (!parseNonNegDouble(v, &opts.abs_epsilon)) {
+                std::fprintf(stderr,
+                             "ecobench: bad abs-epsilon '%s'\n",
+                             v.c_str());
+                return 2;
+            }
+        } else if (!a.empty() && a[0] == '-') {
+            std::fprintf(stderr, "ecobench: unknown diff option %s\n",
+                         a.c_str());
+            return 2;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.size() != 2) {
+        std::fprintf(stderr,
+                     "ecobench: diff needs exactly two report files\n");
+        return 2;
+    }
+
+    auto baseline = loadReport(paths[0]);
+    auto current = loadReport(paths[1]);
+    if (!baseline || !current)
+        return 1;
+
+    DiffResult result = diffReports(*baseline, *current, opts);
+
+    for (const auto &e : result.infos)
+        std::printf("info: %s\n", e.describe().c_str());
+    for (const auto &e : result.warnings)
+        std::printf("warn: %s\n", e.describe().c_str());
+    for (const auto &e : result.regressions)
+        std::printf("FAIL: %s\n", e.describe().c_str());
+
+    if (!result.ok()) {
+        std::printf("\necobench diff: %zu regression(s) vs %s "
+                    "(tolerance %.3f%%)\n",
+                    result.regressions.size(), paths[0].c_str(),
+                    opts.tolerance_pct);
+        return 1;
+    }
+    std::printf("ecobench diff: OK (%zu warnings, %zu infos, "
+                "tolerance %.3f%%)\n",
+                result.warnings.size(), result.infos.size(),
+                opts.tolerance_pct);
+    return 0;
+}
+
+int
+realMain(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(stderr);
+    const std::string cmd = args.front();
+    args.erase(args.begin());
+    if (cmd == "list")
+        return cmdList(args);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "diff")
+        return cmdDiff(args);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout);
+    std::fprintf(stderr, "ecobench: unknown command '%s'\n",
+                 cmd.c_str());
+    return usage(stderr);
+}
+
+} // namespace
+} // namespace ecov::bench
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return ecov::bench::realMain(argc, argv);
+    } catch (const ecov::FatalError &e) {
+        std::fprintf(stderr, "ecobench: fatal: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,24 +1,24 @@
 /**
  * @file
- * Ablation: the excess-solar policy (Section 3.1 calls it a policy
- * decision — reclaim & redistribute, net meter, or curtail).
+ * Ablation scenario: the excess-solar policy (Section 3.1 calls it a
+ * policy decision — reclaim & redistribute, net meter, or curtail).
  *
  * Two apps share a solar array; app "full" owns 70 % of it but its
  * small battery saturates quickly, while app "hungry" owns 30 % and
- * has headroom. Compares where the excess energy ends up under each
- * ExcessSolarPolicy.
+ * has headroom. Records where the excess energy ends up under each
+ * ExcessSolarPolicy over one day.
  */
 
 #include <cstdio>
 
 #include "carbon/carbon_signal.h"
+#include "common/registry.h"
 #include "core/ecovisor.h"
 #include "energy/solar_array.h"
 #include "sim/simulation.h"
 #include "util/table.h"
 
-using namespace ecov;
-
+namespace ecov::bench {
 namespace {
 
 struct Outcome
@@ -29,14 +29,15 @@ struct Outcome
 };
 
 Outcome
-runWith(core::ExcessSolarPolicy policy)
+runWith(core::ExcessSolarPolicy policy, std::uint64_t seed,
+        TimeS tick_s)
 {
     carbon::TraceCarbonSignal signal({{0, 200.0}});
     energy::GridConnection grid(&signal);
     energy::SolarTraceConfig sc;
     sc.peak_w = 120.0;
     sc.cloudiness = 0.1;
-    auto solar = energy::makeSolarTrace(sc, 5);
+    auto solar = energy::makeSolarTrace(sc, seed);
     cop::Cluster cluster(8, power::ServerPowerConfig{});
     energy::BatteryConfig bank;
     bank.capacity_wh = 2000.0;
@@ -70,7 +71,7 @@ runWith(core::ExcessSolarPolicy policy)
     hungry.battery = hb;
     eco.addApp("hungry", hungry);
 
-    sim::Simulation simul(60);
+    sim::Simulation simul(tick_s);
     eco.attach(simul);
     simul.runUntil(24 * 3600);
 
@@ -92,28 +93,55 @@ name(core::ExcessSolarPolicy p)
     return "?";
 }
 
-} // namespace
-
-int
-main()
+ScenarioOutcome
+run(const ScenarioOptions &opt)
 {
-    std::printf("=== Ablation: excess-solar policy (Section 3.1) "
-                "===\n\n");
+    struct Policy
+    {
+        core::ExcessSolarPolicy policy;
+        const char *key;
+    };
+    const Policy policies[] = {
+        {core::ExcessSolarPolicy::Curtail, "curtail"},
+        {core::ExcessSolarPolicy::Redistribute, "redistribute"},
+        {core::ExcessSolarPolicy::NetMeter, "netmeter"},
+    };
+
+    ScenarioOutcome out;
     TextTable t({"policy", "curtailed_wh", "net_metered_wh",
                  "hungry_app_battery_wh"});
-    for (auto p : {core::ExcessSolarPolicy::Curtail,
-                   core::ExcessSolarPolicy::Redistribute,
-                   core::ExcessSolarPolicy::NetMeter}) {
-        auto o = runWith(p);
-        t.addRow({name(p), TextTable::fmt(o.curtailed_wh, 1),
+    for (const auto &p : policies) {
+        auto o = runWith(p.policy, opt.seed, opt.tick_s);
+        const std::string prefix = std::string(p.key) + "_";
+        out.metric(prefix + "curtailed_wh", o.curtailed_wh);
+        out.metric(prefix + "net_metered_wh", o.net_metered_wh);
+        out.metric(prefix + "hungry_battery_wh", o.hungry_battery_wh);
+        t.addRow({name(p.policy), TextTable::fmt(o.curtailed_wh, 1),
                   TextTable::fmt(o.net_metered_wh, 1),
                   TextTable::fmt(o.hungry_battery_wh, 1)});
     }
-    t.print();
-    std::printf(
-        "\nExpected: curtail wastes the saturated app's excess; "
-        "redistribute moves it into the other app's battery; "
-        "net-meter exports it. Totals are conserved either way "
-        "(energy-conservation invariant).\n");
-    return 0;
+
+    if (opt.print_figures) {
+        std::printf("=== Ablation: excess-solar policy (Section 3.1) "
+                    "===\n\n");
+        t.print();
+        std::printf(
+            "\nExpected: curtail wastes the saturated app's excess; "
+            "redistribute moves it into the other app's battery; "
+            "net-meter exports it. Totals are conserved either way "
+            "(energy-conservation invariant).\n");
+    }
+    return out;
 }
+
+const ScenarioRegistrar reg({
+    "ablation_excess_solar",
+    "Ablation: excess-solar policy (curtail vs redistribute vs "
+    "net-meter) over one solar day",
+    /*default_seed=*/5,
+    {},
+    run,
+});
+
+} // namespace
+} // namespace ecov::bench

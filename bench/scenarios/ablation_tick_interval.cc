@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation scenario: the tick interval delta-t (Section 3.1
+ * discretizes power and carbon over a small tick interval, e.g. one
+ * minute, and argues minute-level ticks are fine because carbon does
+ * not change significantly within a minute).
+ *
+ * Runs the suspend-resume batch scenario at several tick lengths and
+ * compares carbon, runtime, and policy responsiveness. Coarser ticks
+ * react later to threshold crossings, lengthening exposure to
+ * high-carbon power. This scenario sweeps the tick itself, so the
+ * --tick override is ignored.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "carbon/region_traces.h"
+#include "common/registry.h"
+#include "core/ecovisor.h"
+#include "policies/carbon_reduction.h"
+#include "sim/simulation.h"
+#include "util/table.h"
+#include "workloads/batch_job.h"
+
+namespace ecov::bench {
+namespace {
+
+struct Outcome
+{
+    double runtime_h;
+    double carbon_g;
+};
+
+Outcome
+runWith(TimeS tick_s, std::uint64_t seed, double work_scale,
+        TimeS horizon_s)
+{
+    auto signal = carbon::makeCaisoLikeTrace(8, seed);
+    energy::GridConnection grid(&signal);
+    cop::Cluster cluster(16, power::ServerPowerConfig{});
+    energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
+    core::Ecovisor eco(&cluster, &phys);
+    eco.addApp("job", core::AppShareConfig{});
+
+    auto cfg =
+        wl::mlTrainingConfig("job", 4.0 * 5.0 * 3600.0 * work_scale);
+    wl::BatchJob job(&cluster, cfg);
+    double threshold = signal.intensityPercentile(30.0, 0, 48 * 3600);
+    policy::SuspendResumePolicy pol(&eco, &job, threshold);
+
+    sim::Simulation simul(tick_s);
+    simul.addListener([&](TimeS t, TimeS dt) { pol.onTick(t, dt); },
+                      sim::TickPhase::Policy);
+    simul.addListener([&](TimeS t, TimeS dt) { job.onTick(t, dt); },
+                      sim::TickPhase::Workload);
+    eco.attach(simul);
+
+    job.start(0);
+    while (!job.done() && simul.now() < horizon_s)
+        simul.step();
+    return Outcome{static_cast<double>(job.runtime()) / 3600.0,
+                   eco.ves("job").totalCarbonG()};
+}
+
+ScenarioOutcome
+run(const ScenarioOptions &opt)
+{
+    const bool is_short = opt.horizon == Horizon::Short;
+    const double work_scale = is_short ? 0.25 : 1.0;
+    const TimeS horizon_s =
+        (is_short ? 5LL : 20LL) * 24 * 3600;
+    const std::vector<TimeS> ticks =
+        is_short ? std::vector<TimeS>{60, 300}
+                 : std::vector<TimeS>{10, 60, 300, 900};
+
+    ScenarioOutcome out;
+    TextTable t({"tick_s", "runtime_h", "carbon_g"});
+    for (TimeS tick : ticks) {
+        auto o = runWith(tick, opt.seed, work_scale, horizon_s);
+        out.metric("tick" + std::to_string(tick) + "_runtime_h",
+                   o.runtime_h);
+        out.metric("tick" + std::to_string(tick) + "_carbon_g",
+                   o.carbon_g);
+        t.addRow({std::to_string(tick), TextTable::fmt(o.runtime_h, 2),
+                  TextTable::fmt(o.carbon_g, 3)});
+    }
+
+    if (opt.print_figures) {
+        std::printf("=== Ablation: tick interval delta-t (Section "
+                    "3.1) ===\n\n");
+        t.print();
+        std::printf(
+            "\nExpected: 10 s and the paper's 60 s tick agree closely "
+            "(carbon moves slowly within a minute); multi-minute "
+            "ticks drift as the policy reacts late to threshold "
+            "crossings.\n");
+    }
+    return out;
+}
+
+const ScenarioRegistrar reg({
+    "ablation_tick_interval",
+    "Ablation: tick-interval sweep for the suspend-resume batch "
+    "policy (ignores --tick; the sweep IS the tick)",
+    /*default_seed=*/11,
+    {},
+    run,
+});
+
+} // namespace
+} // namespace ecov::bench

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 9 scenario: multi-tenancy of application-specific virtual
+ * battery policies — state of charge and battery charge/discharge
+ * power for the Spark job and the monitoring web app sharing one
+ * physical battery. Metrics are the SOC floors each app respects and
+ * the battery-power extremes; `--figures` prints the series.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/registry.h"
+#include "common/scenarios.h"
+#include "common/series_stats.h"
+#include "util/table.h"
+
+namespace ecov::bench {
+namespace {
+
+ScenarioOutcome
+run(const ScenarioOptions &opt)
+{
+    auto dy = runBatteryScenario(true, opt.seed, tuningFor(opt));
+
+    ScenarioOutcome out;
+    out.metric("spark_min_soc_pct",
+               seriesMin(dy.spark_soc, 1.0) * 100.0);
+    out.metric("web_min_soc_pct", seriesMin(dy.web_soc, 1.0) * 100.0);
+    out.metric("spark_peak_batt_w", seriesAbsMax(dy.spark_batt_w));
+    out.metric("web_peak_batt_w", seriesAbsMax(dy.web_batt_w));
+
+    if (opt.print_figures) {
+        std::printf("=== Figure 9: multi-tenant virtual batteries "
+                    "===\n");
+
+        std::printf("\n(a) state of charge (time_h,spark_soc_pct,"
+                    "web_soc_pct,min_soc_pct):\n");
+        {
+            CsvWriter csv(stdout, {"time_h", "spark_soc", "web_soc",
+                                   "min_soc"});
+            std::size_t n =
+                std::min(dy.spark_soc.size(), dy.web_soc.size());
+            for (std::size_t i = 0; i < n; i += 30) {
+                csv.row({static_cast<double>(dy.spark_soc[i].first) /
+                             3600.0,
+                         dy.spark_soc[i].second * 100.0,
+                         dy.web_soc[i].second * 100.0, 30.0});
+            }
+        }
+
+        std::printf("\n(b) battery power, +charge/-discharge "
+                    "(time_h,spark_w,web_w):\n");
+        {
+            CsvWriter csv(stdout, {"time_h", "spark_w", "web_w"});
+            std::size_t n =
+                std::min(dy.spark_batt_w.size(), dy.web_batt_w.size());
+            for (std::size_t i = 0; i < n; i += 30) {
+                csv.row({static_cast<double>(dy.spark_batt_w[i].first) /
+                             3600.0,
+                         dy.spark_batt_w[i].second,
+                         dy.web_batt_w[i].second});
+            }
+        }
+
+        std::printf(
+            "\nPaper shape check: both virtual batteries respect the "
+            "30%% SOC floor; usage patterns differ by application — "
+            "Spark drains deeper to keep workers busy, the web app "
+            "cycles with its day-time workload.\n");
+    }
+    return out;
+}
+
+const ScenarioRegistrar reg({
+    "fig09_battery_multitenancy",
+    "Figure 9: multi-tenant virtual batteries (per-app SOC and "
+    "charge/discharge under dynamic policies)",
+    /*default_seed=*/17,
+    {},
+    run,
+});
+
+} // namespace
+} // namespace ecov::bench

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 10 scenario: running a 10-worker parallel job directly on
+ * solar power with per-container power caps. Sweeps available
+ * renewable power and records the runtime improvement of dynamic over
+ * static caps plus energy efficiency at each point. Short horizon
+ * sweeps two points instead of five.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/registry.h"
+#include "common/scenarios.h"
+#include "common/series_stats.h"
+#include "util/table.h"
+
+namespace ecov::bench {
+namespace {
+
+ScenarioOutcome
+run(const ScenarioOptions &opt)
+{
+    const ScenarioTuning tuning = tuningFor(opt);
+    ScenarioOutcome out;
+
+    // (a) + (b): one representative day at 50 % solar.
+    auto dyn = runSolarCapScenario(SolarPolicyKind::DynamicCaps, 50.0,
+                                   opt.seed, false, tuning);
+    if (opt.print_figures) {
+        std::printf("=== Figure 10: direct solar exploitation via "
+                    "vertical scaling ===\n");
+        std::printf("\n(a) solar power (time_h,watts) and (b) mean "
+                    "container cap (time_h,watts):\n");
+        CsvWriter csv(stdout, {"time_h", "solar_w", "mean_cap_w"});
+        std::size_t n =
+            std::min(dyn.solar_w.size(), dyn.container_caps_w.size());
+        for (std::size_t i = 0; i < n; i += 30) {
+            csv.row({static_cast<double>(dyn.solar_w[i].first) / 3600.0,
+                     dyn.solar_w[i].second,
+                     dyn.container_caps_w[i].second});
+        }
+    }
+
+    // (c): sweep available renewable power. The paper sweeps 10-90 %;
+    // below ~25 % our power model cannot even cover the ten workers'
+    // aggregate idle-share power, so the feasible sweep starts at 30 %.
+    const std::vector<double> sweep =
+        opt.horizon == Horizon::Short
+            ? std::vector<double>{45.0, 90.0}
+            : std::vector<double>{30.0, 45.0, 60.0, 75.0, 90.0};
+
+    TextTable t({"solar_pct", "static_runtime_h", "dynamic_runtime_h",
+                 "runtime_improvement_pct", "energy_eff_1_per_kj"});
+    for (double pct : sweep) {
+        auto st = runSolarCapScenario(SolarPolicyKind::StaticCaps, pct,
+                                      opt.seed, false, tuning);
+        auto dy = runSolarCapScenario(SolarPolicyKind::DynamicCaps, pct,
+                                      opt.seed, false, tuning);
+        double improvement =
+            100.0 * (1.0 - static_cast<double>(dy.runtime_s) /
+                               static_cast<double>(st.runtime_s));
+        // Energy efficiency: useful work per joule (scaled to 1/kJ).
+        double eff = dy.useful_work / (dy.energy_wh * 3600.0) * 1000.0;
+
+        const std::string prefix =
+            "p" + std::to_string(static_cast<int>(pct)) + "_";
+        out.metric(prefix + "static_runtime_h",
+                   static_cast<double>(st.runtime_s) / 3600.0);
+        out.metric(prefix + "dynamic_runtime_h",
+                   static_cast<double>(dy.runtime_s) / 3600.0);
+        out.metric(prefix + "runtime_improvement_pct", improvement);
+        out.metric(prefix + "energy_eff_1_per_kj", eff);
+
+        t.addRow({TextTable::fmt(pct, 0),
+                  TextTable::fmt(st.runtime_s / 3600.0, 2),
+                  TextTable::fmt(dy.runtime_s / 3600.0, 2),
+                  TextTable::fmt(improvement, 1),
+                  TextTable::fmt(eff, 3)});
+    }
+    if (opt.print_figures) {
+        std::printf("\n(c) sweep over available renewable power:\n");
+        t.print();
+        std::printf(
+            "\nPaper shape check: the dynamic policy's runtime "
+            "advantage grows as solar shrinks (rebalancing matters "
+            "most under scarcity); energy-efficiency rises with solar "
+            "as idle power is amortized over more work.\n");
+    }
+    return out;
+}
+
+const ScenarioRegistrar reg({
+    "fig10_solar_caps",
+    "Figure 10: direct solar exploitation via per-container power caps "
+    "(static vs dynamic, solar sweep)",
+    /*default_seed=*/13,
+    {},
+    run,
+});
+
+} // namespace
+} // namespace ecov::bench

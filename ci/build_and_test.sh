@@ -3,12 +3,31 @@
 # build everything, run the full CTest suite. On failure the ctest log
 # is copied to $ECOV_ARTIFACT_DIR (default: ci/artifacts) so the run
 # can be inspected offline.
+#
+# Knobs (all optional, used by the GitHub Actions matrix):
+#   CC / CXX          compiler pair (e.g. gcc/g++, clang/clang++)
+#   ECOV_BUILD_TYPE   CMake build type (default RelWithDebInfo)
+#   ECOV_BUILD_DIR    build tree (default build-ci)
+#   ECOV_CMAKE_ARGS   extra -D flags, space separated
+#   ECOV_JOBS         parallelism (default nproc)
+# ccache is picked up automatically when installed.
 set -uo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${ECOV_BUILD_DIR:-${REPO_ROOT}/build-ci}"
 ARTIFACT_DIR="${ECOV_ARTIFACT_DIR:-${REPO_ROOT}/ci/artifacts}"
 JOBS="${ECOV_JOBS:-$(nproc)}"
+BUILD_TYPE="${ECOV_BUILD_TYPE:-RelWithDebInfo}"
+
+CMAKE_ARGS=(-DECOV_WERROR=ON "-DCMAKE_BUILD_TYPE=${BUILD_TYPE}")
+if command -v ccache >/dev/null 2>&1; then
+    CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+if [[ -n "${ECOV_CMAKE_ARGS:-}" ]]; then
+    # Intentionally word-split: the variable carries -D flags.
+    # shellcheck disable=SC2206
+    CMAKE_ARGS+=(${ECOV_CMAKE_ARGS})
+fi
 
 upload_log() {
     mkdir -p "${ARTIFACT_DIR}"
@@ -20,7 +39,7 @@ upload_log() {
 }
 
 set -e
-cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DECOV_WERROR=ON
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" "${CMAKE_ARGS[@]}"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 set +e

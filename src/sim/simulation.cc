@@ -1,10 +1,24 @@
 #include "sim/simulation.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 
 namespace ecov::sim {
+
+namespace {
+
+/** Process-wide tick counter backing Simulation::globalTickCount(). */
+std::atomic<std::uint64_t> g_total_ticks{0};
+
+} // namespace
+
+std::uint64_t
+Simulation::globalTickCount()
+{
+    return g_total_ticks.load(std::memory_order_relaxed);
+}
 
 Simulation::Simulation(TimeS tick_interval_s, TimeS start_s)
     : clock_(tick_interval_s, start_s)
@@ -69,6 +83,8 @@ Simulation::step()
             e.fn(start, dt);
     }
     clock_.advance();
+    ++ticks_executed_;
+    g_total_ticks.fetch_add(1, std::memory_order_relaxed);
 }
 
 void

@@ -110,6 +110,18 @@ class Simulation
     /** Run a fixed number of ticks. */
     void runTicks(std::int64_t ticks);
 
+    /** Ticks this instance has executed since construction. */
+    std::uint64_t ticksExecuted() const { return ticks_executed_; }
+
+    /**
+     * Cumulative ticks executed by *all* Simulation instances in this
+     * process. Scenario harnesses (ecobench) snapshot this around a
+     * run to compute tick throughput even when a scenario constructs
+     * several simulations internally (e.g. repeated-arrival
+     * aggregates). Monotonic; never reset.
+     */
+    static std::uint64_t globalTickCount();
+
   private:
     struct Entry
     {
@@ -125,6 +137,7 @@ class Simulation
     SimClock clock_;
     std::vector<Entry> entries_;
     std::int64_t next_order_ = 0;
+    std::uint64_t ticks_executed_ = 0;
     bool dirty_ = false;
 };
 

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * `ecobench diff` tolerance-logic tests: in-tolerance drift passes,
+ * out-of-tolerance domain drift fails, perf drift warns unless a perf
+ * tolerance is set, and structural changes (missing scenarios or
+ * metrics, header mismatches) are regressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bench_diff.h"
+#include "util/json.h"
+
+namespace ecov::bench {
+namespace {
+
+JsonValue
+parse(const std::string &text)
+{
+    auto v = JsonValue::parse(text);
+    EXPECT_TRUE(v.has_value()) << text;
+    return *v;
+}
+
+/** A minimal single-scenario report. */
+std::string
+report(double carbon, double wall, const char *horizon = "short",
+       int ticks = 100)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        R"({"schema_version": 1, "horizon": "%s", "tick_s": 60,
+            "scenarios": [{"name": "s1", "seed": 1, "ticks": %d,
+                "metrics": {"carbon_g": %.17g},
+                "perf": {"wall_time_s": %.17g}}]})",
+        horizon, ticks, carbon, wall);
+    return buf;
+}
+
+TEST(BenchDiffTest, IdenticalReportsPass)
+{
+    auto base = parse(report(12.5, 0.5));
+    auto cur = parse(report(12.5, 0.5));
+    auto result = diffReports(base, cur, DiffOptions{});
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.warnings.empty());
+    EXPECT_TRUE(result.infos.empty());
+}
+
+TEST(BenchDiffTest, InToleranceDriftIsInfo)
+{
+    DiffOptions opts;
+    opts.tolerance_pct = 1.0;
+    auto result = diffReports(parse(report(100.0, 0.5)),
+                              parse(report(100.5, 0.5)), opts);
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.infos.size(), 1u);
+    EXPECT_NEAR(result.infos[0].delta_pct, 0.5, 1e-9);
+}
+
+TEST(BenchDiffTest, OutOfToleranceDomainDriftFails)
+{
+    DiffOptions opts;
+    opts.tolerance_pct = 1.0;
+    auto result = diffReports(parse(report(100.0, 0.5)),
+                              parse(report(103.0, 0.5)), opts);
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_EQ(result.regressions[0].metric, "carbon_g");
+    EXPECT_NEAR(result.regressions[0].delta_pct, 3.0, 1e-9);
+    EXPECT_FALSE(result.regressions[0].perf);
+}
+
+TEST(BenchDiffTest, PerfDriftWarnsByDefault)
+{
+    // Wall time triples: host noise, not a regression by default.
+    auto result = diffReports(parse(report(100.0, 0.5)),
+                              parse(report(100.0, 1.5)), DiffOptions{});
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.warnings.size(), 1u);
+    EXPECT_TRUE(result.warnings[0].perf);
+    EXPECT_EQ(result.warnings[0].metric, "wall_time_s");
+}
+
+TEST(BenchDiffTest, PerfToleranceEnforcesWhenSet)
+{
+    DiffOptions opts;
+    opts.perf_tolerance_pct = 50.0;
+    auto result = diffReports(parse(report(100.0, 0.5)),
+                              parse(report(100.0, 1.5)), opts);
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_TRUE(result.regressions[0].perf);
+}
+
+TEST(BenchDiffTest, MissingPerfMetricRegressesOnlyUnderEnforcement)
+{
+    auto base = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {}, "perf": {"op_ns": 5.0}}]})");
+    auto cur = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {}, "perf": {}}]})");
+
+    // Default: perf is warn-only, including structural loss.
+    auto lax = diffReports(base, cur, DiffOptions{});
+    EXPECT_TRUE(lax.ok());
+    ASSERT_EQ(lax.warnings.size(), 1u);
+    EXPECT_EQ(lax.warnings[0].kind, DiffEntry::Kind::MissingMetric);
+
+    // With a perf tolerance the gate must not silently lose coverage.
+    DiffOptions strict;
+    strict.perf_tolerance_pct = 50.0;
+    auto enforced = diffReports(base, cur, strict);
+    EXPECT_FALSE(enforced.ok());
+    ASSERT_EQ(enforced.regressions.size(), 1u);
+    EXPECT_EQ(enforced.regressions[0].metric, "op_ns");
+}
+
+TEST(BenchDiffTest, NearZeroBaselineUsesAbsoluteEpsilon)
+{
+    DiffOptions opts;
+    opts.tolerance_pct = 5.0;
+    // 1e-12 vs 2e-12: relative delta is 100 % but absolute delta is
+    // far below abs_epsilon, so it must not regress.
+    auto result = diffReports(parse(report(1e-12, 0.5)),
+                              parse(report(2e-12, 0.5)), opts);
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.infos.empty());
+}
+
+TEST(BenchDiffTest, HorizonMismatchIsRegression)
+{
+    auto result =
+        diffReports(parse(report(100.0, 0.5, "short")),
+                    parse(report(100.0, 0.5, "full")), DiffOptions{});
+    EXPECT_FALSE(result.ok());
+    ASSERT_FALSE(result.regressions.empty());
+    EXPECT_EQ(result.regressions[0].kind,
+              DiffEntry::Kind::SchemaMismatch);
+}
+
+TEST(BenchDiffTest, SeedMismatchFlagsConfigDriftNotMetricNoise)
+{
+    auto base = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "seed": 1, "ticks": 100,
+                "metrics": {"carbon_g": 1.0}, "perf": {}}]})");
+    auto cur = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "seed": 99, "ticks": 140,
+                "metrics": {"carbon_g": 7.0}, "perf": {}}]})");
+    auto result = diffReports(base, cur, DiffOptions{});
+    EXPECT_FALSE(result.ok());
+    // One clear config-drift entry, not a metric + ticks avalanche.
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_EQ(result.regressions[0].kind,
+              DiffEntry::Kind::SchemaMismatch);
+    EXPECT_NE(result.regressions[0].describe().find("seed"),
+              std::string::npos);
+}
+
+TEST(BenchDiffTest, TickCountChangeIsRegression)
+{
+    auto result =
+        diffReports(parse(report(100.0, 0.5, "short", 100)),
+                    parse(report(100.0, 0.5, "short", 101)),
+                    DiffOptions{});
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_EQ(result.regressions[0].metric, "ticks");
+}
+
+TEST(BenchDiffTest, AbsentTicksHandledExplicitly)
+{
+    auto with_ticks = parse(report(100.0, 0.5));
+    auto without_ticks = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "seed": 1,
+                "metrics": {"carbon_g": 100.0},
+                "perf": {"wall_time_s": 0.5}}]})");
+
+    // Baseline has ticks, current lost them: regression, and the
+    // message must not quote a sentinel as a measured value.
+    auto lost = diffReports(with_ticks, without_ticks, DiffOptions{});
+    EXPECT_FALSE(lost.ok());
+    ASSERT_EQ(lost.regressions.size(), 1u);
+    EXPECT_EQ(lost.regressions[0].kind, DiffEntry::Kind::MissingMetric);
+    EXPECT_EQ(lost.regressions[0].metric, "ticks");
+
+    // Ticks newly appearing is informational, as for any new metric.
+    auto gained = diffReports(without_ticks, with_ticks, DiffOptions{});
+    EXPECT_TRUE(gained.ok());
+    ASSERT_EQ(gained.infos.size(), 1u);
+    EXPECT_EQ(gained.infos[0].kind, DiffEntry::Kind::AddedMetric);
+
+    // Both sides lacking ticks compares the rest silently.
+    auto neither =
+        diffReports(without_ticks, without_ticks, DiffOptions{});
+    EXPECT_TRUE(neither.ok());
+    EXPECT_TRUE(neither.infos.empty());
+}
+
+TEST(BenchDiffTest, MissingScenarioIsRegression)
+{
+    auto base = parse(report(100.0, 0.5));
+    auto cur = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": []})");
+    auto result = diffReports(base, cur, DiffOptions{});
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_EQ(result.regressions[0].kind,
+              DiffEntry::Kind::MissingScenario);
+}
+
+TEST(BenchDiffTest, AddedScenarioIsInfoOnly)
+{
+    auto base = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": []})");
+    auto cur = parse(report(100.0, 0.5));
+    auto result = diffReports(base, cur, DiffOptions{});
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.infos.size(), 1u);
+    EXPECT_EQ(result.infos[0].kind, DiffEntry::Kind::AddedScenario);
+}
+
+TEST(BenchDiffTest, MissingDomainMetricIsRegression)
+{
+    auto base = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {"carbon_g": 1.0, "runtime_s": 2.0},
+                "perf": {}}]})");
+    auto cur = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {"carbon_g": 1.0},
+                "perf": {}}]})");
+    auto result = diffReports(base, cur, DiffOptions{});
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.regressions.size(), 1u);
+    EXPECT_EQ(result.regressions[0].kind,
+              DiffEntry::Kind::MissingMetric);
+    EXPECT_EQ(result.regressions[0].metric, "runtime_s");
+}
+
+TEST(BenchDiffTest, AddedMetricIsInfoOnly)
+{
+    auto base = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {"carbon_g": 1.0}, "perf": {}}]})");
+    auto cur = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {"carbon_g": 1.0, "extra": 3.0},
+                "perf": {}}]})");
+    auto result = diffReports(base, cur, DiffOptions{});
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.infos.size(), 1u);
+    EXPECT_EQ(result.infos[0].kind, DiffEntry::Kind::AddedMetric);
+}
+
+TEST(BenchDiffTest, NonNumericBaselineMetricWarns)
+{
+    // A NaN metric serializes as null; the gate must flag rather
+    // than silently drop it from coverage.
+    auto base = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {"broken": null, "carbon_g": 1.0},
+                "perf": {}}]})");
+    auto cur = parse(
+        R"({"schema_version": 1, "horizon": "short", "tick_s": 60,
+            "scenarios": [{"name": "s1", "ticks": 100,
+                "metrics": {"broken": 2.0, "carbon_g": 1.0},
+                "perf": {}}]})");
+    auto result = diffReports(base, cur, DiffOptions{});
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.warnings.size(), 1u);
+    EXPECT_EQ(result.warnings[0].kind, DiffEntry::Kind::NonNumeric);
+    EXPECT_NE(result.warnings[0].describe().find("baseline"),
+              std::string::npos);
+
+    // The symmetric case — current-side null against a numeric
+    // baseline — is a regression that names the offending side.
+    auto reversed = diffReports(cur, base, DiffOptions{});
+    EXPECT_FALSE(reversed.ok());
+    ASSERT_EQ(reversed.regressions.size(), 1u);
+    EXPECT_EQ(reversed.regressions[0].kind,
+              DiffEntry::Kind::NonNumeric);
+    EXPECT_TRUE(reversed.regressions[0].current_side);
+    EXPECT_NE(reversed.regressions[0].describe().find("current"),
+              std::string::npos);
+}
+
+TEST(BenchDiffTest, DescribeMentionsTheNumbers)
+{
+    DiffOptions opts;
+    opts.tolerance_pct = 1.0;
+    auto result = diffReports(parse(report(100.0, 0.5)),
+                              parse(report(110.0, 0.5)), opts);
+    ASSERT_EQ(result.regressions.size(), 1u);
+    std::string text = result.regressions[0].describe();
+    EXPECT_NE(text.find("carbon_g"), std::string::npos);
+    EXPECT_NE(text.find("10.000%"), std::string::npos);
+}
+
+} // namespace
+} // namespace ecov::bench

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Scenario-registry tests: all 14 scenarios register with sane
+ * metadata, lookup works, and running a scenario through the harness
+ * produces metrics, tick counts, and a well-formed JSON report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/registry.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace ecov::bench {
+namespace {
+
+TEST(ScenarioRegistryTest, AllFourteenScenariosRegistered)
+{
+    const auto &registry = ScenarioRegistry::instance();
+    EXPECT_EQ(registry.size(), 14u);
+
+    const char *expected[] = {
+        "ablation_carbon_arbitrage", "ablation_excess_solar",
+        "ablation_geo_shift",        "ablation_tick_interval",
+        "fig01_carbon_traces",       "fig04_wait_and_scale",
+        "fig05_multitenancy",        "fig06_carbon_budget",
+        "fig07_budget_multitenancy", "fig08_virtual_battery",
+        "fig09_battery_multitenancy","fig10_solar_caps",
+        "fig11_stragglers",          "micro_api_overhead",
+    };
+    for (const char *name : expected)
+        EXPECT_NE(registry.find(name), nullptr) << name;
+    EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioRegistryTest, MetadataIsWellFormed)
+{
+    std::set<std::string> names;
+    for (const Scenario *s : ScenarioRegistry::instance().all()) {
+        EXPECT_FALSE(s->description.empty()) << s->name;
+        EXPECT_TRUE(s->run) << s->name;
+        EXPECT_TRUE(names.insert(s->name).second)
+            << "duplicate " << s->name;
+    }
+    // all() returns name-sorted order.
+    auto all = ScenarioRegistry::instance().all();
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1]->name, all[i]->name);
+}
+
+TEST(ScenarioRegistryTest, DuplicateRegistrationIsFatal)
+{
+    Scenario dup;
+    dup.name = "fig01_carbon_traces";
+    dup.description = "duplicate";
+    dup.run = [](const ScenarioOptions &) { return ScenarioOutcome{}; };
+    EXPECT_THROW(ScenarioRegistry::instance().add(std::move(dup)),
+                 FatalError);
+}
+
+TEST(ScenarioRegistryTest, HorizonParses)
+{
+    Horizon h = Horizon::Full;
+    EXPECT_TRUE(parseHorizon("short", &h));
+    EXPECT_EQ(h, Horizon::Short);
+    EXPECT_TRUE(parseHorizon("full", &h));
+    EXPECT_EQ(h, Horizon::Full);
+    EXPECT_FALSE(parseHorizon("medium", &h));
+    EXPECT_STREQ(horizonName(Horizon::Short), "short");
+}
+
+/** A cheap trace-only scenario still yields metrics (ticks stay 0). */
+TEST(ScenarioRegistryTest, RunScenarioCollectsMetrics)
+{
+    const Scenario *s =
+        ScenarioRegistry::instance().find("fig01_carbon_traces");
+    ASSERT_NE(s, nullptr);
+    ScenarioOptions opts;
+    opts.seed = s->default_seed;
+    opts.horizon = Horizon::Short;
+    auto report = runScenario(*s, opts);
+    EXPECT_EQ(report.name, s->name);
+    EXPECT_EQ(report.seed, s->default_seed);
+    EXPECT_FALSE(report.outcome.metrics.empty());
+    EXPECT_GE(report.wall_time_s, 0.0);
+    EXPECT_EQ(report.ticks, 0u); // no Simulation involved
+}
+
+/** A simulation-backed scenario reports tick throughput. */
+TEST(ScenarioRegistryTest, RunScenarioCountsTicks)
+{
+    const Scenario *s =
+        ScenarioRegistry::instance().find("ablation_excess_solar");
+    ASSERT_NE(s, nullptr);
+    ScenarioOptions opts;
+    opts.seed = s->default_seed;
+    opts.horizon = Horizon::Short;
+    auto report = runScenario(*s, opts);
+    // Three 24 h runs at the 60 s tick.
+    EXPECT_EQ(report.ticks, 3u * 24 * 60);
+    EXPECT_GT(report.ticks_per_sec, 0.0);
+}
+
+TEST(ScenarioRegistryTest, ReportJsonIsParseable)
+{
+    const Scenario *s =
+        ScenarioRegistry::instance().find("fig01_carbon_traces");
+    ASSERT_NE(s, nullptr);
+    ScenarioOptions opts;
+    opts.seed = 7;
+    opts.horizon = Horizon::Short;
+    std::vector<ScenarioReport> reports{runScenario(*s, opts)};
+    std::string doc =
+        reportsToJson(reports, Horizon::Short, /*tick_s=*/60);
+
+    auto parsed = JsonValue::parse(doc);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->numberOr("schema_version", 0), 1.0);
+    EXPECT_EQ(parsed->stringOr("horizon", ""), "short");
+    const auto &scen = parsed->find("scenarios")->asArray();
+    ASSERT_EQ(scen.size(), 1u);
+    EXPECT_EQ(scen[0].stringOr("name", ""), "fig01_carbon_traces");
+    EXPECT_EQ(scen[0].numberOr("seed", 0), 7.0);
+    ASSERT_NE(scen[0].find("metrics"), nullptr);
+    EXPECT_FALSE(scen[0].find("metrics")->asObject().empty());
+    ASSERT_NE(scen[0].find("perf"), nullptr);
+    EXPECT_NE(scen[0].find("perf")->find("wall_time_s"), nullptr);
+}
+
+/** Same seed + options => identical domain metrics (determinism). */
+TEST(ScenarioRegistryTest, DomainMetricsAreDeterministic)
+{
+    const Scenario *s =
+        ScenarioRegistry::instance().find("ablation_excess_solar");
+    ASSERT_NE(s, nullptr);
+    ScenarioOptions opts;
+    opts.seed = s->default_seed;
+    opts.horizon = Horizon::Short;
+    auto a = runScenario(*s, opts);
+    auto b = runScenario(*s, opts);
+    ASSERT_EQ(a.outcome.metrics.size(), b.outcome.metrics.size());
+    for (std::size_t i = 0; i < a.outcome.metrics.size(); ++i) {
+        EXPECT_EQ(a.outcome.metrics[i].name, b.outcome.metrics[i].name);
+        EXPECT_EQ(a.outcome.metrics[i].value,
+                  b.outcome.metrics[i].value)
+            << a.outcome.metrics[i].name;
+    }
+}
+
+} // namespace
+} // namespace ecov::bench

@@ -150,6 +150,20 @@ TEST(Simulation, ListenerAddedDuringDispatchRunsNextTick)
     EXPECT_EQ(added_calls, 1);
 }
 
+TEST(Simulation, TickCountersTrackSteps)
+{
+    Simulation simul(60);
+    EXPECT_EQ(simul.ticksExecuted(), 0u);
+    const std::uint64_t global_before = Simulation::globalTickCount();
+    simul.runTicks(7);
+    EXPECT_EQ(simul.ticksExecuted(), 7u);
+    // The global counter aggregates across instances.
+    Simulation other(30);
+    other.runTicks(3);
+    EXPECT_EQ(other.ticksExecuted(), 3u);
+    EXPECT_EQ(Simulation::globalTickCount() - global_before, 10u);
+}
+
 TEST(Simulation, NullListenerIsFatal)
 {
     Simulation simul(60);
