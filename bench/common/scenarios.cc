@@ -57,7 +57,8 @@ runBatchScenario(const wl::BatchJobConfig &job_config,
     cop::Cluster cluster(32, microserver());
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
     Ecovisor eco(&cluster, &phys);
-    eco.addApp(job_config.app, AppShareConfig{});
+    const api::AppHandle app_h =
+        eco.tryAddApp(job_config.app, AppShareConfig{}).value();
 
     wl::BatchJob job(&cluster, job_config);
 
@@ -98,7 +99,7 @@ runBatchScenario(const wl::BatchJobConfig &job_config,
     result.completed = job.done();
     result.runtime_s = job.done() ? job.runtime()
                                   : simul.now() - run.arrival_s;
-    result.carbon_g = eco.ves(job_config.app).totalCarbonG();
+    result.carbon_g = eco.ves(app_h)->totalCarbonG();
     return result;
 }
 
@@ -132,8 +133,8 @@ runMultiTenantBatch(std::uint64_t seed, const ScenarioTuning &tuning)
     cop::Cluster cluster(48, microserver());
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
     Ecovisor eco(&cluster, &phys);
-    eco.addApp("ml", AppShareConfig{});
-    eco.addApp("blast", AppShareConfig{});
+    eco.tryAddApp("ml", AppShareConfig{}).value();
+    eco.tryAddApp("blast", AppShareConfig{}).value();
 
     auto ml_cfg =
         wl::mlTrainingConfig("ml", 4.0 * 5.0 * 3600.0 * work_scale);
@@ -198,8 +199,10 @@ runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed,
     cop::Cluster cluster(32, microserver());
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
     Ecovisor eco(&cluster, &phys);
-    eco.addApp("web1", AppShareConfig{});
-    eco.addApp("web2", AppShareConfig{});
+    const api::AppHandle web1_h =
+        eco.tryAddApp("web1", AppShareConfig{}).value();
+    const api::AppHandle web2_h =
+        eco.tryAddApp("web2", AppShareConfig{}).value();
 
     auto trace1 = wl::makeRequestTrace(wl::webApp1Workload(), seed + 1);
     auto trace2 = wl::makeRequestTrace(wl::webApp2Workload(), seed + 2);
@@ -253,8 +256,8 @@ runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed,
     eco.attach(simul);
     simul.addListener(
         [&](TimeS t, TimeS dt) {
-            const auto &s1 = eco.ves("web1").lastSettlement();
-            const auto &s2 = eco.ves("web2").lastSettlement();
+            const auto &s1 = eco.ves(web1_h)->lastSettlement();
+            const auto &s2 = eco.ves(web2_h)->lastSettlement();
             rate1.emplace_back(t, s1.carbon_g / static_cast<double>(dt));
             rate2.emplace_back(t, s2.carbon_g / static_cast<double>(dt));
         },
@@ -269,7 +272,8 @@ runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed,
     out.target_rate_g_s = rate;
 
     auto fill = [&](wl::WebApplication &app, Series rate_series,
-                    Series load_series, const std::string &name) {
+                    Series load_series, const std::string &name,
+                    api::AppHandle h) {
         WebAppMeasurements m;
         for (const auto &p : app.latencyLog())
             m.latency_p95_ms.emplace_back(p.first, p.second);
@@ -277,11 +281,13 @@ runWebBudgetScenario(bool dynamic_budget, std::uint64_t seed,
         m.carbon_rate_g_s = std::move(rate_series);
         m.workload_rps = std::move(load_series);
         m.slo_violations = app.sloViolations();
-        m.carbon_g = eco.ves(name).totalCarbonG();
+        m.carbon_g = eco.ves(h)->totalCarbonG();
         return m;
     };
-    out.app1 = fill(app1, std::move(rate1), std::move(load1), "web1");
-    out.app2 = fill(app2, std::move(rate2), std::move(load2), "web2");
+    out.app1 =
+        fill(app1, std::move(rate1), std::move(load1), "web1", web1_h);
+    out.app2 =
+        fill(app2, std::move(rate2), std::move(load2), "web2", web2_h);
     return out;
 }
 
@@ -328,8 +334,9 @@ runBatteryScenario(bool dynamic, std::uint64_t seed,
         s.battery = b;
         return s;
     };
-    eco.addApp("spark", share(0.5));
-    eco.addApp("web", share(0.5));
+    const api::AppHandle spark_h =
+        eco.tryAddApp("spark", share(0.5)).value();
+    const api::AppHandle web_h = eco.tryAddApp("web", share(0.5)).value();
 
     wl::SparkJobConfig jc;
     jc.app = "spark";
@@ -404,8 +411,8 @@ runBatteryScenario(bool dynamic, std::uint64_t seed,
         [&](TimeS t, TimeS) {
             spark_workers.emplace_back(t, spark.workers());
             web_workers.emplace_back(t, web.workers());
-            const auto &ss = eco.ves("spark").lastSettlement();
-            const auto &ws = eco.ves("web").lastSettlement();
+            const auto &ss = eco.ves(spark_h)->lastSettlement();
+            const auto &ws = eco.ves(web_h)->lastSettlement();
             spark_batt_w.emplace_back(
                 t, ss.batt_charge_solar_w + ss.batt_charge_grid_w -
                        ss.batt_discharge_w);
@@ -435,8 +442,8 @@ runBatteryScenario(bool dynamic, std::uint64_t seed,
     out.spark_runtime_s =
         spark.done() ? spark.completionTime() : simul.now();
     out.web_slo_violations = web.sloViolations();
-    out.total_grid_wh = eco.ves("spark").totalGridWh() +
-                        eco.ves("web").totalGridWh();
+    out.total_grid_wh = eco.ves(spark_h)->totalGridWh() +
+                        eco.ves(web_h)->totalGridWh();
     return out;
 }
 
@@ -471,7 +478,7 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
     Ecovisor eco(&cluster, &phys);
     AppShareConfig share;
     share.solar_fraction = 1.0;
-    eco.addApp("par", share);
+    const api::AppHandle par_h = eco.tryAddApp("par", share).value();
 
     // Sized so the job fits within one day's daylight at every sweep
     // point, as the paper's single-day experiment does — otherwise
@@ -522,7 +529,9 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
                 return;
             double sum = 0.0;
             for (auto id : ids) {
-                double cap = eco.getContainerPowercap(id);
+                double cap =
+                    eco.getContainerPowercap(api::ContainerHandle(id))
+                        .value();
                 sum += std::isfinite(cap)
                            ? cap
                            : cluster.maxContainerPowerW(id);
@@ -541,7 +550,7 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
     out.completed = job.done();
     out.runtime_s = job.done() ? job.completionTime() - job.startTime()
                                : simul.now() - job.startTime();
-    out.energy_wh = eco.ves("par").totalEnergyWh();
+    out.energy_wh = eco.ves(par_h)->totalEnergyWh();
     out.useful_work = static_cast<double>(jc.rounds) *
                       static_cast<double>(jc.workers) * jc.round_work;
     out.solar_w = copySeries(eco.db().series("solar_w"));

@@ -43,7 +43,7 @@ runWith(double capacity_wh, double efficiency, bool arbitrage,
 
     core::AppShareConfig share;
     share.battery = bank;
-    eco.addApp("app", share);
+    const api::AppHandle app_h = eco.tryAddApp("app", share).value();
 
     policy::CarbonArbitrageConfig cfg;
     cfg.low_g_per_kwh = signal.intensityPercentile(30.0);
@@ -61,11 +61,11 @@ runWith(double capacity_wh, double efficiency, bool arbitrage,
         simul.addListener([&](TimeS t, TimeS dt) { pol.onTick(t, dt); },
                           sim::TickPhase::Policy);
     } else {
-        eco.setBatteryMaxDischarge("app", 0.0);
+        eco.setBatteryMaxDischarge(app_h, 0.0).orFatal();
     }
     eco.attach(simul);
     simul.runUntil(static_cast<TimeS>(days) * 24 * 3600);
-    return eco.ves("app").totalCarbonG();
+    return eco.ves(app_h)->totalCarbonG();
 }
 
 ScenarioOutcome

@@ -57,7 +57,7 @@ runWith(core::ExcessSolarPolicy policy, std::uint64_t seed,
     fb.max_discharge_w = 50.0;
     fb.initial_soc = 0.9;
     full.battery = fb;
-    eco.addApp("full", full);
+    eco.tryAddApp("full", full).value();
 
     // Big enough that it never saturates within the day: the policies
     // now differ in totals, not just timing.
@@ -69,14 +69,15 @@ runWith(core::ExcessSolarPolicy policy, std::uint64_t seed,
     hb.max_discharge_w = 500.0;
     hb.initial_soc = 0.31;
     hungry.battery = hb;
-    eco.addApp("hungry", hungry);
+    const api::AppHandle hungry_h =
+        eco.tryAddApp("hungry", hungry).value();
 
     sim::Simulation simul(tick_s);
     eco.attach(simul);
     simul.runUntil(24 * 3600);
 
     return Outcome{eco.curtailedWh(), eco.netMeteredWh(),
-                   eco.getBatteryChargeLevel("hungry")};
+                   eco.getBatteryChargeLevel(hungry_h).value()};
 }
 
 const char *

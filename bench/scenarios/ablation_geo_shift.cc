@@ -39,7 +39,7 @@ struct SiteRig
           cluster(8, power::ServerPowerConfig{}),
           phys(&grid, nullptr, std::nullopt), eco(&cluster, &phys)
     {
-        eco.addApp("job", core::AppShareConfig{});
+        eco.tryAddApp("job", core::AppShareConfig{}).value();
     }
 };
 

@@ -41,7 +41,8 @@ runWith(TimeS tick_s, std::uint64_t seed, double work_scale,
     cop::Cluster cluster(16, power::ServerPowerConfig{});
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
     core::Ecovisor eco(&cluster, &phys);
-    eco.addApp("job", core::AppShareConfig{});
+    const api::AppHandle job_h =
+        eco.tryAddApp("job", core::AppShareConfig{}).value();
 
     auto cfg =
         wl::mlTrainingConfig("job", 4.0 * 5.0 * 3600.0 * work_scale);
@@ -60,7 +61,7 @@ runWith(TimeS tick_s, std::uint64_t seed, double work_scale,
     while (!job.done() && simul.now() < horizon_s)
         simul.step();
     return Outcome{static_cast<double>(job.runtime()) / 3600.0,
-                   eco.ves("job").totalCarbonG()};
+                   eco.ves(job_h)->totalCarbonG()};
 }
 
 ScenarioOutcome

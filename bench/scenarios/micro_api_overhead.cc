@@ -3,8 +3,13 @@
  * Microbenchmark scenario: the cost of the ecovisor's narrow API
  * (Table 1 getters/setters) and of per-tick settlement at various
  * cluster sizes. Not a paper figure — a sanity check that the control
- * plane is cheap relative to the one-minute tick. All timing results
- * are host-dependent and therefore reported as perf metrics (compared
+ * plane is cheap relative to the one-minute tick, and the measurement
+ * backing the v2 API redesign: the string-keyed v1 surface, the
+ * handle-addressed v2 surface and the batched EnergySnapshot are all
+ * timed side by side (`*_string` vs `*_handle` vs `getters_snapshot`).
+ * The handle path must beat the string path — it replaces a
+ * string-keyed map walk with an array index. All timing results are
+ * host-dependent and therefore reported as perf metrics (compared
  * warn-only by `ecobench diff`).
  */
 
@@ -96,12 +101,47 @@ run(const ScenarioOptions &opt)
 
     {
         Rig rig(8, 2, 4);
+        const api::AppHandle app0 = rig.eco.findApp("app0").value();
         record("get_grid_carbon", nsPerOp(iters, [&](int) {
                    return rig.eco.getGridCarbon();
                }));
+
+        // The same getter through the three surfaces: v1 string path
+        // (map walk per call), v2 handle path (array index), and the
+        // batched snapshot below.
         record("get_solar_power", nsPerOp(iters, [&](int) {
                    return rig.eco.getSolarPower("app0");
                }));
+        record("get_solar_power_handle", nsPerOp(iters, [&](int) {
+                   return rig.eco.getSolarPower(app0).value();
+               }));
+
+        // The full Table 1 getter set for one app: five string calls
+        // vs five handle calls vs one batched EnergySnapshot.
+        record("getters_string", nsPerOp(iters, [&](int) {
+                   return rig.eco.getSolarPower("app0") +
+                          rig.eco.getGridPower("app0") +
+                          rig.eco.getGridCarbon() +
+                          rig.eco.getBatteryDischargeRate("app0") +
+                          rig.eco.getBatteryChargeLevel("app0");
+               }));
+        record("getters_handle", nsPerOp(iters, [&](int) {
+                   return rig.eco.getSolarPower(app0).value() +
+                          rig.eco.getGridPower(app0).value() +
+                          rig.eco.getGridCarbon() +
+                          rig.eco.getBatteryDischargeRate(app0)
+                              .value() +
+                          rig.eco.getBatteryChargeLevel(app0).value();
+               }));
+        record("getters_snapshot", nsPerOp(iters, [&](int) {
+                   const api::EnergySnapshot s =
+                       rig.eco.getEnergySnapshot(app0).value();
+                   return s.solar_w + s.grid_w +
+                          s.grid_carbon_g_per_kwh +
+                          s.battery_discharge_w +
+                          s.battery_charge_level_wh;
+               }));
+
         record("get_container_power", nsPerOp(iters, [&](int) {
                    return rig.eco.getContainerPower(rig.ids.front());
                }));
@@ -113,6 +153,14 @@ run(const ScenarioOptions &opt)
         record("set_battery_charge_rate", nsPerOp(iters, [&](int i) {
                    rig.eco.setBatteryChargeRate(
                        "app0", static_cast<double>(i % 11) * 10.0);
+                   return 0.0;
+               }));
+        record("set_battery_charge_rate_handle",
+               nsPerOp(iters, [&](int i) {
+                   rig.eco
+                       .setBatteryChargeRate(
+                           app0, static_cast<double>(i % 11) * 10.0)
+                       .orFatal();
                    return 0.0;
                }));
     }
@@ -140,7 +188,8 @@ run(const ScenarioOptions &opt)
         std::printf("=== Microbenchmark: ecovisor API overhead ===\n\n");
         t.print();
         std::printf("\nSanity check: every operation must be orders "
-                    "of magnitude cheaper than the 60 s tick.\n");
+                    "of magnitude cheaper than the 60 s tick, and the "
+                    "handle paths must beat their string twins.\n");
     }
     return out;
 }

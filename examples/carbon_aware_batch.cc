@@ -36,7 +36,8 @@ runOnce(int policy_kind, double scale)
     cop::Cluster cluster(16, power::ServerPowerConfig{});
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
     core::Ecovisor eco(&cluster, &phys);
-    eco.addApp("train", core::AppShareConfig{});
+    const api::AppHandle train_h =
+        eco.tryAddApp("train", core::AppShareConfig{}).value();
 
     // A 4-worker training job with synchronization overhead.
     auto cfg = wl::mlTrainingConfig("train", 4.0 * 6.0 * 3600.0);
@@ -65,7 +66,7 @@ runOnce(int policy_kind, double scale)
         simul.step();
 
     return Outcome{static_cast<double>(job.runtime()) / 3600.0,
-                   eco.ves("train").totalCarbonG()};
+                   eco.ves(train_h)->totalCarbonG()};
 }
 
 } // namespace

@@ -1,11 +1,15 @@
 /**
  * @file
- * Quickstart: the smallest complete ecovisor program.
+ * Quickstart: the smallest complete ecovisor program, written against
+ * the v2 handle surface.
  *
  * Builds a 4-node cluster with a grid connection, a solar array and a
- * battery; registers one application with a share of each; runs one
- * simulated hour with a tick() callback that reads the virtual energy
- * system through the Table 1 API and reacts to carbon intensity.
+ * battery; registers one application with a share of each (receiving
+ * an api::AppHandle — the name is resolved exactly once); runs one
+ * simulated day with a tick() callback that reads the whole Table 1
+ * getter set through a single batched EnergySnapshot and reacts to
+ * carbon intensity. Every v2 call returns api::Status / api::Result
+ * instead of aborting on misuse.
  *
  * Build & run:
  *   cmake -B build -G Ninja && cmake --build build
@@ -48,46 +52,60 @@ main()
     // --- the ecovisor --------------------------------------------------
     core::Ecovisor eco(&cluster, &phys);
 
-    // One application owning the whole energy system.
+    // One application owning the whole energy system. tryAddApp
+    // validates the share and returns the app's handle; a rejected
+    // share would come back as a structured error, not a crash.
     core::AppShareConfig share;
     share.solar_fraction = 1.0;
     share.battery = battery;
-    eco.addApp("myapp", share);
+    auto registered = eco.tryAddApp("myapp", share);
+    if (!registered.ok()) {
+        std::fprintf(stderr, "addApp failed: %s\n",
+                     registered.status().message().c_str());
+        return 1;
+    }
+    const api::AppHandle myapp = registered.value();
 
     // Two containers for the app.
     auto c1 = cluster.createContainer("myapp", 2.0);
     auto c2 = cluster.createContainer("myapp", 2.0);
     cluster.setDemand(*c1, 0.9);
     cluster.setDemand(*c2, 0.6);
+    const api::ContainerHandle cap_target(*c2);
 
     // The application's tick() upcall: carbon-aware power capping.
-    eco.registerTickCallback("myapp", [&](TimeS t, TimeS) {
-        double carbon = eco.getGridCarbon();   // gCO2/kWh
-        double solar_w = eco.getSolarPower("myapp");
-        // When the grid is dirty and solar is low, cap container 2
-        // to 1 W; otherwise let it run free.
-        if (carbon > 250.0 && solar_w < 50.0)
-            eco.setContainerPowercap(*c2, 1.0);
-        else
-            eco.setContainerPowercap(*c2, core::kUnlimitedW);
-        // Opportunistic carbon arbitrage: charge the battery from the
-        // grid while it is clean.
-        eco.setBatteryChargeRate("myapp", carbon < 150.0 ? 100.0 : 0.0);
-        if (t % 900 == 0) {
-            std::printf("t=%5lldmin carbon=%6.1f g/kWh solar=%6.1f W "
-                        "battery=%7.1f Wh grid=%5.2f W\n",
-                        static_cast<long long>(t / 60), carbon, solar_w,
-                        eco.getBatteryChargeLevel("myapp"),
-                        eco.getGridPower("myapp"));
-        }
-    });
+    // One EnergySnapshot per tick replaces four scalar getter calls.
+    eco.registerTickCallback(myapp, [&](TimeS t, TimeS) {
+           const api::EnergySnapshot s =
+               eco.getEnergySnapshot(myapp).value();
+           // When the grid is dirty and solar is low, cap container 2
+           // to 1 W; otherwise let it run free.
+           if (s.grid_carbon_g_per_kwh > 250.0 && s.solar_w < 50.0)
+               eco.setContainerPowercap(cap_target, 1.0).orFatal();
+           else
+               eco.setContainerPowercap(cap_target, core::kUnlimitedW)
+                   .orFatal();
+           // Opportunistic carbon arbitrage: charge the battery from
+           // the grid while it is clean.
+           eco.setBatteryChargeRate(
+                  myapp, s.grid_carbon_g_per_kwh < 150.0 ? 100.0 : 0.0)
+               .orFatal();
+           if (t % 900 == 0) {
+               std::printf("t=%5lldmin carbon=%6.1f g/kWh solar=%6.1f W "
+                           "battery=%7.1f Wh grid=%5.2f W\n",
+                           static_cast<long long>(t / 60),
+                           s.grid_carbon_g_per_kwh, s.solar_w,
+                           s.battery_charge_level_wh, s.grid_w);
+           }
+       })
+        .orFatal();
 
     // --- run one simulated day ------------------------------------------
     sim::Simulation simul(/*tick_interval_s=*/60);
     eco.attach(simul);
     simul.runUntil(24 * 3600);
 
-    const auto &ves = eco.ves("myapp");
+    const auto &ves = *eco.ves(myapp);
     std::printf("\nAfter 24 h: energy=%.1f Wh (grid %.1f Wh, solar "
                 "%.1f Wh), carbon=%.2f gCO2\n",
                 ves.totalEnergyWh(), ves.totalGridWh(),

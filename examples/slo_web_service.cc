@@ -32,7 +32,7 @@ main()
     cop::Cluster cluster(32, power::ServerPowerConfig{});
     energy::PhysicalEnergySystem phys(&grid, nullptr, std::nullopt);
     core::Ecovisor eco(&cluster, &phys);
-    eco.addApp("shop", core::AppShareConfig{});
+    eco.tryAddApp("shop", core::AppShareConfig{}).value();
 
     // EcoLib gives the app interval queries, budget tracking and
     // carbon-change notifications on top of the narrow API.

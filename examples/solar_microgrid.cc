@@ -63,8 +63,10 @@ main()
         s.battery = b;
         return s;
     };
-    eco.addApp("spark", half_share());
-    eco.addApp("monitor", half_share());
+    const api::AppHandle spark_h =
+        eco.tryAddApp("spark", half_share()).value();
+    const api::AppHandle monitor_h =
+        eco.tryAddApp("monitor", half_share()).value();
 
     wl::SparkJobConfig jc;
     jc.app = "spark";
@@ -125,12 +127,12 @@ main()
             std::printf("t=%3lldh solar=%5.1fW spark{w=%2d soc=%3.0f%%} "
                         "monitor{w=%2d soc=%3.0f%% p95=%5.1fms}\n",
                         static_cast<long long>(t / 3600),
-                        eco.getSolarPower("spark") +
-                            eco.getSolarPower("monitor"),
+                        eco.getSolarPower(spark_h).value() +
+                            eco.getSolarPower(monitor_h).value(),
                         spark.workers(),
-                        eco.ves("spark").battery().soc() * 100.0,
+                        eco.ves(spark_h)->battery().soc() * 100.0,
                         monitor.workers(),
-                        eco.ves("monitor").battery().soc() * 100.0,
+                        eco.ves(monitor_h)->battery().soc() * 100.0,
                         monitor.lastP95Ms());
         },
         sim::TickPhase::Telemetry);
@@ -146,8 +148,8 @@ main()
                 spark.progress() * 100.0, spark.lostWork());
     std::printf("  monitor: %d SLO violations\n",
                 monitor.sloViolations());
-    double grid_wh = eco.ves("spark").totalGridWh() +
-                     eco.ves("monitor").totalGridWh();
+    double grid_wh = eco.ves(spark_h)->totalGridWh() +
+                     eco.ves(monitor_h)->totalGridWh();
     std::printf("  grid energy used: %.2f Wh (zero-carbon check)\n",
                 grid_wh);
     std::printf("  physical battery mirrors virtual aggregate: "

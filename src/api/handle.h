@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Typed handles for the v2 ecovisor API.
+ *
+ * The v1 surface keys every per-app call by name: each
+ * getSolarPower("app") walks a string-keyed map on the hot path. The
+ * v2 surface resolves a name exactly once — at addApp()/findApp()
+ * time — into an AppHandle that indexes contiguous per-app state
+ * directly (the AoS→SoA discipline: resolve once, index thereafter).
+ *
+ * Handle stability: an AppHandle is the app's registration index and
+ * never changes — later addApp() calls do not invalidate or renumber
+ * earlier handles, regardless of name ordering (the supervisor keeps
+ * its deterministic sorted *iteration* order separately). Apps cannot
+ * currently be removed, so a handle obtained from the registering
+ * ecovisor stays valid for that ecovisor's lifetime. Handles are not
+ * portable across Ecovisor instances.
+ *
+ * ContainerHandle is the typed wrapper for the COP's opaque container
+ * id, so the v2 signatures distinguish app and container arguments at
+ * compile time instead of by spelling.
+ */
+
+#ifndef ECOV_API_HANDLE_H
+#define ECOV_API_HANDLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cop/cluster.h"
+
+namespace ecov::api {
+
+/**
+ * A resolved application: its registration index in the ecovisor's
+ * contiguous per-app state. Default-constructed handles are invalid.
+ */
+class AppHandle
+{
+  public:
+    /** Invalid handle. */
+    constexpr AppHandle() = default;
+
+    /** Handle for a known registration index (tests, iteration). */
+    explicit constexpr AppHandle(std::int32_t index) : index_(index) {}
+
+    /** True when this handle was resolved (may still be stale). */
+    constexpr bool valid() const { return index_ >= 0; }
+
+    /** The registration index; -1 when invalid. */
+    constexpr std::int32_t index() const { return index_; }
+
+    friend constexpr bool
+    operator==(AppHandle a, AppHandle b)
+    {
+        return a.index_ == b.index_;
+    }
+    friend constexpr bool
+    operator!=(AppHandle a, AppHandle b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    std::int32_t index_ = -1;
+};
+
+/** Typed wrapper around the COP's opaque container id. */
+class ContainerHandle
+{
+  public:
+    /** Invalid handle. */
+    constexpr ContainerHandle() = default;
+
+    /** Wrap a COP container id. */
+    explicit constexpr ContainerHandle(cop::ContainerId id) : id_(id) {}
+
+    /** True when this wraps a real id (may still be destroyed). */
+    constexpr bool valid() const { return id_ != cop::kInvalidContainer; }
+
+    /** The underlying COP id. */
+    constexpr cop::ContainerId id() const { return id_; }
+
+    friend constexpr bool
+    operator==(ContainerHandle a, ContainerHandle b)
+    {
+        return a.id_ == b.id_;
+    }
+    friend constexpr bool
+    operator!=(ContainerHandle a, ContainerHandle b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    cop::ContainerId id_ = cop::kInvalidContainer;
+};
+
+/** Wrap a COP container-id list into typed handles. */
+inline std::vector<ContainerHandle>
+wrapContainers(const std::vector<cop::ContainerId> &ids)
+{
+    std::vector<ContainerHandle> out;
+    out.reserve(ids.size());
+    for (cop::ContainerId id : ids)
+        out.emplace_back(id);
+    return out;
+}
+
+} // namespace ecov::api
+
+#endif // ECOV_API_HANDLE_H

@@ -1,0 +1,41 @@
+#include "api/status.h"
+
+#include "util/logging.h"
+
+namespace ecov::api {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidArgument:
+        return "invalid_argument";
+      case ErrorCode::InvalidHandle:
+        return "invalid_handle";
+      case ErrorCode::UnknownApp:
+        return "unknown_app";
+      case ErrorCode::DuplicateApp:
+        return "duplicate_app";
+      case ErrorCode::UnknownContainer:
+        return "unknown_container";
+      case ErrorCode::ShareViolation:
+        return "share_violation";
+      case ErrorCode::NoBattery:
+        return "no_battery";
+      case ErrorCode::NoSolar:
+        return "no_solar";
+    }
+    return "?";
+}
+
+const Status &
+Status::orFatal() const
+{
+    if (!ok())
+        fatal(message_);
+    return *this;
+}
+
+} // namespace ecov::api

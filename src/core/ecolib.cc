@@ -12,16 +12,22 @@ EcoLib::EcoLib(Ecovisor *ecovisor, std::string app)
 {
     if (!eco_)
         fatal("EcoLib: null ecovisor");
-    if (!eco_->hasApp(app_))
+    // Resolve the name exactly once; every later query is
+    // handle-addressed.
+    auto resolved = eco_->findApp(app_);
+    if (!resolved.ok())
         fatal("EcoLib: unknown app '" + app_ + "'");
+    handle_ = resolved.value();
     eco_->registerTickCallback(
-        app_, [this](TimeS start_s, TimeS dt_s) { onTick(start_s, dt_s); });
+              handle_,
+              [this](TimeS start_s, TimeS dt_s) { onTick(start_s, dt_s); })
+        .orFatal();
 }
 
 double
 EcoLib::getAppPower() const
 {
-    return eco_->ves(app_).lastSettlement().demand_w;
+    return eco_->ves(handle_)->lastSettlement().demand_w;
 }
 
 double
@@ -39,7 +45,7 @@ EcoLib::getAppCarbonG(TimeS t1, TimeS t2) const
 double
 EcoLib::getAppCarbonG() const
 {
-    return eco_->ves(app_).totalCarbonG();
+    return eco_->ves(handle_)->totalCarbonG();
 }
 
 double
@@ -100,7 +106,7 @@ EcoLib::setCarbonBudget(double budget_g)
     if (budget_g < 0.0)
         fatal("EcoLib::setCarbonBudget: negative budget");
     budget_g_ = budget_g;
-    spent_g_at_budget_set_ = eco_->ves(app_).totalCarbonG();
+    spent_g_at_budget_set_ = eco_->ves(handle_)->totalCarbonG();
 }
 
 double
@@ -109,7 +115,7 @@ EcoLib::carbonBudgetRemaining() const
     if (!budget_g_)
         fatal("EcoLib::carbonBudgetRemaining: no budget set");
     double spent =
-        eco_->ves(app_).totalCarbonG() - spent_g_at_budget_set_;
+        eco_->ves(handle_)->totalCarbonG() - spent_g_at_budget_set_;
     return *budget_g_ - spent;
 }
 
@@ -192,8 +198,8 @@ EcoLib::enforceCarbonRate(TimeS start_s, TimeS dt_s)
 
     // Zero-carbon supply is free: virtual solar plus whatever the
     // battery is permitted to discharge.
-    const auto &ves = eco_->ves(app_);
-    double zero_carbon_w = eco_->getSolarPower(app_);
+    const auto &ves = *eco_->ves(handle_);
+    double zero_carbon_w = eco_->getSolarPower(handle_).value();
     if (ves.hasBattery()) {
         double batt_w = std::min(ves.maxDischargeW(),
                                  ves.battery().config().max_discharge_w);
@@ -212,7 +218,10 @@ EcoLib::enforceCarbonRate(TimeS start_s, TimeS dt_s)
 void
 EcoLib::fireNotifications()
 {
-    double solar = eco_->getSolarPower(app_);
+    // One batched snapshot serves every watch below coherently.
+    const api::EnergySnapshot snap =
+        eco_->getEnergySnapshot(handle_).value();
+    double solar = snap.solar_w;
     if (prev_solar_w_ >= 0.0) {
         double base = std::max(prev_solar_w_, 1e-9);
         double rel = std::fabs(solar - prev_solar_w_) / base;
@@ -223,7 +232,7 @@ EcoLib::fireNotifications()
     }
     prev_solar_w_ = solar;
 
-    double carbon = eco_->getGridCarbon();
+    double carbon = snap.grid_carbon_g_per_kwh;
     if (prev_carbon_ >= 0.0) {
         double base = std::max(prev_carbon_, 1e-9);
         double rel = std::fabs(carbon - prev_carbon_) / base;
@@ -234,7 +243,7 @@ EcoLib::fireNotifications()
     }
     prev_carbon_ = carbon;
 
-    const auto &ves = eco_->ves(app_);
+    const auto &ves = *eco_->ves(handle_);
     if (ves.hasBattery()) {
         bool full = ves.battery().full();
         bool empty = ves.battery().empty();

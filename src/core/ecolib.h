@@ -42,9 +42,14 @@ class EcoLib
 
     /**
      * @param ecovisor borrowed; must outlive this object
-     * @param app registered application name
+     * @param app registered application name (resolved to an
+     *        api::AppHandle once, here; every per-tick query after
+     *        that is handle-addressed)
      */
     EcoLib(Ecovisor *ecovisor, std::string app);
+
+    /** The resolved handle this instance queries through. */
+    api::AppHandle handle() const { return handle_; }
 
     // ------------------------------------------------------------------
     // Table 2: monitoring queries.
@@ -149,6 +154,7 @@ class EcoLib
 
     Ecovisor *eco_;
     std::string app_;
+    api::AppHandle handle_;
 
     std::optional<double> rate_g_per_s_;
     std::map<cop::ContainerId, double> container_rates_g_per_s_;

@@ -7,6 +7,31 @@
 
 namespace ecov::core {
 
+using api::AppHandle;
+using api::ContainerHandle;
+using api::ErrorCode;
+using api::Result;
+using api::Status;
+
+namespace {
+
+Status
+unknownApp(std::string_view app)
+{
+    return Status::error(ErrorCode::UnknownApp,
+                         "Ecovisor: unknown app '" + std::string(app) +
+                             "'");
+}
+
+Status
+invalidHandle()
+{
+    return Status::error(ErrorCode::InvalidHandle,
+                         "Ecovisor: invalid app handle");
+}
+
+} // namespace
+
 Ecovisor::Ecovisor(cop::Cluster *cluster,
                    energy::PhysicalEnergySystem *phys,
                    EcovisorOptions options)
@@ -18,13 +43,37 @@ Ecovisor::Ecovisor(cop::Cluster *cluster,
         fatal("Ecovisor: null physical energy system");
 }
 
-void
-Ecovisor::addApp(const std::string &app, const AppShareConfig &share)
+// ---------------------------------------------------------------------
+// v2: registration and name resolution.
+// ---------------------------------------------------------------------
+
+Result<AppHandle>
+Ecovisor::tryAddApp(const std::string &app, const AppShareConfig &share)
 {
     if (app.empty())
-        fatal("Ecovisor::addApp: empty app name");
-    if (apps_.count(app))
-        fatal("Ecovisor::addApp: duplicate app '" + app + "'");
+        return Status::error(ErrorCode::InvalidArgument,
+                             "Ecovisor::addApp: empty app name");
+    if (index_.count(app))
+        return Status::error(ErrorCode::DuplicateApp,
+                             "Ecovisor::addApp: duplicate app '" + app +
+                                 "'");
+
+    // A NaN share parameter would slip through every range check
+    // below (all comparisons are false for NaN) and then poison the
+    // aggregate share validation and settlement for *all* tenants, so
+    // reject it up front.
+    const bool nan_share =
+        std::isnan(share.solar_fraction) || std::isnan(share.grid_max_w) ||
+        (share.battery && (std::isnan(share.battery->capacity_wh) ||
+                           std::isnan(share.battery->max_charge_w) ||
+                           std::isnan(share.battery->max_discharge_w) ||
+                           std::isnan(share.battery->initial_soc) ||
+                           std::isnan(share.battery->soc_floor) ||
+                           std::isnan(share.battery->soc_ceiling) ||
+                           std::isnan(share.battery->efficiency)));
+    if (nan_share)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "Ecovisor::addApp: NaN share parameter");
 
     // Validate aggregate shares against the physical system (§3.3).
     double solar_total = share.solar_fraction;
@@ -32,8 +81,8 @@ Ecovisor::addApp(const std::string &app, const AppShareConfig &share)
     double charge_total = share.battery ? share.battery->max_charge_w : 0.0;
     double discharge_total =
         share.battery ? share.battery->max_discharge_w : 0.0;
-    for (const auto &kv : apps_) {
-        const auto &s = kv.second.ves->share();
+    for (const auto &st : apps_) {
+        const auto &s = st.ves->share();
         solar_total += s.solar_fraction;
         if (s.battery) {
             cap_total += s.battery->capacity_wh;
@@ -42,88 +91,212 @@ Ecovisor::addApp(const std::string &app, const AppShareConfig &share)
         }
     }
     if (solar_total > 1.0 + 1e-9)
-        fatal("Ecovisor::addApp: solar fractions exceed 100%");
+        return Status::error(ErrorCode::ShareViolation,
+                             "Ecovisor::addApp: solar fractions exceed "
+                             "100%");
     if (share.solar_fraction > 0.0 && !phys_->hasSolar())
-        fatal("Ecovisor::addApp: solar share without a solar array");
+        return Status::error(ErrorCode::NoSolar,
+                             "Ecovisor::addApp: solar share without a "
+                             "solar array");
     if (share.battery) {
         if (!phys_->hasBattery())
-            fatal("Ecovisor::addApp: battery share without a battery");
+            return Status::error(ErrorCode::NoBattery,
+                                 "Ecovisor::addApp: battery share "
+                                 "without a battery");
         const auto &pb = phys_->battery().config();
         if (cap_total > pb.capacity_wh + 1e-9)
-            fatal("Ecovisor::addApp: battery capacity oversubscribed");
+            return Status::error(ErrorCode::ShareViolation,
+                                 "Ecovisor::addApp: battery capacity "
+                                 "oversubscribed");
         if (charge_total > pb.max_charge_w + 1e-9)
-            fatal("Ecovisor::addApp: battery charge rate oversubscribed");
+            return Status::error(ErrorCode::ShareViolation,
+                                 "Ecovisor::addApp: battery charge "
+                                 "rate oversubscribed");
         if (discharge_total > pb.max_discharge_w + 1e-9)
-            fatal("Ecovisor::addApp: battery discharge oversubscribed");
+            return Status::error(ErrorCode::ShareViolation,
+                                 "Ecovisor::addApp: battery discharge "
+                                 "oversubscribed");
     }
 
     AppState st;
-    st.ves = std::make_unique<VirtualEnergySystem>(app, share);
-    apps_.emplace(app, std::move(st));
+    st.name = app;
+    st.solar_fraction = share.solar_fraction;
+    // The VES constructor validates per-app config (fraction range,
+    // grid limit, battery parameters) by throwing; convert to the
+    // structured error model here so tenant input can never throw
+    // through the v2 surface.
+    try {
+        st.ves = std::make_unique<VirtualEnergySystem>(app, share);
+    } catch (const FatalError &e) {
+        return Status::error(ErrorCode::InvalidArgument, e.what());
+    }
+
+    const auto idx = static_cast<std::int32_t>(apps_.size());
+    apps_.push_back(std::move(st));
+    index_.emplace(app, idx);
+    return AppHandle(idx);
 }
 
-bool
-Ecovisor::hasApp(const std::string &app) const
+Result<AppHandle>
+Ecovisor::findApp(std::string_view app) const
 {
-    return apps_.count(app) > 0;
+    auto it = index_.find(app);
+    if (it == index_.end())
+        return unknownApp(app);
+    return AppHandle(it->second);
 }
 
-std::vector<std::string>
-Ecovisor::appNames() const
+Result<std::string>
+Ecovisor::appName(AppHandle h) const
 {
-    std::vector<std::string> out;
-    out.reserve(apps_.size());
-    for (const auto &kv : apps_)
-        out.push_back(kv.first);
-    return out;
+    const AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    return st->name;
 }
 
-Ecovisor::AppState &
-Ecovisor::appState(const std::string &app)
+Ecovisor::AppState *
+Ecovisor::state(AppHandle h)
 {
-    auto it = apps_.find(app);
-    if (it == apps_.end())
-        fatal("Ecovisor: unknown app '" + app + "'");
-    return it->second;
+    if (!h.valid() ||
+        static_cast<std::size_t>(h.index()) >= apps_.size())
+        return nullptr;
+    return &apps_[static_cast<std::size_t>(h.index())];
+}
+
+const Ecovisor::AppState *
+Ecovisor::state(AppHandle h) const
+{
+    if (!h.valid() ||
+        static_cast<std::size_t>(h.index()) >= apps_.size())
+        return nullptr;
+    return &apps_[static_cast<std::size_t>(h.index())];
+}
+
+Ecovisor::AppState *
+Ecovisor::findState(std::string_view app)
+{
+    auto it = index_.find(app);
+    return it == index_.end()
+               ? nullptr
+               : &apps_[static_cast<std::size_t>(it->second)];
+}
+
+const Ecovisor::AppState *
+Ecovisor::findState(std::string_view app) const
+{
+    auto it = index_.find(app);
+    return it == index_.end()
+               ? nullptr
+               : &apps_[static_cast<std::size_t>(it->second)];
 }
 
 const Ecovisor::AppState &
 Ecovisor::appState(const std::string &app) const
 {
-    auto it = apps_.find(app);
-    if (it == apps_.end())
+    const AppState *st = findState(app);
+    if (!st)
         fatal("Ecovisor: unknown app '" + app + "'");
-    return it->second;
+    return *st;
 }
 
-void
-Ecovisor::setContainerPowercap(cop::ContainerId id, double cap_w)
+// ---------------------------------------------------------------------
+// v2: setters.
+// ---------------------------------------------------------------------
+
+Status
+Ecovisor::setBatteryChargeRate(AppHandle h, double rate_w)
 {
-    if (!cluster_->exists(id))
-        fatal("Ecovisor::setContainerPowercap: unknown container");
-    if (cap_w < 0.0)
-        fatal("Ecovisor::setContainerPowercap: negative cap");
-    if (std::isinf(cap_w)) {
-        powercaps_w_.erase(id);
-        cluster_->setUtilizationCap(id, 1.0);
-        return;
+    AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    // The VES owns the rate validation (negative/NaN rejection) and
+    // its message; convert its throw to the structured error model.
+    try {
+        st->ves->setChargeRateW(rate_w);
+    } catch (const FatalError &e) {
+        return Status::error(ErrorCode::InvalidArgument, e.what());
     }
-    powercaps_w_[id] = cap_w;
+    return Status::okStatus();
+}
+
+Status
+Ecovisor::setBatteryMaxDischarge(AppHandle h, double rate_w)
+{
+    AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    try {
+        st->ves->setMaxDischargeW(rate_w);
+    } catch (const FatalError &e) {
+        return Status::error(ErrorCode::InvalidArgument, e.what());
+    }
+    return Status::okStatus();
+}
+
+Status
+Ecovisor::setContainerPowercap(ContainerHandle c, double cap_w)
+{
+    if (!cluster_->exists(c.id()))
+        return Status::error(ErrorCode::UnknownContainer,
+                             "Ecovisor::setContainerPowercap: unknown "
+                             "container");
+    if (cap_w < 0.0 || std::isnan(cap_w))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "Ecovisor::setContainerPowercap: negative "
+                             "cap");
+    if (std::isinf(cap_w)) {
+        powercaps_w_.erase(c.id());
+        cluster_->setUtilizationCap(c.id(), 1.0);
+        return Status::okStatus();
+    }
+    powercaps_w_[c.id()] = cap_w;
     cluster_->setUtilizationCap(
-        id, cluster_->utilizationCapForPower(id, cap_w));
+        c.id(), cluster_->utilizationCapForPower(c.id(), cap_w));
+    return Status::okStatus();
+}
+
+Status
+Ecovisor::applyCapBatch(const api::CapBatch &batch)
+{
+    // Validate the whole batch before staging anything: a rejected
+    // batch must leave no trace (all-or-nothing semantics).
+    for (const auto &req : batch.requests()) {
+        if (!cluster_->exists(req.container.id()))
+            return Status::error(ErrorCode::UnknownContainer,
+                                 "Ecovisor::applyCapBatch: unknown "
+                                 "container");
+        if (req.cap_w < 0.0 || std::isnan(req.cap_w))
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "Ecovisor::applyCapBatch: negative "
+                                 "cap");
+    }
+    staged_caps_.insert(staged_caps_.end(), batch.requests().begin(),
+                        batch.requests().end());
+    return Status::okStatus();
 }
 
 void
-Ecovisor::setBatteryChargeRate(const std::string &app, double rate_w)
+Ecovisor::commitStagedCaps()
 {
-    appState(app).ves->setChargeRateW(rate_w);
+    for (const auto &req : staged_caps_) {
+        // A container revoked between staging and settlement is
+        // skipped, exactly as applyPowercaps() prunes stale caps.
+        if (!cluster_->exists(req.container.id()))
+            continue;
+        if (std::isinf(req.cap_w)) {
+            powercaps_w_.erase(req.container.id());
+            cluster_->setUtilizationCap(req.container.id(), 1.0);
+        } else {
+            powercaps_w_[req.container.id()] = req.cap_w;
+        }
+    }
+    staged_caps_.clear();
 }
 
-void
-Ecovisor::setBatteryMaxDischarge(const std::string &app, double rate_w)
-{
-    appState(app).ves->setMaxDischargeW(rate_w);
-}
+// ---------------------------------------------------------------------
+// v2: getters.
+// ---------------------------------------------------------------------
 
 TimeS
 Ecovisor::currentTime() const
@@ -135,12 +308,162 @@ Ecovisor::currentTime() const
                      TimeS{0}});
 }
 
+Result<double>
+Ecovisor::getSolarPower(AppHandle h) const
+{
+    const AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    return st->solar_fraction * phys_->solarPowerAt(currentTime());
+}
+
+Result<double>
+Ecovisor::getGridPower(AppHandle h) const
+{
+    const AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    return st->ves->lastSettlement().grid_w;
+}
+
+Result<double>
+Ecovisor::getBatteryDischargeRate(AppHandle h) const
+{
+    const AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    return st->ves->lastSettlement().batt_discharge_w;
+}
+
+Result<double>
+Ecovisor::getBatteryChargeLevel(AppHandle h) const
+{
+    const AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    return st->ves->hasBattery() ? st->ves->battery().energyWh() : 0.0;
+}
+
+Result<double>
+Ecovisor::getContainerPowercap(ContainerHandle c) const
+{
+    if (!cluster_->exists(c.id()))
+        return Status::error(ErrorCode::UnknownContainer,
+                             "Ecovisor::getContainerPowercap: unknown "
+                             "container");
+    auto it = powercaps_w_.find(c.id());
+    return it == powercaps_w_.end() ? kUnlimitedW : it->second;
+}
+
+Result<double>
+Ecovisor::getContainerPower(ContainerHandle c) const
+{
+    if (!cluster_->exists(c.id()))
+        return Status::error(ErrorCode::UnknownContainer,
+                             "Ecovisor::getContainerPower: unknown "
+                             "container");
+    return cluster_->containerPowerW(c.id());
+}
+
+Result<api::EnergySnapshot>
+Ecovisor::getEnergySnapshot(AppHandle h) const
+{
+    const AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    const TimeS now = currentTime();
+    const TickSettlement &s = st->ves->lastSettlement();
+    api::EnergySnapshot snap;
+    snap.solar_w = st->solar_fraction * phys_->solarPowerAt(now);
+    snap.grid_w = s.grid_w;
+    snap.grid_carbon_g_per_kwh = phys_->gridCarbonAt(now);
+    snap.battery_discharge_w = s.batt_discharge_w;
+    snap.battery_charge_level_wh =
+        st->ves->hasBattery() ? st->ves->battery().energyWh() : 0.0;
+    return snap;
+}
+
+Status
+Ecovisor::registerTickCallback(AppHandle h, TickCallback cb)
+{
+    if (!cb)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "Ecovisor::registerTickCallback: null "
+                             "callback");
+    AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    st->callbacks.push_back(std::move(cb));
+    return Status::okStatus();
+}
+
+const VirtualEnergySystem *
+Ecovisor::ves(AppHandle h) const
+{
+    const AppState *st = state(h);
+    return st ? st->ves.get() : nullptr;
+}
+
+Result<const VirtualEnergySystem *>
+Ecovisor::tryVes(std::string_view app) const
+{
+    const AppState *st = findState(app);
+    if (!st)
+        return unknownApp(app);
+    return st->ves.get();
+}
+
+// ---------------------------------------------------------------------
+// v1 compat shims.
+// ---------------------------------------------------------------------
+
+void
+Ecovisor::addApp(const std::string &app, const AppShareConfig &share)
+{
+    tryAddApp(app, share).status().orFatal();
+}
+
+bool
+Ecovisor::hasApp(const std::string &app) const
+{
+    return index_.count(app) > 0;
+}
+
+std::vector<std::string>
+Ecovisor::appNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(index_.size());
+    for (const auto &kv : index_)
+        out.push_back(kv.first);
+    return out;
+}
+
+void
+Ecovisor::setContainerPowercap(cop::ContainerId id, double cap_w)
+{
+    setContainerPowercap(ContainerHandle(id), cap_w).orFatal();
+}
+
+void
+Ecovisor::setBatteryChargeRate(const std::string &app, double rate_w)
+{
+    // findApp and the v2 setter reproduce the seed's messages
+    // (unknown app first, then the VES rate validation) exactly.
+    setBatteryChargeRate(findApp(app).value(), rate_w).orFatal();
+}
+
+void
+Ecovisor::setBatteryMaxDischarge(const std::string &app, double rate_w)
+{
+    setBatteryMaxDischarge(findApp(app).value(), rate_w).orFatal();
+}
+
 double
 Ecovisor::getSolarPower(const std::string &app) const
 {
-    const auto &st = appState(app);
-    return st.ves->share().solar_fraction *
-           phys_->solarPowerAt(currentTime());
+    const AppState &st = appState(app);
+    return st.solar_fraction * phys_->solarPowerAt(currentTime());
 }
 
 double
@@ -164,13 +487,16 @@ Ecovisor::getBatteryDischargeRate(const std::string &app) const
 double
 Ecovisor::getBatteryChargeLevel(const std::string &app) const
 {
-    const auto &st = appState(app);
+    const AppState &st = appState(app);
     return st.ves->hasBattery() ? st.ves->battery().energyWh() : 0.0;
 }
 
 double
 Ecovisor::getContainerPowercap(cop::ContainerId id) const
 {
+    // Seed semantics: unknown or revoked containers read as uncapped
+    // (the edge tests rely on this after container churn), so this
+    // shim does not route through the checked v2 getter.
     auto it = powercaps_w_.find(id);
     return it == powercaps_w_.end() ? kUnlimitedW : it->second;
 }
@@ -186,8 +512,21 @@ Ecovisor::registerTickCallback(const std::string &app, TickCallback cb)
 {
     if (!cb)
         fatal("Ecovisor::registerTickCallback: null callback");
-    appState(app).callbacks.push_back(std::move(cb));
+    AppState *st = findState(app);
+    if (!st)
+        fatal("Ecovisor: unknown app '" + app + "'");
+    st->callbacks.push_back(std::move(cb));
 }
+
+const VirtualEnergySystem &
+Ecovisor::ves(const std::string &app) const
+{
+    return *appState(app).ves;
+}
+
+// ---------------------------------------------------------------------
+// Tick dispatch + settlement.
+// ---------------------------------------------------------------------
 
 void
 Ecovisor::attach(sim::Simulation &simulation)
@@ -212,9 +551,14 @@ void
 Ecovisor::dispatchTickCallbacks(TimeS start_s, TimeS dt_s)
 {
     now_hint_s_ = start_s;
-    for (auto &kv : apps_) {
-        for (auto &cb : kv.second.callbacks)
-            cb(start_s, dt_s);
+    // Re-resolve apps_[idx] on every access instead of holding a
+    // reference: a callback may legally call tryAddApp(), which can
+    // reallocate the contiguous app vector mid-dispatch (index_ map
+    // nodes are stable, so the outer iteration is safe either way).
+    for (const auto &kv : index_) {
+        const auto idx = static_cast<std::size_t>(kv.second);
+        for (std::size_t i = 0; i < apps_[idx].callbacks.size(); ++i)
+            apps_[idx].callbacks[i](start_s, dt_s);
     }
 }
 
@@ -240,7 +584,9 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
         fatal("Ecovisor::settleTick: non-positive tick");
     now_hint_s_ = start_s;
 
-    // Re-apply watt caps: allocations may have changed this tick.
+    // Commit any staged CapBatch, then re-apply watt caps:
+    // allocations may have changed this tick.
+    commitStagedCaps();
     applyPowercaps();
 
     const double solar_w = phys_->solarPowerAt(start_s);
@@ -250,11 +596,12 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     double total_grid_w = 0.0;
     double total_curtailed_w = 0.0;
 
-    for (auto &kv : apps_) {
-        auto &ves = *kv.second.ves;
-        double app_solar_w = ves.share().solar_fraction * solar_w;
-        owned_solar_fraction += ves.share().solar_fraction;
-        double demand_w = cluster_->appPowerW(kv.first);
+    for (const auto &kv : index_) {
+        AppState &st = apps_[static_cast<std::size_t>(kv.second)];
+        auto &ves = *st.ves;
+        double app_solar_w = st.solar_fraction * solar_w;
+        owned_solar_fraction += st.solar_fraction;
+        double demand_w = cluster_->appPowerW(st.name);
         const TickSettlement &s =
             ves.settle(demand_w, app_solar_w, intensity, start_s, dt_s);
         total_grid_w += s.grid_w;
@@ -268,11 +615,13 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     // or curtail).
     if (total_curtailed_w > 1e-12) {
         if (options_.excess_solar == ExcessSolarPolicy::Redistribute) {
-            for (auto &kv : apps_) {
+            for (const auto &kv : index_) {
                 if (total_curtailed_w <= 1e-12)
                     break;
-                double took = kv.second.ves->absorbRedistributedSolar(
-                    total_curtailed_w, dt_s);
+                double took =
+                    apps_[static_cast<std::size_t>(kv.second)]
+                        .ves->absorbRedistributedSolar(
+                            total_curtailed_w, dt_s);
                 total_curtailed_w -= took;
             }
             curtailed_wh_ += energyWh(total_curtailed_w, dt_s);
@@ -303,9 +652,9 @@ double
 Ecovisor::aggregateBatteryWh() const
 {
     double total = 0.0;
-    for (const auto &kv : apps_) {
-        if (kv.second.ves->hasBattery())
-            total += kv.second.ves->battery().energyWh();
+    for (const auto &st : apps_) {
+        if (st.ves->hasBattery())
+            total += st.ves->battery().energyWh();
     }
     return total;
 }
@@ -317,9 +666,10 @@ Ecovisor::recordTelemetry(TimeS start_s)
     db_.write("solar_w", "", start_s, phys_->solarPowerAt(start_s));
     db_.write("cluster_power_w", "", start_s, cluster_->totalPowerW());
 
-    for (const auto &kv : apps_) {
-        const auto &s = kv.second.ves->lastSettlement();
-        const std::string &app = kv.first;
+    for (const auto &kv : index_) {
+        const AppState &st = apps_[static_cast<std::size_t>(kv.second)];
+        const auto &s = st.ves->lastSettlement();
+        const std::string &app = st.name;
         db_.write("app_power_w", app, start_s, s.demand_w);
         db_.write("app_grid_w", app, start_s, s.grid_w);
         db_.write("app_solar_used_w", app, start_s, s.solar_used_w);
@@ -328,9 +678,9 @@ Ecovisor::recordTelemetry(TimeS start_s)
         db_.write("app_batt_charge_w", app, start_s,
                   s.batt_charge_solar_w + s.batt_charge_grid_w);
         db_.write("app_carbon_g", app, start_s, s.carbon_g);
-        if (kv.second.ves->hasBattery())
+        if (st.ves->hasBattery())
             db_.write("app_batt_soc", app, start_s,
-                      kv.second.ves->battery().soc());
+                      st.ves->battery().soc());
         db_.write("app_containers", app, start_s,
                   static_cast<double>(
                       cluster_->appContainers(app).size()));
@@ -348,12 +698,6 @@ Ecovisor::recordTelemetry(TimeS start_s)
                       start_s, s.carbon_g * share);
         }
     }
-}
-
-const VirtualEnergySystem &
-Ecovisor::ves(const std::string &app) const
-{
-    return *appState(app).ves;
 }
 
 } // namespace ecov::core

@@ -18,17 +18,40 @@
  * into cgroup utilization caps), to the physical battery/solar/grid
  * (to enforce aggregate limits), and to the telemetry store (to record
  * history for Table 2's interval queries).
+ *
+ * Two surfaces expose the API:
+ *
+ *  - The **v2 handle surface** (primary): apps register through
+ *    tryAddApp() which returns an api::AppHandle; per-app state lives
+ *    in a contiguous, index-addressed vector, so every handle-based
+ *    call is a bounds-check plus an array index — no string-keyed map
+ *    walk on the hot path. All v2 calls return api::Status /
+ *    api::Result<T> instead of aborting on misuse, which is what
+ *    makes the surface safe for untrusted tenants. Batched calls
+ *    (getEnergySnapshot(), applyCapBatch()) amortise per-call
+ *    overhead and give atomic cap updates at tick settlement.
+ *
+ *  - The **v1 string surface** (compat shim): the original
+ *    name-keyed, fatal-on-misuse methods, now thin wrappers that
+ *    resolve the name and delegate to the v2 implementation,
+ *    converting structured errors back into FatalError. Seed-era
+ *    callers observe identical behaviour.
  */
 
 #ifndef ECOV_CORE_ECOVISOR_H
 #define ECOV_CORE_ECOVISOR_H
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "api/handle.h"
+#include "api/snapshot.h"
+#include "api/status.h"
 #include "cop/cluster.h"
 #include "core/virtual_energy_system.h"
 #include "energy/physical_energy_system.h"
@@ -72,72 +95,165 @@ class Ecovisor
              EcovisorOptions options = {});
 
     // ------------------------------------------------------------------
-    // Application registration (the exogenous share policy, §3.3).
+    // v2: application registration and name resolution (§3.3).
     // ------------------------------------------------------------------
 
     /**
      * Register an application and its share of the physical energy
-     * system. Validates that aggregate shares fit the hardware:
-     * solar fractions sum to <= 1 and battery capacity/rate shares sum
-     * to within the physical bank's limits.
+     * system, validating that aggregate shares fit the hardware:
+     * solar fractions sum to <= 1 and battery capacity/rate shares
+     * sum to within the physical bank's limits.
+     *
+     * @return the app's handle, or DuplicateApp / ShareViolation /
+     *         NoSolar / NoBattery / InvalidArgument
      */
+    api::Result<api::AppHandle> tryAddApp(const std::string &app,
+                                          const AppShareConfig &share);
+
+    /**
+     * Resolve a registered name to its handle (the only string lookup
+     * a v2 client ever needs — do it once, at setup time).
+     */
+    api::Result<api::AppHandle> findApp(std::string_view app) const;
+
+    /** Number of registered applications (handle indices are
+     *  0..appCount()-1 in registration order). */
+    std::size_t appCount() const { return apps_.size(); }
+
+    /** The name a handle was registered under. */
+    api::Result<std::string> appName(api::AppHandle h) const;
+
+    // ------------------------------------------------------------------
+    // v2: Table 1 setters (Status-returning, handle-addressed).
+    // ------------------------------------------------------------------
+
+    /** Set an app's battery charge rate (W) until full. */
+    api::Status setBatteryChargeRate(api::AppHandle h, double rate_w);
+
+    /** Set an app's max battery discharge rate (W). */
+    api::Status setBatteryMaxDischarge(api::AppHandle h, double rate_w);
+
+    /**
+     * Set a container's power cap in watts, effective immediately.
+     * Pass kUnlimitedW to remove the cap.
+     */
+    api::Status setContainerPowercap(api::ContainerHandle c,
+                                     double cap_w);
+
+    /**
+     * Validate a batch of container power caps as a unit and stage it
+     * for atomic commit at the next tick settlement. Either every
+     * entry is accepted or none are (the staged set is untouched on
+     * error). Containers destroyed between staging and settlement are
+     * skipped at commit, matching the revocation semantics of
+     * per-tick cap re-application.
+     */
+    api::Status applyCapBatch(const api::CapBatch &batch);
+
+    /** Caps staged by applyCapBatch() awaiting the next settlement. */
+    std::size_t pendingCapCount() const { return staged_caps_.size(); }
+
+    // ------------------------------------------------------------------
+    // v2: Table 1 getters (Result-returning, handle-addressed).
+    // ------------------------------------------------------------------
+
+    /** Current virtual solar power output for an app, watts. */
+    api::Result<double> getSolarPower(api::AppHandle h) const;
+
+    /** App's grid power usage over the last settled tick, watts. */
+    api::Result<double> getGridPower(api::AppHandle h) const;
+
+    /** App's battery discharge rate over the last settled tick, W. */
+    api::Result<double> getBatteryDischargeRate(api::AppHandle h) const;
+
+    /** Energy stored in the app's virtual battery, watt-hours. */
+    api::Result<double> getBatteryChargeLevel(api::AppHandle h) const;
+
+    /** A container's power cap, watts (kUnlimitedW when uncapped). */
+    api::Result<double> getContainerPowercap(api::ContainerHandle c) const;
+
+    /** A container's attributed power usage, watts. */
+    api::Result<double> getContainerPower(api::ContainerHandle c) const;
+
+    /**
+     * Every Table 1 getter for one app in a single call; all fields
+     * are read coherently at the current tick.
+     */
+    api::Result<api::EnergySnapshot>
+    getEnergySnapshot(api::AppHandle h) const;
+
+    /** Register an application's tick() upcall. */
+    api::Status registerTickCallback(api::AppHandle h, TickCallback cb);
+
+    /**
+     * Per-app virtual energy system (privileged / library layer);
+     * nullptr when the handle is invalid.
+     */
+    const VirtualEnergySystem *ves(api::AppHandle h) const;
+
+    /** Name-resolved variant of ves(AppHandle). */
+    api::Result<const VirtualEnergySystem *>
+    tryVes(std::string_view app) const;
+
+    // ------------------------------------------------------------------
+    // v1 compat shims: string-keyed, fatal on misuse. Each resolves
+    // the name and delegates to the v2 surface (converting structured
+    // errors back to FatalError), except where the seed semantics
+    // intentionally differ from the checked v2 call:
+    // getContainerPowercap(id) reads unknown/revoked containers as
+    // uncapped, and getContainerPower(id)/the string getters keep the
+    // seed's direct lookups so their cost stays comparable to the
+    // seed when benchmarked against the handle path.
+    // ------------------------------------------------------------------
+
+    /** Register an app (fatal shim over tryAddApp()). */
     void addApp(const std::string &app, const AppShareConfig &share);
 
     /** True when the app is registered. */
     bool hasApp(const std::string &app) const;
 
-    /** Registered application names (deterministic order). */
+    /** Registered application names (deterministic sorted order). */
     std::vector<std::string> appNames() const;
 
-    // ------------------------------------------------------------------
-    // Table 1: setter methods.
-    // ------------------------------------------------------------------
-
-    /**
-     * Set a container's power cap in watts. The ecovisor translates
-     * the cap into a cgroup utilization limit through the hosting
-     * node's power model and re-applies it every tick (allocations may
-     * change). Pass kUnlimitedW to remove the cap.
-     */
+    /** Set a container's power cap in watts (fatal shim). */
     void setContainerPowercap(cop::ContainerId id, double cap_w);
 
-    /** Set an app's battery charge rate (W) until full (Table 1). */
+    /** Set an app's battery charge rate (W) (fatal shim). */
     void setBatteryChargeRate(const std::string &app, double rate_w);
 
-    /** Set an app's max battery discharge rate (W) (Table 1). */
+    /** Set an app's max battery discharge rate (W) (fatal shim). */
     void setBatteryMaxDischarge(const std::string &app, double rate_w);
 
-    // ------------------------------------------------------------------
-    // Table 1: getter methods.
-    // ------------------------------------------------------------------
-
-    /** Current virtual solar power output for an app, watts. */
+    /** Current virtual solar power for an app, watts (fatal shim). */
     double getSolarPower(const std::string &app) const;
 
-    /** App's grid power usage over the last settled tick, watts. */
+    /** App's grid power over the last settled tick, W (fatal shim). */
     double getGridPower(const std::string &app) const;
 
-    /** Current grid carbon intensity, gCO2/kWh. */
+    /** Current grid carbon intensity, gCO2/kWh (no app argument). */
     double getGridCarbon() const;
 
-    /** App's battery discharge rate over the last settled tick, W. */
+    /** App's battery discharge over the last tick, W (fatal shim). */
     double getBatteryDischargeRate(const std::string &app) const;
 
-    /** Energy stored in the app's virtual battery, watt-hours. */
+    /** Energy in the app's virtual battery, Wh (fatal shim). */
     double getBatteryChargeLevel(const std::string &app) const;
 
-    /** A container's power cap, watts (kUnlimitedW when uncapped). */
+    /** A container's power cap, watts (fatal shim). */
     double getContainerPowercap(cop::ContainerId id) const;
 
-    /** A container's attributed power usage, watts. */
+    /** A container's attributed power usage, watts (fatal shim). */
     double getContainerPower(cop::ContainerId id) const;
 
-    // ------------------------------------------------------------------
-    // Tick upcall registration and simulation integration.
-    // ------------------------------------------------------------------
-
-    /** Register an application's tick() callback (Table 1). */
+    /** Register an application's tick() callback (fatal shim). */
     void registerTickCallback(const std::string &app, TickCallback cb);
+
+    /** Per-app virtual energy system (fatal on unknown app). */
+    const VirtualEnergySystem &ves(const std::string &app) const;
+
+    // ------------------------------------------------------------------
+    // Tick upcall dispatch and simulation integration.
+    // ------------------------------------------------------------------
 
     /**
      * Attach to a simulation: dispatches app tick() callbacks in the
@@ -147,7 +263,8 @@ class Ecovisor
 
     /**
      * Settle one tick directly (used by attach(); exposed for tests
-     * and for embedding without a Simulation).
+     * and for embedding without a Simulation). Commits any staged
+     * CapBatch before re-applying per-container caps.
      */
     void settleTick(TimeS start_s, TimeS dt_s);
 
@@ -157,9 +274,6 @@ class Ecovisor
     // ------------------------------------------------------------------
     // Privileged access (library layer, tests, benches).
     // ------------------------------------------------------------------
-
-    /** Per-app virtual energy system (fatal on unknown app). */
-    const VirtualEnergySystem &ves(const std::string &app) const;
 
     /** The COP under management. */
     cop::Cluster &cluster() { return *cluster_; }
@@ -187,26 +301,61 @@ class Ecovisor
     const EcovisorOptions &options() const { return options_; }
 
   private:
+    /**
+     * Per-app state, index-addressed by AppHandle. The VES sits
+     * behind a unique_ptr so references handed out by ves() stay
+     * stable across the vector growing on later registrations.
+     */
     struct AppState
     {
+        std::string name;
+        double solar_fraction = 0.0; ///< cached from the share config
         std::unique_ptr<VirtualEnergySystem> ves;
-        std::vector<TickCallback> callbacks;
+        /**
+         * Deque, not vector: registerTickCallback() may be called from
+         * inside a running callback (a tenant registering a second
+         * upcall for its own app), and deque push_back never
+         * invalidates references to existing elements — including the
+         * one currently executing.
+         */
+        std::deque<TickCallback> callbacks;
     };
 
-    AppState &appState(const std::string &app);
+    /** State for a handle; nullptr when the handle is invalid. */
+    AppState *state(api::AppHandle h);
+    const AppState *state(api::AppHandle h) const;
+
+    /** State by name; nullptr when unregistered. */
+    AppState *findState(std::string_view app);
+    const AppState *findState(std::string_view app) const;
+
+    /** Fatal-on-unknown name resolution for the v1 shims. */
     const AppState &appState(const std::string &app) const;
+
+    void commitStagedCaps();
     void applyPowercaps();
     void recordTelemetry(TimeS start_s);
+
+    /** Time getters should evaluate signals at (current tick start). */
+    TimeS currentTime() const;
 
     cop::Cluster *cluster_;
     energy::PhysicalEnergySystem *phys_;
     EcovisorOptions options_;
 
-    std::map<std::string, AppState> apps_;
-    std::map<cop::ContainerId, double> powercaps_w_;
+    /** Contiguous per-app state; AppHandle::index() addresses it. */
+    std::vector<AppState> apps_;
+    /**
+     * Name -> registration index. Also fixes the deterministic
+     * iteration order (sorted by name) used for settlement, callback
+     * dispatch and telemetry — the order the seed's name-keyed map
+     * iterated in, preserved so the redesign is behavior-identical.
+     */
+    std::map<std::string, std::int32_t, std::less<>> index_;
 
-    /** Time getters should evaluate signals at (current tick start). */
-    TimeS currentTime() const;
+    std::map<cop::ContainerId, double> powercaps_w_;
+    /** Caps staged by applyCapBatch(), committed at settlement. */
+    std::vector<api::CapRequest> staged_caps_;
 
     ts::TsDatabase db_;
     TimeS last_settled_s_ = -1;

@@ -31,16 +31,18 @@ VirtualEnergySystem::battery() const
 void
 VirtualEnergySystem::setChargeRateW(double rate_w)
 {
-    if (rate_w < 0.0)
-        fatal("VirtualEnergySystem: negative charge rate");
+    // !(x >= 0) also rejects NaN, which would otherwise poison every
+    // later settlement.
+    if (!(rate_w >= 0.0))
+        fatal("VirtualEnergySystem: negative or NaN charge rate");
     charge_rate_w_ = rate_w;
 }
 
 void
 VirtualEnergySystem::setMaxDischargeW(double rate_w)
 {
-    if (rate_w < 0.0)
-        fatal("VirtualEnergySystem: negative discharge rate");
+    if (!(rate_w >= 0.0))
+        fatal("VirtualEnergySystem: negative or NaN discharge rate");
     max_discharge_w_ = rate_w;
 }
 

@@ -11,12 +11,16 @@ GeoCoordinator::GeoCoordinator(std::vector<Site> sites)
 {
     if (sites_.empty())
         fatal("GeoCoordinator: at least one site required");
-    for (const auto &s : sites_) {
+    for (auto &s : sites_) {
         if (!s.eco)
             fatal("GeoCoordinator: null ecovisor for site " + s.name);
-        if (!s.eco->hasApp(s.app))
+        // Resolve each site's app name once; every cross-site query
+        // below is handle-addressed.
+        auto resolved = s.eco->findApp(s.app);
+        if (!resolved.ok())
             fatal("GeoCoordinator: app '" + s.app +
                   "' not registered at site " + s.name);
+        s.handle = resolved.value();
     }
 }
 
@@ -38,7 +42,7 @@ double
 GeoCoordinator::solarAt(int idx) const
 {
     const Site &s = site(idx);
-    return s.eco->getSolarPower(s.app);
+    return s.eco->getSolarPower(s.handle).value();
 }
 
 int
@@ -68,7 +72,7 @@ GeoCoordinator::fullestBatterySite() const
 {
     auto level = [this](int i) {
         const Site &s = site(i);
-        return s.eco->getBatteryChargeLevel(s.app);
+        return s.eco->getBatteryChargeLevel(s.handle).value();
     };
     int best = 0;
     for (int i = 1; i < siteCount(); ++i) {
@@ -83,8 +87,11 @@ GeoCoordinator::cheapestEffectiveSite(double demand_w) const
 {
     auto effective = [this, demand_w](int i) {
         const Site &s = site(i);
-        double zero_carbon_w = s.eco->getSolarPower(s.app);
-        const auto &ves = s.eco->ves(s.app);
+        // One snapshot per site: solar and carbon read coherently.
+        const api::EnergySnapshot snap =
+            s.eco->getEnergySnapshot(s.handle).value();
+        double zero_carbon_w = snap.solar_w;
+        const auto &ves = *s.eco->ves(s.handle);
         if (ves.hasBattery() && !ves.battery().empty())
             zero_carbon_w += std::min(
                 ves.maxDischargeW(),
@@ -93,7 +100,7 @@ GeoCoordinator::cheapestEffectiveSite(double demand_w) const
             return 0.0;
         double uncovered =
             std::max(0.0, demand_w - zero_carbon_w) / demand_w;
-        return uncovered * s.eco->getGridCarbon();
+        return uncovered * snap.grid_carbon_g_per_kwh;
     };
     int best = 0;
     double best_eff = effective(0);
@@ -112,7 +119,7 @@ GeoCoordinator::totalCarbonG() const
 {
     double total = 0.0;
     for (const auto &s : sites_)
-        total += s.eco->ves(s.app).totalCarbonG();
+        total += s.eco->ves(s.handle)->totalCarbonG();
     return total;
 }
 
@@ -121,7 +128,7 @@ GeoCoordinator::totalEnergyWh() const
 {
     double total = 0.0;
     for (const auto &s : sites_)
-        total += s.eco->ves(s.app).totalEnergyWh();
+        total += s.eco->ves(s.handle)->totalEnergyWh();
     return total;
 }
 

@@ -29,6 +29,9 @@ struct Site
     std::string name;         ///< site label ("ontario", "california")
     core::Ecovisor *eco;      ///< borrowed; must outlive the coordinator
     std::string app;          ///< the application's name at that site
+    /** The app's handle at that site; resolved by the coordinator
+     *  constructor — callers may leave it default-initialized. */
+    api::AppHandle handle{};
 };
 
 /**

@@ -20,6 +20,7 @@ StaticBatteryPolicy::StaticBatteryPolicy(core::Ecovisor *eco,
         fatal("StaticBatteryPolicy: null worker setter");
     if (config_.per_worker_w <= 0.0)
         fatal("StaticBatteryPolicy: per-worker power must be positive");
+    handle_ = eco_->findApp(app_).value();
 }
 
 int
@@ -35,16 +36,18 @@ StaticBatteryPolicy::onTick(TimeS start_s, TimeS dt_s)
 {
     (void)start_s;
     (void)dt_s;
-    double solar_w = eco_->getSolarPower(app_);
+    double solar_w = eco_->getSolarPower(handle_).value();
     bool day = solar_w > config_.day_solar_threshold_w;
     if (day) {
         // Battery backs the fixed worker set: allow it to discharge
         // up to the guaranteed power to smooth solar volatility.
-        eco_->setBatteryMaxDischarge(app_, config_.guaranteed_power_w);
+        eco_->setBatteryMaxDischarge(handle_,
+                                     config_.guaranteed_power_w)
+            .orFatal();
         set_workers_(dayWorkers());
     } else {
         // Night: suspend; conserve the battery for tomorrow.
-        eco_->setBatteryMaxDischarge(app_, 0.0);
+        eco_->setBatteryMaxDischarge(handle_, 0.0).orFatal();
         set_workers_(0);
     }
 }
@@ -59,6 +62,7 @@ DynamicSparkBatteryPolicy::DynamicSparkBatteryPolicy(
         fatal("DynamicSparkBatteryPolicy: null job");
     if (config_.per_worker_w <= 0.0)
         fatal("DynamicSparkBatteryPolicy: bad per-worker power");
+    handle_ = eco_->findApp(job_->config().app).value();
 }
 
 void
@@ -68,19 +72,19 @@ DynamicSparkBatteryPolicy::onTick(TimeS start_s, TimeS dt_s)
     (void)dt_s;
     if (job_->done())
         return;
-    const std::string &name = job_->config().app;
-    double solar_w = eco_->getSolarPower(name);
+    double solar_w = eco_->getSolarPower(handle_).value();
     bool day = solar_w > config_.day_solar_threshold_w;
     if (!day) {
         // Night shutdown: uncommitted work on killed workers is lost.
-        eco_->setBatteryMaxDischarge(name, 0.0);
+        eco_->setBatteryMaxDischarge(handle_, 0.0).orFatal();
         job_->setWorkers(0);
         return;
     }
 
-    const auto &ves = eco_->ves(name);
+    const auto &ves = *eco_->ves(handle_);
     double soc = ves.hasBattery() ? ves.battery().soc() : 0.0;
-    eco_->setBatteryMaxDischarge(name, config_.guaranteed_power_w);
+    eco_->setBatteryMaxDischarge(handle_, config_.guaranteed_power_w)
+        .orFatal();
 
     int base = std::max(1, static_cast<int>(std::floor(
                                config_.guaranteed_power_w /
@@ -108,26 +112,27 @@ DynamicWebBatteryPolicy::DynamicWebBatteryPolicy(
         fatal("DynamicWebBatteryPolicy: null app");
     if (config_.per_worker_w <= 0.0)
         fatal("DynamicWebBatteryPolicy: bad per-worker power");
+    handle_ = eco_->findApp(app_->config().app).value();
 }
 
 void
 DynamicWebBatteryPolicy::onTick(TimeS start_s, TimeS dt_s)
 {
     (void)dt_s;
-    const std::string &name = app_->config().app;
-    double solar_w = eco_->getSolarPower(name);
+    double solar_w = eco_->getSolarPower(handle_).value();
     bool day = solar_w > config_.day_solar_threshold_w;
     if (!day) {
         // The monitoring workload is dormant at night.
-        eco_->setBatteryMaxDischarge(name, 0.0);
+        eco_->setBatteryMaxDischarge(handle_, 0.0).orFatal();
         app_->setWorkers(app_->config().min_workers);
         return;
     }
 
-    eco_->setBatteryMaxDischarge(name, config_.guaranteed_power_w);
+    eco_->setBatteryMaxDischarge(handle_, config_.guaranteed_power_w)
+        .orFatal();
 
     // Zero-carbon power envelope: solar share + permitted discharge.
-    const auto &ves = eco_->ves(name);
+    const auto &ves = *eco_->ves(handle_);
     double envelope_w = solar_w;
     if (ves.hasBattery() && !ves.battery().empty())
         envelope_w += config_.guaranteed_power_w;

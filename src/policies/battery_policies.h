@@ -55,7 +55,7 @@ class StaticBatteryPolicy
 
     /**
      * @param eco borrowed ecovisor
-     * @param app application name (for solar/battery queries)
+     * @param app application name, resolved to a handle once here
      * @param set_workers scaling knob
      * @param config policy knobs
      */
@@ -72,6 +72,7 @@ class StaticBatteryPolicy
   private:
     core::Ecovisor *eco_;
     std::string app_;
+    api::AppHandle handle_;
     SetWorkers set_workers_;
     BatteryPolicyConfig config_;
 };
@@ -92,6 +93,7 @@ class DynamicSparkBatteryPolicy
   private:
     core::Ecovisor *eco_;
     wl::SparkJob *job_;
+    api::AppHandle handle_;
     BatteryPolicyConfig config_;
 };
 
@@ -112,6 +114,7 @@ class DynamicWebBatteryPolicy
   private:
     core::Ecovisor *eco_;
     wl::WebApplication *app_;
+    api::AppHandle handle_;
     BatteryPolicyConfig config_;
 };
 

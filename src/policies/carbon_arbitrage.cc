@@ -11,9 +11,11 @@ CarbonArbitragePolicy::CarbonArbitragePolicy(core::Ecovisor *eco,
 {
     if (!eco_)
         fatal("CarbonArbitragePolicy: null ecovisor");
-    if (!eco_->hasApp(app_))
+    auto resolved = eco_->findApp(app_);
+    if (!resolved.ok())
         fatal("CarbonArbitragePolicy: unknown app '" + app_ + "'");
-    if (!eco_->ves(app_).hasBattery())
+    handle_ = resolved.value();
+    if (!eco_->ves(handle_)->hasBattery())
         fatal("CarbonArbitragePolicy: app '" + app_ +
               "' has no battery share");
     if (config_.low_g_per_kwh >= config_.high_g_per_kwh)
@@ -31,17 +33,19 @@ CarbonArbitragePolicy::onTick(TimeS start_s, TimeS dt_s)
     if (intensity <= config_.low_g_per_kwh) {
         // Cheap carbon: bank it. Suppress discharge so the stored
         // energy is kept for dirty hours.
-        eco_->setBatteryChargeRate(app_, config_.charge_rate_w);
-        eco_->setBatteryMaxDischarge(app_, 0.0);
+        eco_->setBatteryChargeRate(handle_, config_.charge_rate_w)
+            .orFatal();
+        eco_->setBatteryMaxDischarge(handle_, 0.0).orFatal();
         mode_ = Mode::Charging;
     } else if (intensity >= config_.high_g_per_kwh) {
         // Dirty hours: stop charging, spend the stored clean energy.
-        eco_->setBatteryChargeRate(app_, 0.0);
-        eco_->setBatteryMaxDischarge(app_, config_.max_discharge_w);
+        eco_->setBatteryChargeRate(handle_, 0.0).orFatal();
+        eco_->setBatteryMaxDischarge(handle_, config_.max_discharge_w)
+            .orFatal();
         mode_ = Mode::Discharging;
     } else {
-        eco_->setBatteryChargeRate(app_, 0.0);
-        eco_->setBatteryMaxDischarge(app_, 0.0);
+        eco_->setBatteryChargeRate(handle_, 0.0).orFatal();
+        eco_->setBatteryMaxDischarge(handle_, 0.0).orFatal();
         mode_ = Mode::Hold;
     }
 }

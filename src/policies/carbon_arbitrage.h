@@ -42,7 +42,8 @@ class CarbonArbitragePolicy
   public:
     /**
      * @param eco borrowed ecovisor
-     * @param app application owning a battery share
+     * @param app application owning a battery share (resolved to a
+     *        handle once here; per-tick setters are handle-addressed)
      * @param config thresholds and rates (low must be < high)
      */
     CarbonArbitragePolicy(core::Ecovisor *eco, std::string app,
@@ -65,6 +66,7 @@ class CarbonArbitragePolicy
   private:
     core::Ecovisor *eco_;
     std::string app_;
+    api::AppHandle handle_;
     CarbonArbitrageConfig config_;
     Mode mode_ = Mode::Hold;
 };

@@ -20,10 +20,10 @@ gridWattsForRate(double rate_g_per_s, double intensity_g_per_kwh)
 
 /** Zero-carbon power available to an app this tick (solar share). */
 double
-zeroCarbonWatts(const core::Ecovisor &eco, const std::string &app)
+zeroCarbonWatts(const core::Ecovisor &eco, api::AppHandle handle)
 {
-    double w = eco.getSolarPower(app);
-    const auto &ves = eco.ves(app);
+    double w = eco.getSolarPower(handle).value();
+    const auto &ves = *eco.ves(handle);
     if (ves.hasBattery() && !ves.battery().empty())
         w += std::min(ves.maxDischargeW(),
                       ves.battery().config().max_discharge_w);
@@ -55,6 +55,7 @@ StaticCarbonRatePolicy::StaticCarbonRatePolicy(core::Ecovisor *eco,
         fatal("StaticCarbonRatePolicy: null app");
     if (rate_g_per_s_ <= 0.0)
         fatal("StaticCarbonRatePolicy: rate must be positive");
+    handle_ = eco_->findApp(app_->config().app).value();
 }
 
 void
@@ -63,7 +64,7 @@ StaticCarbonRatePolicy::onTick(TimeS start_s, TimeS dt_s)
     (void)start_s;
     double intensity = eco_->getGridCarbon();
     double allowed_w = gridWattsForRate(rate_g_per_s_, intensity) +
-                       zeroCarbonWatts(*eco_, app_->config().app);
+                       zeroCarbonWatts(*eco_, handle_);
     double per_worker_w = perWorkerPowerW(*eco_, *app_);
 
     // The system policy is application-agnostic: it simply uses as
@@ -75,7 +76,7 @@ StaticCarbonRatePolicy::onTick(TimeS start_s, TimeS dt_s)
     app_->setWorkers(workers);
 
     // Book-keep the achieved carbon rate from the last settlement.
-    const auto &s = eco_->ves(app_->config().app).lastSettlement();
+    const auto &s = eco_->ves(handle_)->lastSettlement();
     last_rate_g_per_s_ =
         dt_s > 0 ? s.carbon_g / static_cast<double>(dt_s) : 0.0;
 }
@@ -95,6 +96,7 @@ DynamicCarbonBudgetPolicy::DynamicCarbonBudgetPolicy(
         fatal("DynamicCarbonBudgetPolicy: rate must be positive");
     if (horizon_s_ <= 0)
         fatal("DynamicCarbonBudgetPolicy: horizon must be positive");
+    handle_ = eco_->findApp(app_->config().app).value();
 }
 
 double
@@ -113,7 +115,7 @@ DynamicCarbonBudgetPolicy::onTick(TimeS start_s, TimeS dt_s)
         start_s_ = start_s;
 
     // Account the previous tick's settled emissions.
-    const auto &s = eco_->ves(app_->config().app).lastSettlement();
+    const auto &s = eco_->ves(handle_)->lastSettlement();
     if (s.dt_s > 0) {
         spent_g_ += s.carbon_g;
         last_rate_g_per_s_ = s.carbon_g / static_cast<double>(s.dt_s);
@@ -135,7 +137,7 @@ DynamicCarbonBudgetPolicy::onTick(TimeS start_s, TimeS dt_s)
         double fallback_rate =
             budget_exhausted ? 0.25 * rate_g_per_s_ : rate_g_per_s_;
         double allowed_w = gridWattsForRate(fallback_rate, intensity) +
-                           zeroCarbonWatts(*eco_, app_->config().app);
+                           zeroCarbonWatts(*eco_, handle_);
         double per_worker_w = perWorkerPowerW(*eco_, *app_);
         int max_workers = std::max(
             app_->config().min_workers,

@@ -59,6 +59,7 @@ class StaticCarbonRatePolicy
   private:
     core::Ecovisor *eco_;
     wl::WebApplication *app_;
+    api::AppHandle handle_;
     double rate_g_per_s_;
     double last_rate_g_per_s_ = 0.0;
 };
@@ -100,6 +101,7 @@ class DynamicCarbonBudgetPolicy
   private:
     core::Ecovisor *eco_;
     wl::WebApplication *app_;
+    api::AppHandle handle_;
     double rate_g_per_s_;
     TimeS horizon_s_;
     double budget_g_;

@@ -15,6 +15,7 @@ StaticSolarCapPolicy::StaticSolarCapPolicy(core::Ecovisor *eco,
         fatal("StaticSolarCapPolicy: null ecovisor");
     if (!job_)
         fatal("StaticSolarCapPolicy: null job");
+    handle_ = eco_->findApp(job_->config().app).value();
 }
 
 void
@@ -27,13 +28,13 @@ StaticSolarCapPolicy::onTick(TimeS start_s, TimeS dt_s)
     auto containers = job_->containers();
     if (containers.empty())
         return;
-    // Fetch the app's solar share through the narrow API.
-    const std::string &app =
-        eco_->cluster().container(containers.front()).app;
-    double budget_w = eco_->getSolarPower(app);
+    // Immediate caps (not a settlement-staged CapBatch): the workload
+    // phase of this same tick must already run under them.
+    double budget_w = eco_->getSolarPower(handle_).value();
     double per_w = budget_w / static_cast<double>(containers.size());
     for (cop::ContainerId id : containers)
-        eco_->setContainerPowercap(id, per_w);
+        eco_->setContainerPowercap(api::ContainerHandle(id), per_w)
+            .orFatal();
 }
 
 DynamicSolarCapPolicy::DynamicSolarCapPolicy(core::Ecovisor *eco,
@@ -45,6 +46,7 @@ DynamicSolarCapPolicy::DynamicSolarCapPolicy(core::Ecovisor *eco,
         fatal("DynamicSolarCapPolicy: null ecovisor");
     if (!job_)
         fatal("DynamicSolarCapPolicy: null job");
+    handle_ = eco_->findApp(job_->config().app).value();
 }
 
 double
@@ -54,9 +56,7 @@ DynamicSolarCapPolicy::distribute(TimeS start_s)
     auto status = job_->status();
     if (status.empty())
         return 0.0;
-    const std::string &app =
-        eco_->cluster().container(status.front().id).app;
-    double budget_w = eco_->getSolarPower(app);
+    double budget_w = eco_->getSolarPower(handle_).value();
 
     // Pass 1: waiting workers get the I/O trickle.
     std::vector<cop::ContainerId> busy;
@@ -66,7 +66,9 @@ DynamicSolarCapPolicy::distribute(TimeS start_s)
             if (w.has_replica)
                 busy.push_back(w.replica_id);
         } else {
-            eco_->setContainerPowercap(w.id, config_.io_power_w);
+            eco_->setContainerPowercap(api::ContainerHandle(w.id),
+                                       config_.io_power_w)
+                .orFatal();
             budget_w -= config_.io_power_w;
         }
     }
@@ -82,7 +84,8 @@ DynamicSolarCapPolicy::distribute(TimeS start_s)
     for (cop::ContainerId id : busy) {
         double full_w = eco_->cluster().maxContainerPowerW(id);
         double cap = std::min(per_w, full_w);
-        eco_->setContainerPowercap(id, cap);
+        eco_->setContainerPowercap(api::ContainerHandle(id), cap)
+            .orFatal();
         spare_w += per_w - cap;
     }
     return spare_w;

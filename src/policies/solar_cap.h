@@ -54,6 +54,7 @@ class StaticSolarCapPolicy
   private:
     core::Ecovisor *eco_;
     wl::StragglerJob *job_;
+    api::AppHandle handle_;
 };
 
 /** Demand-aware rebalancing of the solar budget. */
@@ -78,6 +79,7 @@ class DynamicSolarCapPolicy
 
     core::Ecovisor *eco_;
     wl::StragglerJob *job_;
+    api::AppHandle handle_;
     SolarCapPolicyConfig config_;
 };
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "api/handle.h"
 #include "cop/cluster.h"
 #include "util/units.h"
 
@@ -106,6 +107,13 @@ class BatchJob
     const std::vector<cop::ContainerId> &containers() const
     {
         return containers_;
+    }
+
+    /** Live containers as typed v2 handles. */
+    std::vector<api::ContainerHandle>
+    containerHandles() const
+    {
+        return api::wrapContainers(containers_);
     }
 
     /** Simulated completion time; valid once done(). */

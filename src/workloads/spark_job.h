@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "api/handle.h"
 #include "cop/cluster.h"
 #include "util/units.h"
 
@@ -86,6 +87,13 @@ class SparkJob
 
     /** Live container ids. */
     std::vector<cop::ContainerId> containers() const;
+
+    /** Live containers as typed v2 handles. */
+    std::vector<api::ContainerHandle>
+    containerHandles() const
+    {
+        return api::wrapContainers(containers());
+    }
 
     /** Advance one tick: accrue and periodically commit work. */
     void onTick(TimeS start_s, TimeS dt_s);

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "api/handle.h"
 #include "cop/cluster.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -77,6 +78,9 @@ class StragglerJob
     /** Launch: create the worker containers and start round 0. */
     void start(TimeS now_s);
 
+    /** Job configuration (the owning app name lives here). */
+    const StragglerJobConfig &config() const { return config_; }
+
     /** True when all rounds have completed. */
     bool done() const { return round_ >= config_.rounds; }
 
@@ -105,6 +109,13 @@ class StragglerJob
 
     /** Primary container ids (replicas excluded). */
     std::vector<cop::ContainerId> containers() const;
+
+    /** Primary containers as typed v2 handles (replicas excluded). */
+    std::vector<api::ContainerHandle>
+    containerHandles() const
+    {
+        return api::wrapContainers(containers());
+    }
 
     /** Advance one tick. */
     void onTick(TimeS start_s, TimeS dt_s);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "api/handle.h"
 #include "cop/cluster.h"
 #include "util/stats.h"
 #include "workloads/request_trace.h"
@@ -106,6 +107,13 @@ class WebApplication
     const std::vector<cop::ContainerId> &containers() const
     {
         return containers_;
+    }
+
+    /** Live containers as typed v2 handles. */
+    std::vector<api::ContainerHandle>
+    containerHandles() const
+    {
+        return api::wrapContainers(containers_);
     }
 
     /** Advance one tick: route load, set demand, record latency. */

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * v2 API handle semantics: registration-order indices, stability
+ * across later addApp calls regardless of name ordering, and the
+ * behaviour of invalid handles on every handle-taking entry point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/handle.h"
+#include "common/rig.h"
+#include "core/ecovisor.h"
+
+namespace ecov::core {
+namespace {
+
+using testutil::Rig;
+using testutil::appShare;
+
+TEST(AppHandle, DefaultIsInvalid)
+{
+    api::AppHandle h;
+    EXPECT_FALSE(h.valid());
+    EXPECT_EQ(h.index(), -1);
+    EXPECT_EQ(h, api::AppHandle());
+    EXPECT_NE(h, api::AppHandle(0));
+}
+
+TEST(AppHandle, RegistrationOrderAssignsIndices)
+{
+    Rig rig;
+    // Register in reverse-alphabetical order: handle indices must
+    // follow *registration* order even though the deterministic
+    // iteration (appNames) sorts by name.
+    auto z = rig.eco.tryAddApp("zeta", appShare(0.25, 100.0)).value();
+    auto a = rig.eco.tryAddApp("alpha", appShare(0.75, 300.0)).value();
+    EXPECT_EQ(z.index(), 0);
+    EXPECT_EQ(a.index(), 1);
+    EXPECT_EQ(rig.eco.appCount(), 2u);
+
+    auto names = rig.eco.appNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+
+    // The handle routes to the right app's state, not the sorted slot.
+    EXPECT_EQ(rig.eco.appName(z).value(), "zeta");
+    EXPECT_EQ(rig.eco.appName(a).value(), "alpha");
+    rig.eco.settleTick(7 * 3600, 60); // solar is 200 W at 7 h
+    EXPECT_DOUBLE_EQ(rig.eco.getSolarPower(z).value(), 50.0);
+    EXPECT_DOUBLE_EQ(rig.eco.getSolarPower(a).value(), 150.0);
+}
+
+TEST(AppHandle, StableAcrossLaterRegistrations)
+{
+    Rig rig;
+    auto first = rig.eco.tryAddApp("mid", appShare(0.2, 100.0)).value();
+    const auto before = rig.eco.findApp("mid").value();
+    // Names sorting both before and after "mid" must not move it.
+    rig.eco.tryAddApp("aaa", appShare(0.2, 100.0)).value();
+    rig.eco.tryAddApp("zzz", appShare(0.2, 100.0)).value();
+    EXPECT_EQ(rig.eco.findApp("mid").value(), before);
+    EXPECT_EQ(before, first);
+    EXPECT_EQ(rig.eco.appName(first).value(), "mid");
+}
+
+TEST(AppHandle, FindAppMatchesTryAddAppHandle)
+{
+    Rig rig;
+    auto h = rig.eco.tryAddApp("a", appShare(1.0, 1440.0)).value();
+    EXPECT_EQ(rig.eco.findApp("a").value(), h);
+    EXPECT_FALSE(rig.eco.findApp("b").ok());
+    EXPECT_EQ(rig.eco.findApp("b").code(), api::ErrorCode::UnknownApp);
+}
+
+TEST(AppHandle, VesByHandle)
+{
+    Rig rig;
+    auto h = rig.eco.tryAddApp("a", appShare(1.0, 1440.0)).value();
+    ASSERT_NE(rig.eco.ves(h), nullptr);
+    EXPECT_EQ(rig.eco.ves(h), &rig.eco.ves("a"));
+    EXPECT_EQ(rig.eco.ves(api::AppHandle()), nullptr);
+    EXPECT_EQ(rig.eco.ves(api::AppHandle(7)), nullptr);
+}
+
+TEST(AppHandle, InvalidHandleRejectedEverywhere)
+{
+    Rig rig;
+    rig.eco.tryAddApp("a", appShare(1.0, 1440.0)).value();
+    const api::AppHandle bad_handles[] = {api::AppHandle(),
+                                          api::AppHandle(1),
+                                          api::AppHandle(-7)};
+    for (api::AppHandle bad : bad_handles) {
+        EXPECT_EQ(rig.eco.getSolarPower(bad).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco.getGridPower(bad).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco.getBatteryDischargeRate(bad).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco.getBatteryChargeLevel(bad).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco.getEnergySnapshot(bad).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco.appName(bad).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco.setBatteryChargeRate(bad, 1.0).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco.setBatteryMaxDischarge(bad, 1.0).code(),
+                  api::ErrorCode::InvalidHandle);
+        EXPECT_EQ(rig.eco
+                      .registerTickCallback(bad, [](TimeS, TimeS) {})
+                      .code(),
+                  api::ErrorCode::InvalidHandle);
+    }
+}
+
+TEST(ContainerHandle, WrapsCopIds)
+{
+    api::ContainerHandle none;
+    EXPECT_FALSE(none.valid());
+    api::ContainerHandle c(42);
+    EXPECT_TRUE(c.valid());
+    EXPECT_EQ(c.id(), 42);
+    EXPECT_NE(c, none);
+
+    auto wrapped = api::wrapContainers({1, 2, 3});
+    ASSERT_EQ(wrapped.size(), 3u);
+    EXPECT_EQ(wrapped[1].id(), 2);
+}
+
+TEST(AppHandle, HandleGettersAgreeWithStringGetters)
+{
+    Rig rig;
+    auto h = rig.eco.tryAddApp("a", appShare(0.5, 400.0)).value();
+    auto id = rig.cluster.createContainer("a", 2.0);
+    ASSERT_TRUE(id);
+    rig.cluster.setDemand(*id, 0.8);
+    rig.run(30, 600);
+    EXPECT_DOUBLE_EQ(rig.eco.getSolarPower(h).value(),
+                     rig.eco.getSolarPower("a"));
+    EXPECT_DOUBLE_EQ(rig.eco.getGridPower(h).value(),
+                     rig.eco.getGridPower("a"));
+    EXPECT_DOUBLE_EQ(rig.eco.getBatteryDischargeRate(h).value(),
+                     rig.eco.getBatteryDischargeRate("a"));
+    EXPECT_DOUBLE_EQ(rig.eco.getBatteryChargeLevel(h).value(),
+                     rig.eco.getBatteryChargeLevel("a"));
+}
+
+} // namespace
+} // namespace ecov::core
