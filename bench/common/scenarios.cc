@@ -522,22 +522,22 @@ runSolarCapScenario(SolarPolicyKind kind, double solar_fraction_pct,
     simul.addListener([&](TimeS t, TimeS dt) { job.onTick(t, dt); },
                       sim::TickPhase::Workload);
     eco.attach(simul);
+    const cop::AppIndex par_cop = eco.copAppIndex(par_h);
     simul.addListener(
         [&](TimeS t, TimeS) {
-            auto ids = cluster.appContainers("par");
-            if (ids.empty())
+            const int count = cluster.appContainerCount(par_cop);
+            if (count == 0)
                 return;
             double sum = 0.0;
-            for (auto id : ids) {
-                double cap =
-                    eco.getContainerPowercap(api::ContainerHandle(id))
-                        .value();
-                sum += std::isfinite(cap)
-                           ? cap
-                           : cluster.maxContainerPowerW(id);
-            }
-            mean_caps.emplace_back(
-                t, sum / static_cast<double>(ids.size()));
+            cluster.forEachAppContainer(
+                par_cop, [&](const cop::Container &c) {
+                    double cap = eco.getContainerPowercap(c.id);
+                    sum += std::isfinite(cap)
+                               ? cap
+                               : cluster.maxContainerPowerW(c.id);
+                });
+            mean_caps.emplace_back(t,
+                                   sum / static_cast<double>(count));
         },
         sim::TickPhase::Telemetry);
 

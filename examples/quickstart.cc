@@ -71,7 +71,7 @@ main()
     auto c2 = cluster.createContainer("myapp", 2.0);
     cluster.setDemand(*c1, 0.9);
     cluster.setDemand(*c2, 0.6);
-    const api::ContainerHandle cap_target(*c2);
+    const api::ContainerHandle cap_target = api::handleOf(cluster, *c2);
 
     // The application's tick() upcall: carbon-aware power capping.
     // One EnergySnapshot per tick replaces four scalar getter calls.

@@ -16,9 +16,14 @@
  * ecovisor stays valid for that ecovisor's lifetime. Handles are not
  * portable across Ecovisor instances.
  *
- * ContainerHandle is the typed wrapper for the COP's opaque container
- * id, so the v2 signatures distinguish app and container arguments at
- * compile time instead of by spelling.
+ * ContainerHandle wraps the COP's {slot, generation} ContainerRef:
+ * resolution is an O(1) bounds check plus generation compare against
+ * the cluster's container slab — no id lookup at all — and a handle
+ * held across its container's destruction goes *stale* (every v2
+ * call through it returns UnknownContainer) instead of aliasing the
+ * recycled slot or crashing. Obtain one with handleOf() / the
+ * workloads' containerHandles(); like AppHandles, container handles
+ * are not portable across Cluster instances.
  */
 
 #ifndef ECOV_API_HANDLE_H
@@ -65,26 +70,30 @@ class AppHandle
     std::int32_t index_ = -1;
 };
 
-/** Typed wrapper around the COP's opaque container id. */
+/**
+ * Typed wrapper around a COP {slot, generation} container reference.
+ */
 class ContainerHandle
 {
   public:
     /** Invalid handle. */
     constexpr ContainerHandle() = default;
 
-    /** Wrap a COP container id. */
-    explicit constexpr ContainerHandle(cop::ContainerId id) : id_(id) {}
+    /** Wrap a resolved COP container ref. */
+    explicit constexpr ContainerHandle(cop::ContainerRef ref)
+        : ref_(ref)
+    {}
 
-    /** True when this wraps a real id (may still be destroyed). */
-    constexpr bool valid() const { return id_ != cop::kInvalidContainer; }
+    /** True when this wraps a resolved ref (may still be stale). */
+    constexpr bool valid() const { return ref_.valid(); }
 
-    /** The underlying COP id. */
-    constexpr cop::ContainerId id() const { return id_; }
+    /** The underlying slab reference. */
+    constexpr cop::ContainerRef ref() const { return ref_; }
 
     friend constexpr bool
     operator==(ContainerHandle a, ContainerHandle b)
     {
-        return a.id_ == b.id_;
+        return a.ref_ == b.ref_;
     }
     friend constexpr bool
     operator!=(ContainerHandle a, ContainerHandle b)
@@ -93,17 +102,29 @@ class ContainerHandle
     }
 
   private:
-    cop::ContainerId id_ = cop::kInvalidContainer;
+    cop::ContainerRef ref_;
 };
 
-/** Wrap a COP container-id list into typed handles. */
+/**
+ * Resolve a v1 container id into a handle. Unknown or destroyed ids
+ * yield an invalid handle (which every v2 call reports as
+ * UnknownContainer — resolution itself never fails loudly).
+ */
+inline ContainerHandle
+handleOf(const cop::Cluster &cluster, cop::ContainerId id)
+{
+    return ContainerHandle(cluster.refOf(id));
+}
+
+/** Resolve a COP container-id list into typed handles. */
 inline std::vector<ContainerHandle>
-wrapContainers(const std::vector<cop::ContainerId> &ids)
+wrapContainers(const cop::Cluster &cluster,
+               const std::vector<cop::ContainerId> &ids)
 {
     std::vector<ContainerHandle> out;
     out.reserve(ids.size());
     for (cop::ContainerId id : ids)
-        out.emplace_back(id);
+        out.push_back(handleOf(cluster, id));
     return out;
 }
 

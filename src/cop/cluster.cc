@@ -40,6 +40,43 @@ Cluster::freeCores() const
     return total;
 }
 
+// ---------------------------------------------------------------------
+// App interning.
+// ---------------------------------------------------------------------
+
+AppIndex
+Cluster::internApp(std::string_view app)
+{
+    auto it = app_index_.find(app);
+    if (it != app_index_.end())
+        return it->second;
+    const auto idx = static_cast<AppIndex>(apps_.size());
+    AppInfo info;
+    info.name = std::string(app);
+    apps_.push_back(std::move(info));
+    app_index_.emplace(apps_.back().name, idx);
+    return idx;
+}
+
+AppIndex
+Cluster::findAppIndex(std::string_view app) const
+{
+    auto it = app_index_.find(app);
+    return it == app_index_.end() ? kInvalidApp : it->second;
+}
+
+const std::string &
+Cluster::appName(AppIndex app) const
+{
+    if (app < 0 || static_cast<std::size_t>(app) >= apps_.size())
+        fatal("Cluster::appName: unknown app index");
+    return apps_[static_cast<std::size_t>(app)].name;
+}
+
+// ---------------------------------------------------------------------
+// Container lifecycle.
+// ---------------------------------------------------------------------
+
 int
 Cluster::pickNode(double cores) const
 {
@@ -59,52 +96,195 @@ Cluster::pickNode(double cores) const
 }
 
 std::optional<ContainerId>
-Cluster::createContainer(const std::string &app, double cores)
+Cluster::createContainer(std::string_view app, double cores)
 {
     if (cores <= 0.0)
         fatal("Cluster::createContainer: cores must be positive");
     int node = pickNode(cores);
     if (node < 0)
         return std::nullopt;
-    Container c;
-    c.id = next_id_++;
-    c.app = app;
-    c.node = node;
-    c.cores = cores;
+
+    const AppIndex app_idx = internApp(app);
+
+    // Reuse a recycled slot (generation already bumped at destroy) or
+    // grow the slab.
+    std::int32_t s;
+    if (!free_.empty()) {
+        s = free_.back();
+        free_.pop_back();
+    } else {
+        s = static_cast<std::int32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &slot = slots_[static_cast<std::size_t>(s)];
+    slot.live = true;
+    slot.c = Container{};
+    slot.c.id = next_id_++;
+    slot.c.app = app_idx;
+    slot.c.node = node;
+    slot.c.cores = cores;
+
+    id_to_slot_.push_back(s);
+
+    // Append to the app's list and the global live list: tail-append
+    // keeps both in creation order == increasing-id order.
+    AppInfo &info = apps_[static_cast<std::size_t>(app_idx)];
+    slot.app_prev = info.tail;
+    slot.app_next = -1;
+    if (info.tail >= 0)
+        slots_[static_cast<std::size_t>(info.tail)].app_next = s;
+    else
+        info.head = s;
+    info.tail = s;
+    info.count += 1;
+    info.power_dirty = true;
+
+    slot.all_prev = all_tail_;
+    slot.all_next = -1;
+    if (all_tail_ >= 0)
+        slots_[static_cast<std::size_t>(all_tail_)].all_next = s;
+    else
+        all_head_ = s;
+    all_tail_ = s;
+    live_count_ += 1;
+
     auto &n = nodes_[static_cast<std::size_t>(node)];
     n.cores_allocated += cores;
     n.instances += 1;
-    live_.emplace(c.id, c);
-    return c.id;
+    return slot.c.id;
 }
 
 void
 Cluster::destroyContainer(ContainerId id)
 {
-    auto it = live_.find(id);
-    if (it == live_.end())
+    const std::int32_t s = slotOf(id);
+    if (s < 0)
         fatal("Cluster::destroyContainer: unknown container");
-    auto &n = nodes_[static_cast<std::size_t>(it->second.node)];
-    n.cores_allocated -= it->second.cores;
+    Slot &slot = slots_[static_cast<std::size_t>(s)];
+
+    auto &n = nodes_[static_cast<std::size_t>(slot.c.node)];
+    n.cores_allocated -= slot.c.cores;
     if (n.cores_allocated < 0.0)
         n.cores_allocated = 0.0;
     n.instances -= 1;
-    live_.erase(it);
+
+    AppInfo &info = apps_[static_cast<std::size_t>(slot.c.app)];
+    if (slot.app_prev >= 0)
+        slots_[static_cast<std::size_t>(slot.app_prev)].app_next =
+            slot.app_next;
+    else
+        info.head = slot.app_next;
+    if (slot.app_next >= 0)
+        slots_[static_cast<std::size_t>(slot.app_next)].app_prev =
+            slot.app_prev;
+    else
+        info.tail = slot.app_prev;
+    info.count -= 1;
+    info.power_dirty = true;
+
+    if (slot.all_prev >= 0)
+        slots_[static_cast<std::size_t>(slot.all_prev)].all_next =
+            slot.all_next;
+    else
+        all_head_ = slot.all_next;
+    if (slot.all_next >= 0)
+        slots_[static_cast<std::size_t>(slot.all_next)].all_prev =
+            slot.all_prev;
+    else
+        all_tail_ = slot.all_prev;
+    live_count_ -= 1;
+
+    id_to_slot_[static_cast<std::size_t>(id - 1)] = -1;
+    slot.live = false;
+    slot.generation += 1; // refs to this incarnation are now stale
+    free_.push_back(s);
+}
+
+std::int32_t
+Cluster::slotOf(ContainerId id) const
+{
+    if (id < 1 || id >= next_id_)
+        return -1;
+    return id_to_slot_[static_cast<std::size_t>(id - 1)];
 }
 
 bool
 Cluster::exists(ContainerId id) const
 {
-    return live_.count(id) > 0;
+    return slotOf(id) >= 0;
+}
+
+ContainerRef
+Cluster::refOf(ContainerId id) const
+{
+    const std::int32_t s = slotOf(id);
+    if (s < 0)
+        return ContainerRef{};
+    return ContainerRef{s, slots_[static_cast<std::size_t>(s)].generation};
+}
+
+ContainerId
+Cluster::idOf(ContainerRef ref) const
+{
+    const Container *c = find(ref);
+    return c ? c->id : kInvalidContainer;
+}
+
+const Container *
+Cluster::find(ContainerRef ref) const
+{
+    if (ref.slot < 0 ||
+        static_cast<std::size_t>(ref.slot) >= slots_.size())
+        return nullptr;
+    const Slot &slot = slots_[static_cast<std::size_t>(ref.slot)];
+    if (!slot.live || slot.generation != ref.generation)
+        return nullptr;
+    return &slot.c;
+}
+
+Cluster::Slot &
+Cluster::liveSlot(ContainerId id, const char *who)
+{
+    const std::int32_t s = slotOf(id);
+    if (s < 0)
+        fatal(std::string(who) + ": unknown container");
+    return slots_[static_cast<std::size_t>(s)];
+}
+
+const Cluster::Slot &
+Cluster::liveSlot(ContainerId id, const char *who) const
+{
+    const std::int32_t s = slotOf(id);
+    if (s < 0)
+        fatal(std::string(who) + ": unknown container");
+    return slots_[static_cast<std::size_t>(s)];
 }
 
 const Container &
 Cluster::container(ContainerId id) const
 {
-    auto it = live_.find(id);
-    if (it == live_.end())
-        fatal("Cluster::container: unknown container");
-    return it->second;
+    return liveSlot(id, "Cluster::container").c;
+}
+
+api::Result<const Container *>
+Cluster::tryContainer(ContainerId id) const
+{
+    const std::int32_t s = slotOf(id);
+    if (s < 0)
+        return api::Status::error(api::ErrorCode::UnknownContainer,
+                                  "Cluster::tryContainer: unknown "
+                                  "container");
+    return &slots_[static_cast<std::size_t>(s)].c;
+}
+
+// ---------------------------------------------------------------------
+// Runtime state.
+// ---------------------------------------------------------------------
+
+void
+Cluster::markAppPowerDirty(AppIndex app)
+{
+    apps_[static_cast<std::size_t>(app)].power_dirty = true;
 }
 
 bool
@@ -112,57 +292,67 @@ Cluster::setCores(ContainerId id, double cores)
 {
     if (cores <= 0.0)
         fatal("Cluster::setCores: cores must be positive");
-    auto it = live_.find(id);
-    if (it == live_.end())
-        fatal("Cluster::setCores: unknown container");
-    auto &n = nodes_[static_cast<std::size_t>(it->second.node)];
-    double delta = cores - it->second.cores;
+    Slot &slot = liveSlot(id, "Cluster::setCores");
+    auto &n = nodes_[static_cast<std::size_t>(slot.c.node)];
+    double delta = cores - slot.c.cores;
     if (delta > n.freeCores() + 1e-9)
         return false;
     n.cores_allocated += delta;
-    it->second.cores = cores;
+    slot.c.cores = cores;
+    markAppPowerDirty(slot.c.app);
     return true;
 }
 
 void
 Cluster::setUtilizationCap(ContainerId id, double cap)
 {
-    auto it = live_.find(id);
-    if (it == live_.end())
-        fatal("Cluster::setUtilizationCap: unknown container");
-    it->second.util_cap = clamp(cap, 0.0, 1.0);
+    Slot &slot = liveSlot(id, "Cluster::setUtilizationCap");
+    slot.c.util_cap = clamp(cap, 0.0, 1.0);
+    markAppPowerDirty(slot.c.app);
 }
 
 void
 Cluster::setDemand(ContainerId id, double demand)
 {
-    auto it = live_.find(id);
-    if (it == live_.end())
-        fatal("Cluster::setDemand: unknown container");
-    it->second.demand = clamp(demand, 0.0, 1.0);
+    Slot &slot = liveSlot(id, "Cluster::setDemand");
+    slot.c.demand = clamp(demand, 0.0, 1.0);
+    markAppPowerDirty(slot.c.app);
 }
 
 void
 Cluster::setGpuUtil(ContainerId id, double gpu_util)
 {
-    auto it = live_.find(id);
-    if (it == live_.end())
-        fatal("Cluster::setGpuUtil: unknown container");
-    it->second.gpu_util = clamp(gpu_util, 0.0, 1.0);
+    Slot &slot = liveSlot(id, "Cluster::setGpuUtil");
+    slot.c.gpu_util = clamp(gpu_util, 0.0, 1.0);
+    markAppPowerDirty(slot.c.app);
 }
 
 double
-Cluster::containerPowerW(ContainerId id) const
+Cluster::powerOf(const Container &c) const
 {
-    const Container &c = container(id);
     const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
     return model.containerPowerW(c.cores, c.effectiveUtil(), c.gpu_util);
 }
 
 double
+Cluster::containerPowerW(ContainerId id) const
+{
+    return powerOf(liveSlot(id, "Cluster::container").c);
+}
+
+double
+Cluster::containerPowerW(ContainerRef ref) const
+{
+    const Container *c = find(ref);
+    if (!c)
+        fatal("Cluster::containerPowerW: stale container ref");
+    return powerOf(*c);
+}
+
+double
 Cluster::utilizationCapForPower(ContainerId id, double cap_w) const
 {
-    const Container &c = container(id);
+    const Container &c = liveSlot(id, "Cluster::container").c;
     const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
     return model.utilizationForCap(c.cores, cap_w);
 }
@@ -170,7 +360,7 @@ Cluster::utilizationCapForPower(ContainerId id, double cap_w) const
 double
 Cluster::maxContainerPowerW(ContainerId id) const
 {
-    const Container &c = container(id);
+    const Container &c = liveSlot(id, "Cluster::container").c;
     const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
     return model.maxContainerPowerW(c.cores, c.gpu_util);
 }
@@ -178,39 +368,69 @@ Cluster::maxContainerPowerW(ContainerId id) const
 double
 Cluster::workCoreSeconds(ContainerId id, TimeS dt_s) const
 {
-    const Container &c = container(id);
+    const Container &c = liveSlot(id, "Cluster::container").c;
     return c.effectiveUtil() * c.cores * static_cast<double>(dt_s);
 }
 
-std::vector<ContainerId>
-Cluster::appContainers(const std::string &app) const
+// ---------------------------------------------------------------------
+// Per-app aggregation.
+// ---------------------------------------------------------------------
+
+int
+Cluster::appContainerCount(AppIndex app) const
 {
-    std::vector<ContainerId> out;
-    for (const auto &kv : live_) {
-        if (kv.second.app == app)
-            out.push_back(kv.first);
-    }
-    return out;
+    if (app < 0 || static_cast<std::size_t>(app) >= apps_.size())
+        return 0;
+    return apps_[static_cast<std::size_t>(app)].count;
 }
 
 double
-Cluster::appPowerW(const std::string &app) const
+Cluster::appPowerW(AppIndex app) const
 {
+    if (app < 0 || static_cast<std::size_t>(app) >= apps_.size())
+        return 0.0;
+    const AppInfo &info = apps_[static_cast<std::size_t>(app)];
+    if (!info.power_dirty)
+        return info.power_w;
     double total = 0.0;
-    for (const auto &kv : live_) {
-        if (kv.second.app == app)
-            total += containerPowerW(kv.first);
-    }
+    for (std::int32_t s = info.head; s >= 0;
+         s = slots_[static_cast<std::size_t>(s)].app_next)
+        total += powerOf(slots_[static_cast<std::size_t>(s)].c);
+    info.power_w = total;
+    info.power_dirty = false;
     return total;
+}
+
+double
+Cluster::appPowerW(std::string_view app) const
+{
+    return appPowerW(findAppIndex(app));
+}
+
+std::vector<ContainerId>
+Cluster::appContainers(AppIndex app) const
+{
+    std::vector<ContainerId> out;
+    out.reserve(static_cast<std::size_t>(appContainerCount(app)));
+    forEachAppContainer(app, [&](const Container &c) {
+        out.push_back(c.id);
+    });
+    return out;
+}
+
+std::vector<ContainerId>
+Cluster::appContainers(std::string_view app) const
+{
+    return appContainers(findAppIndex(app));
 }
 
 std::vector<std::string>
 Cluster::apps() const
 {
     std::vector<std::string> out;
-    for (const auto &kv : live_) {
-        if (std::find(out.begin(), out.end(), kv.second.app) == out.end())
-            out.push_back(kv.second.app);
+    for (const auto &info : apps_) {
+        if (info.count > 0)
+            out.push_back(info.name);
     }
     return out;
 }
@@ -219,10 +439,13 @@ double
 Cluster::totalPowerW() const
 {
     // Per node: idle + dynamic of hosted containers (+ GPU terms).
+    // The global live list is in increasing-id order, matching the
+    // original map iteration bit-for-bit.
     std::vector<double> core_util(nodes_.size(), 0.0);
     std::vector<double> gpu_util(nodes_.size(), 0.0);
-    for (const auto &kv : live_) {
-        const Container &c = kv.second;
+    for (std::int32_t s = all_head_; s >= 0;
+         s = slots_[static_cast<std::size_t>(s)].all_next) {
+        const Container &c = slots_[static_cast<std::size_t>(s)].c;
         auto idx = static_cast<std::size_t>(c.node);
         core_util[idx] += c.effectiveUtil() * c.cores;
         gpu_util[idx] = std::max(gpu_util[idx], c.gpu_util);

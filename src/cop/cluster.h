@@ -12,6 +12,30 @@
  * The COP knows nothing about energy or carbon; the ecovisor layers
  * that on top via privileged access (Section 3.3), translating watt
  * caps into the utilization caps enforced here.
+ *
+ * Storage layout (the per-tick hot path, see docs/PERF.md):
+ *
+ *  - Containers live in a contiguous **slab** of slots with a LIFO
+ *    free-list. A destroyed slot bumps its generation counter and is
+ *    recycled by the next create, so long-running churn never grows
+ *    the slab beyond the peak live count.
+ *  - A ContainerRef is {slot, generation}: validated in O(1) with no
+ *    lookup structure at all, and never aliases a recycled slot (the
+ *    generation mismatch detects staleness instead of crashing).
+ *  - ContainerIds stay monotonically increasing (v1 compat and
+ *    telemetry keys); a dense id->slot table keeps id resolution O(1).
+ *  - App names are **interned** to a dense AppIndex at first use;
+ *    every container stores the index, and each app threads an
+ *    intrusive doubly-linked list through its slots in creation order
+ *    (which equals increasing-id order, preserving the exact
+ *    iteration order — and therefore the floating-point summation
+ *    order — of the original id-sorted std::map). appPowerW() and
+ *    forEachAppContainer() walk only that app's list: no string
+ *    compares, no allocation, O(app's containers) instead of
+ *    O(all containers).
+ *  - Each app carries a cached power aggregate invalidated by any
+ *    demand/cap/cores/gpu change, so repeated appPowerW() calls
+ *    within a tick are O(1).
  */
 
 #ifndef ECOV_COP_CLUSTER_H
@@ -22,18 +46,52 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "api/status.h"
 #include "power/server_power_model.h"
 #include "util/units.h"
 
 namespace ecov::cop {
 
-/** Opaque container identifier. */
+/** Opaque container identifier (monotonic, never reused). */
 using ContainerId = std::int64_t;
 
 /** Sentinel for "no container". */
 inline constexpr ContainerId kInvalidContainer = -1;
+
+/** Dense index of an interned application name (never invalidated). */
+using AppIndex = std::int32_t;
+
+/** Sentinel for "no app". */
+inline constexpr AppIndex kInvalidApp = -1;
+
+/**
+ * O(1)-validated reference to a slab slot: {slot, generation}.
+ * A ref obtained before the container's destruction goes *stale*
+ * (its generation no longer matches) rather than dangling — lookups
+ * through it fail cleanly instead of aliasing a recycled slot.
+ */
+struct ContainerRef
+{
+    std::int32_t slot = -1;
+    std::uint32_t generation = 0;
+
+    /** True when this ref was resolved (it may still be stale). */
+    constexpr bool valid() const { return slot >= 0; }
+
+    friend constexpr bool
+    operator==(ContainerRef a, ContainerRef b)
+    {
+        return a.slot == b.slot && a.generation == b.generation;
+    }
+    friend constexpr bool
+    operator!=(ContainerRef a, ContainerRef b)
+    {
+        return !(a == b);
+    }
+};
 
 /**
  * One container instance: allocation plus runtime utilization state.
@@ -44,7 +102,7 @@ inline constexpr ContainerId kInvalidContainer = -1;
 struct Container
 {
     ContainerId id = kInvalidContainer;
-    std::string app;          ///< owning application name
+    AppIndex app = kInvalidApp; ///< owning app (interned name index)
     int node = -1;            ///< hosting node index
     double cores = 1.0;       ///< allocated cores (vertical scale knob)
     double util_cap = 1.0;    ///< cgroup utilization ceiling in [0, 1]
@@ -103,27 +161,77 @@ class Cluster
     /** Cores not allocated to any container. */
     double freeCores() const;
 
+    // ------------------------------------------------------------------
+    // App interning.
+    // ------------------------------------------------------------------
+
+    /**
+     * Intern an application name: returns its dense index, assigning
+     * the next one on first use. Indices are stable for the cluster's
+     * lifetime regardless of container churn, so a caller (the
+     * ecovisor, a policy) resolves the name once and walks by index
+     * thereafter — the same resolve-once discipline api::AppHandle
+     * applies to ecovisor state.
+     */
+    AppIndex internApp(std::string_view app);
+
+    /** Index of an already-interned name; kInvalidApp when unknown. */
+    AppIndex findAppIndex(std::string_view app) const;
+
+    /** The name behind an index (fatal on an out-of-range index). */
+    const std::string &appName(AppIndex app) const;
+
+    // ------------------------------------------------------------------
+    // Container lifecycle.
+    // ------------------------------------------------------------------
+
     /**
      * Create a container for an application.
      *
      * Placement follows LXD's default scheduler: the node hosting the
      * fewest container instances among those with enough free cores.
      *
-     * @param app owning application name
+     * @param app owning application name (interned on first use)
      * @param cores core allocation (must be > 0)
      * @return new container id, or nullopt when no node can host it
      */
-    std::optional<ContainerId> createContainer(const std::string &app,
+    std::optional<ContainerId> createContainer(std::string_view app,
                                                double cores);
 
     /** Destroy a container and release its allocation. */
     void destroyContainer(ContainerId id);
 
-    /** True when the id names a live container. */
+    /** True when the id names a live container. O(1). */
     bool exists(ContainerId id) const;
 
-    /** Look up a container (fatal on unknown id). */
+    /**
+     * The {slot, generation} ref for a live id (invalid ref when the
+     * id is unknown or destroyed). O(1).
+     */
+    ContainerRef refOf(ContainerId id) const;
+
+    /** The id behind a ref; kInvalidContainer when stale. O(1). */
+    ContainerId idOf(ContainerRef ref) const;
+
+    /**
+     * Resolve a ref: the container, or nullptr when the ref is
+     * invalid or stale (its slot was destroyed, possibly recycled).
+     * O(1): bounds check + generation compare, never fatal.
+     */
+    const Container *find(ContainerRef ref) const;
+
+    /** Look up a container (fatal on unknown id — v1 behaviour). */
     const Container &container(ContainerId id) const;
+
+    /**
+     * Checked lookup consistent with the v2 error model: the
+     * container, or an UnknownContainer error — never fatal.
+     */
+    api::Result<const Container *> tryContainer(ContainerId id) const;
+
+    // ------------------------------------------------------------------
+    // Runtime state.
+    // ------------------------------------------------------------------
 
     /**
      * Vertically scale a container's core allocation.
@@ -147,6 +255,9 @@ class Cluster
      */
     double containerPowerW(ContainerId id) const;
 
+    /** Ref-addressed variant (fatal on a stale ref). */
+    double containerPowerW(ContainerRef ref) const;
+
     /**
      * Utilization cap keeping a container's power at or below cap_w,
      * via the hosting node's power model (Thunderbolt-style mapping).
@@ -162,13 +273,50 @@ class Cluster
      */
     double workCoreSeconds(ContainerId id, TimeS dt_s) const;
 
+    // ------------------------------------------------------------------
+    // Per-app aggregation (the per-tick hot path).
+    // ------------------------------------------------------------------
+
+    /**
+     * Visit an app's live containers in creation (= increasing id)
+     * order, with no allocation: fn(const Container &) per container.
+     * fn must not create or destroy containers (it may freely mutate
+     * demand/caps through the setters).
+     */
+    template <typename Fn>
+    void
+    forEachAppContainer(AppIndex app, Fn &&fn) const
+    {
+        if (app < 0 || static_cast<std::size_t>(app) >= apps_.size())
+            return;
+        for (std::int32_t s = apps_[static_cast<std::size_t>(app)].head;
+             s >= 0; s = slots_[static_cast<std::size_t>(s)].app_next)
+            fn(slots_[static_cast<std::size_t>(s)].c);
+    }
+
+    /** Live containers owned by an interned app. */
+    int appContainerCount(AppIndex app) const;
+
+    /**
+     * Sum of attributed power over an app's containers. O(1) when the
+     * cached aggregate is clean (no demand/cap/cores/gpu change since
+     * the last call); otherwise one walk of the app's own list.
+     */
+    double appPowerW(AppIndex app) const;
+
+    /** Name-keyed compat: interned lookup + appPowerW(index). */
+    double appPowerW(std::string_view app) const;
+
     /** Ids of all live containers belonging to an application. */
-    std::vector<ContainerId> appContainers(const std::string &app) const;
+    std::vector<ContainerId> appContainers(std::string_view app) const;
 
-    /** Sum of attributed power over an application's containers. */
-    double appPowerW(const std::string &app) const;
+    /** Index-addressed variant. */
+    std::vector<ContainerId> appContainers(AppIndex app) const;
 
-    /** All application names with at least one container. */
+    /**
+     * All application names with at least one live container, in
+     * interning order (first-ever container creation order).
+     */
     std::vector<std::string> apps() const;
 
     /**
@@ -179,16 +327,64 @@ class Cluster
     double totalPowerW() const;
 
     /** Total live containers. */
-    int containerCount() const { return static_cast<int>(live_.size()); }
+    int containerCount() const { return live_count_; }
 
     /** Node accessor (for tests and power accounting). */
     const Node &node(int idx) const;
 
   private:
+    /** One slab slot: the container plus its lifecycle/link state. */
+    struct Slot
+    {
+        Container c;
+        std::uint32_t generation = 0;
+        bool live = false;
+        std::int32_t app_prev = -1; ///< per-app intrusive list
+        std::int32_t app_next = -1;
+        std::int32_t all_prev = -1; ///< global live list (id order)
+        std::int32_t all_next = -1;
+    };
+
+    /** Interned app: name, container list, cached power aggregate. */
+    struct AppInfo
+    {
+        std::string name;
+        std::int32_t head = -1;
+        std::int32_t tail = -1;
+        std::int32_t count = 0;
+        /**
+         * Cached appPowerW sum. Written under the dirty protocol:
+         * each app's cache is only touched by appPowerW(its index),
+         * so sharded settlement (one app belongs to exactly one
+         * shard) stays race-free.
+         */
+        mutable double power_w = 0.0;
+        mutable bool power_dirty = true;
+    };
+
     int pickNode(double cores) const;
 
+    /** Slot index for a live id; -1 otherwise. O(1). */
+    std::int32_t slotOf(ContainerId id) const;
+
+    /** Slot for a live id; fatal with `who` context when unknown. */
+    Slot &liveSlot(ContainerId id, const char *who);
+    const Slot &liveSlot(ContainerId id, const char *who) const;
+
+    /** Attributed power of one live container. */
+    double powerOf(const Container &c) const;
+
+    void markAppPowerDirty(AppIndex app);
+
     std::vector<Node> nodes_;
-    std::map<ContainerId, Container> live_;
+    std::vector<Slot> slots_;
+    std::vector<std::int32_t> free_;       ///< LIFO recycled slots
+    std::vector<std::int32_t> id_to_slot_; ///< [id-1] -> slot | -1
+    std::vector<AppInfo> apps_;
+    std::map<std::string, AppIndex, std::less<>> app_index_;
+    std::int32_t all_head_ = -1; ///< global live list, creation order
+    std::int32_t all_tail_ = -1;
+    int live_count_ = 0;
     ContainerId next_id_ = 1;
 };
 

@@ -18,6 +18,7 @@ EcoLib::EcoLib(Ecovisor *ecovisor, std::string app)
     if (!resolved.ok())
         fatal("EcoLib: unknown app '" + app_ + "'");
     handle_ = resolved.value();
+    cop_app_ = eco_->copAppIndex(handle_);
     eco_->registerTickCallback(
               handle_,
               [this](TimeS start_s, TimeS dt_s) { onTick(start_s, dt_s); })
@@ -76,8 +77,12 @@ void
 EcoLib::clearCarbonRate()
 {
     rate_g_per_s_.reset();
-    for (cop::ContainerId id : eco_->cluster().appContainers(app_))
-        eco_->setContainerPowercap(id, kUnlimitedW);
+    // Allocation-free walk; uncapping mutates caps only, never the
+    // container list itself, so iterating while setting is safe.
+    eco_->cluster().forEachAppContainer(
+        cop_app_, [&](const cop::Container &c) {
+            eco_->setContainerPowercap(c.id, kUnlimitedW);
+        });
 }
 
 void
@@ -85,8 +90,9 @@ EcoLib::setContainerCarbonRate(cop::ContainerId id, double g_per_s)
 {
     if (g_per_s < 0.0)
         fatal("EcoLib::setContainerCarbonRate: negative rate");
-    if (!eco_->cluster().exists(id) ||
-        eco_->cluster().container(id).app != app_)
+    const cop::Container *c =
+        eco_->cluster().tryContainer(id).valueOr(nullptr);
+    if (!c || c->app != cop_app_)
         fatal("EcoLib::setContainerCarbonRate: container not owned by "
               "app '" + app_ + "'");
     container_rates_g_per_s_[id] = g_per_s;
@@ -185,8 +191,8 @@ EcoLib::enforceCarbonRate(TimeS start_s, TimeS dt_s)
 {
     (void)start_s;
     (void)dt_s;
-    auto containers = eco_->cluster().appContainers(app_);
-    if (containers.empty())
+    const int count = eco_->cluster().appContainerCount(cop_app_);
+    if (count == 0)
         return;
 
     // Grid power that keeps emissions at the rate limit:
@@ -209,10 +215,11 @@ EcoLib::enforceCarbonRate(TimeS start_s, TimeS dt_s)
     }
 
     double budget_w = zero_carbon_w + allowed_grid_w;
-    double per_container_w =
-        budget_w / static_cast<double>(containers.size());
-    for (cop::ContainerId id : containers)
-        eco_->setContainerPowercap(id, per_container_w);
+    double per_container_w = budget_w / static_cast<double>(count);
+    eco_->cluster().forEachAppContainer(
+        cop_app_, [&](const cop::Container &c) {
+            eco_->setContainerPowercap(c.id, per_container_w);
+        });
 }
 
 void

@@ -155,6 +155,8 @@ class EcoLib
     Ecovisor *eco_;
     std::string app_;
     api::AppHandle handle_;
+    /** Interned COP index for allocation-free container walks. */
+    cop::AppIndex cop_app_ = cop::kInvalidApp;
 
     std::optional<double> rate_g_per_s_;
     std::map<cop::ContainerId, double> container_rates_g_per_s_;

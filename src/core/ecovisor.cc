@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "util/logging.h"
 
@@ -30,12 +31,30 @@ invalidHandle()
                          "Ecovisor: invalid app handle");
 }
 
+/**
+ * Resolve the settlement thread count: an explicit option wins,
+ * otherwise the ECOV_THREADS environment variable, otherwise 1.
+ * Clamped to [1, 256] — a typo like ECOV_THREADS=1e9 must not fork a
+ * thread bomb.
+ */
+int
+resolveThreads(int option_threads)
+{
+    long v = option_threads;
+    if (v <= 0) {
+        const char *env = std::getenv("ECOV_THREADS");
+        v = (env && *env) ? std::strtol(env, nullptr, 10) : 1;
+    }
+    return static_cast<int>(std::clamp(v, 1L, 256L));
+}
+
 } // namespace
 
 Ecovisor::Ecovisor(cop::Cluster *cluster,
                    energy::PhysicalEnergySystem *phys,
                    EcovisorOptions options)
-    : cluster_(cluster), phys_(phys), options_(options)
+    : cluster_(cluster), phys_(phys), options_(options),
+      threads_(resolveThreads(options.threads))
 {
     if (!cluster_)
         fatal("Ecovisor: null cluster");
@@ -120,6 +139,9 @@ Ecovisor::tryAddApp(const std::string &app, const AppShareConfig &share)
 
     AppState st;
     st.name = app;
+    // Intern the name in the COP now so every later container walk
+    // (settlement, telemetry, EcoLib) is index-addressed.
+    st.cop_app = cluster_->internApp(app);
     st.solar_fraction = share.solar_fraction;
     // The VES constructor validates per-app config (fraction range,
     // grid limit, battery parameters) by throwing; convert to the
@@ -237,7 +259,10 @@ Ecovisor::setBatteryMaxDischarge(AppHandle h, double rate_w)
 Status
 Ecovisor::setContainerPowercap(ContainerHandle c, double cap_w)
 {
-    if (!cluster_->exists(c.id()))
+    // O(1) slab resolution: an invalid handle and a handle whose
+    // container was destroyed (generation mismatch) fail identically.
+    const cop::Container *ct = cluster_->find(c.ref());
+    if (!ct)
         return Status::error(ErrorCode::UnknownContainer,
                              "Ecovisor::setContainerPowercap: unknown "
                              "container");
@@ -245,14 +270,15 @@ Ecovisor::setContainerPowercap(ContainerHandle c, double cap_w)
         return Status::error(ErrorCode::InvalidArgument,
                              "Ecovisor::setContainerPowercap: negative "
                              "cap");
+    const cop::ContainerId id = ct->id;
     if (std::isinf(cap_w)) {
-        powercaps_w_.erase(c.id());
-        cluster_->setUtilizationCap(c.id(), 1.0);
+        powercaps_w_.erase(id);
+        cluster_->setUtilizationCap(id, 1.0);
         return Status::okStatus();
     }
-    powercaps_w_[c.id()] = cap_w;
+    powercaps_w_[id] = cap_w;
     cluster_->setUtilizationCap(
-        c.id(), cluster_->utilizationCapForPower(c.id(), cap_w));
+        id, cluster_->utilizationCapForPower(id, cap_w));
     return Status::okStatus();
 }
 
@@ -262,7 +288,7 @@ Ecovisor::applyCapBatch(const api::CapBatch &batch)
     // Validate the whole batch before staging anything: a rejected
     // batch must leave no trace (all-or-nothing semantics).
     for (const auto &req : batch.requests()) {
-        if (!cluster_->exists(req.container.id()))
+        if (!cluster_->find(req.container.ref()))
             return Status::error(ErrorCode::UnknownContainer,
                                  "Ecovisor::applyCapBatch: unknown "
                                  "container");
@@ -281,14 +307,18 @@ Ecovisor::commitStagedCaps()
 {
     for (const auto &req : staged_caps_) {
         // A container revoked between staging and settlement is
-        // skipped, exactly as applyPowercaps() prunes stale caps.
-        if (!cluster_->exists(req.container.id()))
+        // skipped, exactly as applyPowercaps() prunes stale caps —
+        // the generation check also skips a recycled slot, so a cap
+        // staged for a dead container can never leak onto its
+        // successor.
+        const cop::Container *ct = cluster_->find(req.container.ref());
+        if (!ct)
             continue;
         if (std::isinf(req.cap_w)) {
-            powercaps_w_.erase(req.container.id());
-            cluster_->setUtilizationCap(req.container.id(), 1.0);
+            powercaps_w_.erase(ct->id);
+            cluster_->setUtilizationCap(ct->id, 1.0);
         } else {
-            powercaps_w_[req.container.id()] = req.cap_w;
+            powercaps_w_[ct->id] = req.cap_w;
         }
     }
     staged_caps_.clear();
@@ -347,22 +377,23 @@ Ecovisor::getBatteryChargeLevel(AppHandle h) const
 Result<double>
 Ecovisor::getContainerPowercap(ContainerHandle c) const
 {
-    if (!cluster_->exists(c.id()))
+    const cop::Container *ct = cluster_->find(c.ref());
+    if (!ct)
         return Status::error(ErrorCode::UnknownContainer,
                              "Ecovisor::getContainerPowercap: unknown "
                              "container");
-    auto it = powercaps_w_.find(c.id());
+    auto it = powercaps_w_.find(ct->id);
     return it == powercaps_w_.end() ? kUnlimitedW : it->second;
 }
 
 Result<double>
 Ecovisor::getContainerPower(ContainerHandle c) const
 {
-    if (!cluster_->exists(c.id()))
+    if (!cluster_->find(c.ref()))
         return Status::error(ErrorCode::UnknownContainer,
                              "Ecovisor::getContainerPower: unknown "
                              "container");
-    return cluster_->containerPowerW(c.id());
+    return cluster_->containerPowerW(c.ref());
 }
 
 Result<api::EnergySnapshot>
@@ -413,6 +444,13 @@ Ecovisor::tryVes(std::string_view app) const
     return st->ves.get();
 }
 
+cop::AppIndex
+Ecovisor::copAppIndex(api::AppHandle h) const
+{
+    const AppState *st = state(h);
+    return st ? st->cop_app : cop::kInvalidApp;
+}
+
 // ---------------------------------------------------------------------
 // v1 compat shims.
 // ---------------------------------------------------------------------
@@ -442,7 +480,7 @@ Ecovisor::appNames() const
 void
 Ecovisor::setContainerPowercap(cop::ContainerId id, double cap_w)
 {
-    setContainerPowercap(ContainerHandle(id), cap_w).orFatal();
+    setContainerPowercap(api::handleOf(*cluster_, id), cap_w).orFatal();
 }
 
 void
@@ -578,6 +616,19 @@ Ecovisor::applyPowercaps()
 }
 
 void
+Ecovisor::settleApp(AppState &st, double solar_w, double intensity,
+                    TimeS start_s, TimeS dt_s)
+{
+    // appPowerW walks only this app's container list (O(1) when its
+    // cached aggregate is clean); with sharded settlement each app —
+    // and therefore each COP-side aggregate cache — belongs to
+    // exactly one worker, so the walk is race-free.
+    const double app_solar_w = st.solar_fraction * solar_w;
+    const double demand_w = cluster_->appPowerW(st.cop_app);
+    st.ves->settle(demand_w, app_solar_w, intensity, start_s, dt_s);
+}
+
+void
 Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
 {
     if (dt_s <= 0)
@@ -592,18 +643,43 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     const double solar_w = phys_->solarPowerAt(start_s);
     const double intensity = phys_->gridCarbonAt(start_s);
 
+    // Canonical settlement order (sorted by name — the order the
+    // seed's name-keyed map iterated in). Pointers stay valid for
+    // the whole tick: nothing below registers apps.
+    settle_order_.clear();
+    settle_order_.reserve(apps_.size());
+    for (const auto &kv : index_)
+        settle_order_.push_back(
+            &apps_[static_cast<std::size_t>(kv.second)]);
+    const int app_count = static_cast<int>(settle_order_.size());
+
+    // Per-app settlement is independent (disjoint VES + COP state),
+    // so shard it across the pool. Every cross-app reduction below
+    // runs sequentially in canonical order after the join, which is
+    // what keeps results bit-identical at any ECOV_THREADS value.
+    const int shards = std::min(threads_, app_count);
+    if (shards > 1) {
+        if (!pool_ || pool_->threads() != threads_)
+            pool_ = std::make_unique<WorkerPool>(threads_);
+        pool_->run(shards, [&](int shard) {
+            const int lo = shard * app_count / shards;
+            const int hi = (shard + 1) * app_count / shards;
+            for (int i = lo; i < hi; ++i)
+                settleApp(*settle_order_[static_cast<std::size_t>(i)],
+                          solar_w, intensity, start_s, dt_s);
+        });
+    }
+
     double owned_solar_fraction = 0.0;
     double total_grid_w = 0.0;
     double total_curtailed_w = 0.0;
 
-    for (const auto &kv : index_) {
-        AppState &st = apps_[static_cast<std::size_t>(kv.second)];
-        auto &ves = *st.ves;
-        double app_solar_w = st.solar_fraction * solar_w;
+    for (AppState *stp : settle_order_) {
+        AppState &st = *stp;
         owned_solar_fraction += st.solar_fraction;
-        double demand_w = cluster_->appPowerW(st.name);
-        const TickSettlement &s =
-            ves.settle(demand_w, app_solar_w, intensity, start_s, dt_s);
+        if (shards <= 1)
+            settleApp(st, solar_w, intensity, start_s, dt_s);
+        const TickSettlement &s = st.ves->lastSettlement();
         total_grid_w += s.grid_w;
         total_curtailed_w += s.curtailed_w;
     }
@@ -683,20 +759,22 @@ Ecovisor::recordTelemetry(TimeS start_s)
                       st.ves->battery().soc());
         db_.write("app_containers", app, start_s,
                   static_cast<double>(
-                      cluster_->appContainers(app).size()));
+                      cluster_->appContainerCount(st.cop_app)));
 
         // Per-container power and attributed carbon: the container's
         // carbon share is proportional to its share of app demand
         // (PowerAPI-style attribution backing Table 2's
         // get_container_energy/get_container_carbon).
-        for (cop::ContainerId id : cluster_->appContainers(app)) {
-            double p_w = cluster_->containerPowerW(id);
-            db_.write("container_power_w", std::to_string(id),
-                      start_s, p_w);
-            double share = s.demand_w > 1e-12 ? p_w / s.demand_w : 0.0;
-            db_.write("container_carbon_g", std::to_string(id),
-                      start_s, s.carbon_g * share);
-        }
+        cluster_->forEachAppContainer(
+            st.cop_app, [&](const cop::Container &c) {
+                double p_w = cluster_->containerPowerW(c.id);
+                db_.write("container_power_w", std::to_string(c.id),
+                          start_s, p_w);
+                double share =
+                    s.demand_w > 1e-12 ? p_w / s.demand_w : 0.0;
+                db_.write("container_carbon_g", std::to_string(c.id),
+                          start_s, s.carbon_g * share);
+            });
     }
 }
 

@@ -58,6 +58,7 @@
 #include "sim/simulation.h"
 #include "telemetry/ts_database.h"
 #include "util/units.h"
+#include "util/worker_pool.h"
 
 namespace ecov::core {
 
@@ -74,6 +75,15 @@ struct EcovisorOptions
 {
     ExcessSolarPolicy excess_solar = ExcessSolarPolicy::Curtail;
     bool record_telemetry = true;
+    /**
+     * Settlement worker threads. 0 (default) reads the ECOV_THREADS
+     * environment variable, falling back to 1 (sequential).
+     * Determinism contract (docs/PERF.md): per-app settlement is
+     * sharded across threads but every cross-app reduction runs
+     * sequentially in canonical app order after the join, so results
+     * are bit-identical at any thread count.
+     */
+    int threads = 0;
 };
 
 /**
@@ -195,6 +205,17 @@ class Ecovisor
     api::Result<const VirtualEnergySystem *>
     tryVes(std::string_view app) const;
 
+    /**
+     * The COP app index the handle's name was interned to at
+     * registration (kInvalidApp for an invalid handle). Library
+     * layers use it for allocation-free container iteration via
+     * Cluster::forEachAppContainer().
+     */
+    cop::AppIndex copAppIndex(api::AppHandle h) const;
+
+    /** Settlement parallelism in effect (resolved from options/env). */
+    int settleThreads() const { return threads_; }
+
     // ------------------------------------------------------------------
     // v1 compat shims: string-keyed, fatal on misuse. Each resolves
     // the name and delegates to the v2 surface (converting structured
@@ -309,6 +330,8 @@ class Ecovisor
     struct AppState
     {
         std::string name;
+        /** The name's interned COP index (container-list walks). */
+        cop::AppIndex cop_app = cop::kInvalidApp;
         double solar_fraction = 0.0; ///< cached from the share config
         std::unique_ptr<VirtualEnergySystem> ves;
         /**
@@ -336,6 +359,10 @@ class Ecovisor
     void applyPowercaps();
     void recordTelemetry(TimeS start_s);
 
+    /** Settle one app against this tick's signals (shardable). */
+    void settleApp(AppState &st, double solar_w, double intensity,
+                   TimeS start_s, TimeS dt_s);
+
     /** Time getters should evaluate signals at (current tick start). */
     TimeS currentTime() const;
 
@@ -356,6 +383,16 @@ class Ecovisor
     std::map<cop::ContainerId, double> powercaps_w_;
     /** Caps staged by applyCapBatch(), committed at settlement. */
     std::vector<api::CapRequest> staged_caps_;
+
+    /**
+     * Settlement parallelism (>= 1) and its lazily-built pool. The
+     * scratch vector holds the canonical (sorted-by-name) app order
+     * for one settleTick; a member so steady-state ticks allocate
+     * nothing.
+     */
+    int threads_ = 1;
+    std::unique_ptr<WorkerPool> pool_;
+    std::vector<AppState *> settle_order_;
 
     ts::TsDatabase db_;
     TimeS last_settled_s_ = -1;

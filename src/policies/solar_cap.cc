@@ -33,7 +33,7 @@ StaticSolarCapPolicy::onTick(TimeS start_s, TimeS dt_s)
     double budget_w = eco_->getSolarPower(handle_).value();
     double per_w = budget_w / static_cast<double>(containers.size());
     for (cop::ContainerId id : containers)
-        eco_->setContainerPowercap(api::ContainerHandle(id), per_w)
+        eco_->setContainerPowercap(api::handleOf(eco_->cluster(), id), per_w)
             .orFatal();
 }
 
@@ -66,7 +66,7 @@ DynamicSolarCapPolicy::distribute(TimeS start_s)
             if (w.has_replica)
                 busy.push_back(w.replica_id);
         } else {
-            eco_->setContainerPowercap(api::ContainerHandle(w.id),
+            eco_->setContainerPowercap(api::handleOf(eco_->cluster(), w.id),
                                        config_.io_power_w)
                 .orFatal();
             budget_w -= config_.io_power_w;
@@ -84,7 +84,7 @@ DynamicSolarCapPolicy::distribute(TimeS start_s)
     for (cop::ContainerId id : busy) {
         double full_w = eco_->cluster().maxContainerPowerW(id);
         double cap = std::min(per_w, full_w);
-        eco_->setContainerPowercap(api::ContainerHandle(id), cap)
+        eco_->setContainerPowercap(api::handleOf(eco_->cluster(), id), cap)
             .orFatal();
         spare_w += per_w - cap;
     }

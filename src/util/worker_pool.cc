@@ -1,0 +1,101 @@
+#include "util/worker_pool.h"
+
+#include "util/logging.h"
+
+namespace ecov {
+
+WorkerPool::WorkerPool(int threads)
+{
+    if (threads < 1)
+        fatal("WorkerPool: thread count must be >= 1");
+    workers_.reserve(static_cast<std::size_t>(threads - 1));
+    for (int i = 0; i < threads - 1; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+WorkerPool::drain(const std::function<void(int)> &fn, int tasks)
+{
+    for (;;) {
+        const int i = next_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks)
+            return;
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (!error_)
+                error_ = std::current_exception();
+        }
+    }
+}
+
+void
+WorkerPool::workerMain()
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        const std::function<void(int)> *fn = nullptr;
+        int tasks = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            start_cv_.wait(lock, [&] {
+                return stop_ || epoch_ != seen_epoch;
+            });
+            if (stop_)
+                return;
+            seen_epoch = epoch_;
+            fn = fn_;
+            tasks = tasks_;
+        }
+        drain(*fn, tasks);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--active_ == 0)
+                done_cv_.notify_one();
+        }
+    }
+}
+
+void
+WorkerPool::run(int tasks, const std::function<void(int)> &fn)
+{
+    if (tasks <= 0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fn_ = &fn;
+        tasks_ = tasks;
+        next_.store(0, std::memory_order_relaxed);
+        active_ = static_cast<int>(workers_.size());
+        error_ = nullptr;
+        ++epoch_;
+    }
+    start_cv_.notify_all();
+
+    drain(fn, tasks);
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        done_cv_.wait(lock, [&] { return active_ == 0; });
+        fn_ = nullptr;
+        error = error_;
+        error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace ecov

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A small persistent worker pool for sharded per-tick work.
+ *
+ * The ecovisor's settlement loop is embarrassingly parallel across
+ * applications (per-app state is index-addressed and disjoint), but a
+ * simulation settles tens of thousands of ticks in a tight loop —
+ * spawning threads per tick would dwarf the work. This pool keeps its
+ * threads parked on a condition variable between run() calls.
+ *
+ * run(tasks, fn) executes fn(0..tasks-1) across the pool (the calling
+ * thread participates) and returns when every task has finished —
+ * callers sequence any order-sensitive reduction *after* the join, so
+ * parallelism never changes floating-point accumulation order. Tasks
+ * are handed out through a shared atomic counter; an exception thrown
+ * by any task is captured and rethrown on the calling thread after
+ * the batch drains.
+ */
+
+#ifndef ECOV_UTIL_WORKER_POOL_H
+#define ECOV_UTIL_WORKER_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecov {
+
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads total parallelism (>= 1). The pool spawns
+     *        threads-1 workers; the thread calling run() is the
+     *        remaining one.
+     */
+    explicit WorkerPool(int threads);
+
+    /** Joins all workers (outstanding run() must have returned). */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Total parallelism (worker threads + the caller). */
+    int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, tasks), distributing indices over
+     * the pool; blocks until all complete. Not reentrant: fn must not
+     * call run() on the same pool.
+     */
+    void run(int tasks, const std::function<void(int)> &fn);
+
+  private:
+    void workerMain();
+    void drain(const std::function<void(int)> &fn, int tasks);
+
+    std::mutex mu_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    const std::function<void(int)> *fn_ = nullptr; ///< current batch
+    int tasks_ = 0;
+    std::atomic<int> next_{0};   ///< next task index to claim
+    int active_ = 0;             ///< workers still in the batch
+    std::uint64_t epoch_ = 0;    ///< batch sequence number
+    bool stop_ = false;
+    std::exception_ptr error_;   ///< first failure in the batch
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ecov
+
+#endif // ECOV_UTIL_WORKER_POOL_H

@@ -113,7 +113,7 @@ class BatchJob
     std::vector<api::ContainerHandle>
     containerHandles() const
     {
-        return api::wrapContainers(containers_);
+        return api::wrapContainers(*cluster_, containers_);
     }
 
     /** Simulated completion time; valid once done(). */

@@ -92,7 +92,7 @@ class SparkJob
     std::vector<api::ContainerHandle>
     containerHandles() const
     {
-        return api::wrapContainers(containers());
+        return api::wrapContainers(*cluster_, containers());
     }
 
     /** Advance one tick: accrue and periodically commit work. */

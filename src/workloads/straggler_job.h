@@ -114,7 +114,7 @@ class StragglerJob
     std::vector<api::ContainerHandle>
     containerHandles() const
     {
-        return api::wrapContainers(containers());
+        return api::wrapContainers(*cluster_, containers());
     }
 
     /** Advance one tick. */

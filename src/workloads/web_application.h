@@ -113,7 +113,7 @@ class WebApplication
     std::vector<api::ContainerHandle>
     containerHandles() const
     {
-        return api::wrapContainers(containers_);
+        return api::wrapContainers(*cluster_, containers_);
     }
 
     /** Advance one tick: route load, set demand, record latency. */

@@ -114,18 +114,33 @@ TEST(AppHandle, InvalidHandleRejectedEverywhere)
     }
 }
 
-TEST(ContainerHandle, WrapsCopIds)
+TEST(ContainerHandle, WrapsSlabRefs)
 {
+    Rig rig;
     api::ContainerHandle none;
     EXPECT_FALSE(none.valid());
-    api::ContainerHandle c(42);
+    EXPECT_FALSE(api::handleOf(rig.cluster, 42).valid());
+
+    auto id = rig.cluster.createContainer("a", 1.0);
+    ASSERT_TRUE(id);
+    api::ContainerHandle c = api::handleOf(rig.cluster, *id);
     EXPECT_TRUE(c.valid());
-    EXPECT_EQ(c.id(), 42);
+    EXPECT_EQ(rig.cluster.idOf(c.ref()), *id);
     EXPECT_NE(c, none);
 
-    auto wrapped = api::wrapContainers({1, 2, 3});
-    ASSERT_EQ(wrapped.size(), 3u);
-    EXPECT_EQ(wrapped[1].id(), 2);
+    auto ids = std::vector<cop::ContainerId>{*id};
+    auto wrapped = api::wrapContainers(rig.cluster, ids);
+    ASSERT_EQ(wrapped.size(), 1u);
+    EXPECT_EQ(wrapped[0], c);
+
+    // Destroying the container makes the handle stale, not fatal:
+    // the recycled slot's new incarnation never aliases it.
+    rig.cluster.destroyContainer(*id);
+    EXPECT_EQ(rig.cluster.find(c.ref()), nullptr);
+    auto id2 = rig.cluster.createContainer("a", 1.0);
+    ASSERT_TRUE(id2);
+    EXPECT_EQ(rig.cluster.find(c.ref()), nullptr);
+    EXPECT_NE(api::handleOf(rig.cluster, *id2), c);
 }
 
 TEST(AppHandle, HandleGettersAgreeWithStringGetters)

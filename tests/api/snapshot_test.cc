@@ -96,7 +96,7 @@ TEST(CapBatch, CommitsAtSettlementNotBefore)
     rig.cluster.setDemand(*id, 1.0);
 
     api::CapBatch batch;
-    batch.add(api::ContainerHandle(*id), 0.8);
+    batch.add(api::handleOf(rig.cluster, *id), 0.8);
     ASSERT_TRUE(rig.eco.applyCapBatch(batch).ok());
     EXPECT_EQ(rig.eco.pendingCapCount(), 1u);
 
@@ -133,7 +133,8 @@ TEST(CapBatch, PostSettlementEffectMatchesImmediateCaps)
     api::CapBatch batch;
     for (int i = 0; i < 4; ++i) {
         scalar_rig.eco.setContainerPowercap(scalar_ids[i], caps[i]);
-        batch.add(api::ContainerHandle(batch_ids[i]), caps[i]);
+        batch.add(api::handleOf(batch_rig.cluster, batch_ids[i]),
+                  caps[i]);
     }
     ASSERT_TRUE(batch_rig.eco.applyCapBatch(batch).ok());
 
@@ -161,14 +162,14 @@ TEST(CapBatch, LaterEntriesWinAndUnlimitedRemoves)
     rig.cluster.setDemand(*id, 1.0);
 
     api::CapBatch batch;
-    batch.add(api::ContainerHandle(*id), 0.4);
-    batch.add(api::ContainerHandle(*id), 0.9); // later entry wins
+    batch.add(api::handleOf(rig.cluster, *id), 0.4);
+    batch.add(api::handleOf(rig.cluster, *id), 0.9); // later entry wins
     ASSERT_TRUE(rig.eco.applyCapBatch(batch).ok());
     rig.eco.settleTick(0, 60);
     EXPECT_DOUBLE_EQ(rig.eco.getContainerPowercap(*id), 0.9);
 
     api::CapBatch uncap;
-    uncap.add(api::ContainerHandle(*id), kUnlimitedW);
+    uncap.add(api::handleOf(rig.cluster, *id), kUnlimitedW);
     ASSERT_TRUE(rig.eco.applyCapBatch(uncap).ok());
     rig.eco.settleTick(60, 60);
     EXPECT_TRUE(std::isinf(rig.eco.getContainerPowercap(*id)));
@@ -184,8 +185,8 @@ TEST(CapBatch, RevokedContainerSkippedAtCommit)
     ASSERT_TRUE(keep && gone);
 
     api::CapBatch batch;
-    batch.add(api::ContainerHandle(*keep), 0.5);
-    batch.add(api::ContainerHandle(*gone), 0.5);
+    batch.add(api::handleOf(rig.cluster, *keep), 0.5);
+    batch.add(api::handleOf(rig.cluster, *gone), 0.5);
     ASSERT_TRUE(rig.eco.applyCapBatch(batch).ok());
 
     // Revocation between staging and settlement must not crash or

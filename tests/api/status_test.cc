@@ -162,22 +162,22 @@ TEST(Setters, StructuredErrors)
     EXPECT_TRUE(rig.eco.setBatteryChargeRate(h, 10.0).ok());
 
     EXPECT_EQ(rig.eco
-                  .setContainerPowercap(api::ContainerHandle(99), 1.0)
+                  .setContainerPowercap(api::handleOf(rig.cluster, 99), 1.0)
                   .code(),
               ErrorCode::UnknownContainer);
     auto id = rig.cluster.createContainer("a", 1.0);
     ASSERT_TRUE(id);
     EXPECT_EQ(rig.eco
-                  .setContainerPowercap(api::ContainerHandle(*id), -1.0)
+                  .setContainerPowercap(api::handleOf(rig.cluster, *id), -1.0)
                   .code(),
               ErrorCode::InvalidArgument);
     EXPECT_EQ(rig.eco
-                  .setContainerPowercap(api::ContainerHandle(*id),
+                  .setContainerPowercap(api::handleOf(rig.cluster, *id),
                                         std::nan(""))
                   .code(),
               ErrorCode::InvalidArgument);
     EXPECT_TRUE(rig.eco
-                    .setContainerPowercap(api::ContainerHandle(*id), 0.5)
+                    .setContainerPowercap(api::handleOf(rig.cluster, *id), 0.5)
                     .ok());
 }
 
@@ -185,10 +185,10 @@ TEST(Getters, StructuredErrors)
 {
     Rig rig;
     rig.eco.tryAddApp("a", appShare(1.0, 1440.0)).value();
-    EXPECT_EQ(rig.eco.getContainerPower(api::ContainerHandle(5)).code(),
+    EXPECT_EQ(rig.eco.getContainerPower(api::handleOf(rig.cluster, 5)).code(),
               ErrorCode::UnknownContainer);
     EXPECT_EQ(rig.eco
-                  .getContainerPowercap(api::ContainerHandle(5))
+                  .getContainerPowercap(api::handleOf(rig.cluster, 5))
                   .code(),
               ErrorCode::UnknownContainer);
     EXPECT_EQ(rig.eco.tryVes("nope").code(), ErrorCode::UnknownApp);
@@ -245,8 +245,8 @@ TEST(CapBatch, RejectedBatchLeavesNoTrace)
     rig.cluster.setDemand(*id, 1.0);
 
     api::CapBatch batch;
-    batch.add(api::ContainerHandle(*id), 0.7);
-    batch.add(api::ContainerHandle(1234), 0.5); // unknown container
+    batch.add(api::handleOf(rig.cluster, *id), 0.7);
+    batch.add(api::handleOf(rig.cluster, 1234), 0.5); // unknown container
     EXPECT_EQ(rig.eco.applyCapBatch(batch).code(),
               ErrorCode::UnknownContainer);
     // All-or-nothing: the valid entry was not staged either.
@@ -255,7 +255,7 @@ TEST(CapBatch, RejectedBatchLeavesNoTrace)
     EXPECT_TRUE(std::isinf(rig.eco.getContainerPowercap(*id)));
 
     api::CapBatch negative;
-    negative.add(api::ContainerHandle(*id), -2.0);
+    negative.add(api::handleOf(rig.cluster, *id), -2.0);
     EXPECT_EQ(rig.eco.applyCapBatch(negative).code(),
               ErrorCode::InvalidArgument);
     EXPECT_EQ(rig.eco.pendingCapCount(), 0u);

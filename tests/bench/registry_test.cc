@@ -16,10 +16,10 @@
 namespace ecov::bench {
 namespace {
 
-TEST(ScenarioRegistryTest, AllFourteenScenariosRegistered)
+TEST(ScenarioRegistryTest, AllSixteenScenariosRegistered)
 {
     const auto &registry = ScenarioRegistry::instance();
-    EXPECT_EQ(registry.size(), 14u);
+    EXPECT_EQ(registry.size(), 16u);
 
     const char *expected[] = {
         "ablation_carbon_arbitrage", "ablation_excess_solar",
@@ -29,6 +29,7 @@ TEST(ScenarioRegistryTest, AllFourteenScenariosRegistered)
         "fig07_budget_multitenancy", "fig08_virtual_battery",
         "fig09_battery_multitenancy","fig10_solar_caps",
         "fig11_stragglers",          "micro_api_overhead",
+        "micro_cop_overhead",        "scale_many_tenants",
     };
     for (const char *name : expected)
         EXPECT_NE(registry.find(name), nullptr) << name;

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * WorkerPool tests: full task coverage across batches, single-thread
+ * degradation, reuse, and exception propagation to the caller.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/worker_pool.h"
+
+namespace ecov {
+namespace {
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+    std::vector<std::atomic<int>> hits(101);
+    pool.run(101, [&](int i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, SingleThreadRunsInline)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    int sum = 0; // no synchronization needed: caller-only execution
+    pool.run(10, [&](int i) { sum += i; });
+    EXPECT_EQ(sum, 45);
+}
+
+TEST(WorkerPool, ReusableAcrossBatches)
+{
+    WorkerPool pool(3);
+    for (int batch = 0; batch < 50; ++batch) {
+        std::atomic<int> count{0};
+        pool.run(batch + 1, [&](int) { count.fetch_add(1); });
+        EXPECT_EQ(count.load(), batch + 1);
+    }
+    pool.run(0, [](int) { FAIL() << "zero tasks must not invoke fn"; });
+}
+
+TEST(WorkerPool, PropagatesTaskExceptions)
+{
+    WorkerPool pool(4);
+    std::atomic<int> completed{0};
+    EXPECT_THROW(
+        pool.run(64,
+                 [&](int i) {
+                     if (i == 13)
+                         throw std::runtime_error("task 13");
+                     completed.fetch_add(1);
+                 }),
+        std::runtime_error);
+    EXPECT_EQ(completed.load(), 63);
+
+    // The pool stays usable after a failed batch.
+    std::atomic<int> count{0};
+    pool.run(8, [&](int) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(WorkerPool, InvalidThreadCountIsFatal)
+{
+    EXPECT_THROW(WorkerPool(0), FatalError);
+}
+
+} // namespace
+} // namespace ecov
