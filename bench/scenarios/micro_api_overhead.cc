@@ -36,12 +36,13 @@ struct Rig
     core::Ecovisor eco;
     std::vector<cop::ContainerId> ids;
 
-    explicit Rig(int nodes, int apps, int containers_per_app)
+    explicit Rig(int nodes, int apps, int containers_per_app,
+                 bool record_telemetry = false)
         : cluster(nodes, power::ServerPowerConfig{4, 1.35, 5.0, 0.0}),
           phys(&grid, &solar, energy::BatteryConfig{}),
           eco(&cluster, &phys,
               core::EcovisorOptions{core::ExcessSolarPolicy::Curtail,
-                                    /*record_telemetry=*/false})
+                                    record_telemetry})
     {
         for (int a = 0; a < apps; ++a) {
             core::AppShareConfig share;
@@ -176,6 +177,22 @@ run(const ScenarioOptions &opt)
           SettleShape{4, 8, "settle_tick_4x8"},
           SettleShape{8, 16, "settle_tick_8x16"}}) {
         Rig rig(64, shape.apps, shape.per_app);
+        TimeS t_now = 0;
+        record(shape.key, nsPerOp(settle_iters, [&](int) {
+                   rig.eco.settleTick(t_now, 60);
+                   t_now += 60;
+                   return 0.0;
+               }));
+    }
+
+    // The same settle shapes with telemetry recording ON: the delta
+    // over the rows above is the full per-tick recording cost on the
+    // interned SeriesId path (11 series + 2 per container here).
+    for (const auto &shape :
+         {SettleShape{4, 8, "settle_tick_4x8_telemetry"},
+          SettleShape{8, 16, "settle_tick_8x16_telemetry"}}) {
+        Rig rig(64, shape.apps, shape.per_app,
+                /*record_telemetry=*/true);
         TimeS t_now = 0;
         record(shape.key, nsPerOp(settle_iters, [&](int) {
                    rig.eco.settleTick(t_now, 60);

@@ -13,8 +13,17 @@
  * in the baseline diff; ticks/sec per tenant count is the perf metric
  * the COP overhaul is measured by.
  *
- * Telemetry recording is disabled so the timed loop is settlement
- * itself, not telemetry string formatting.
+ * Two registered scenarios share the world:
+ *
+ *  - `scale_many_tenants`: telemetry recording disabled, so the timed
+ *    loop is settlement itself (the original COP-overhaul canary).
+ *  - `scale_many_tenants_telemetry`: recording ON — the telemetry
+ *    pipeline's canary. Each tenant count runs twice, once on the
+ *    interned SeriesId fast path and once on the legacy string-keyed
+ *    shim, timing both; the interned path is what makes always-on
+ *    telemetry affordable at 256 tenants. Sample/series totals are
+ *    deterministic domain metrics; both paths produce bit-identical
+ *    stores (asserted by the telemetry_pipeline suite).
  */
 
 #include <chrono>
@@ -44,16 +53,14 @@ struct World
     std::vector<std::string> names;
     std::vector<std::vector<cop::ContainerId>> pools;
 
-    explicit World(int tenants)
+    World(int tenants, const core::EcovisorOptions &eco_opts)
         : signal({{0, 100.0}, {3600, 300.0}, {7200, 50.0}}, 10800),
           grid(&signal),
           solar({{0, 0.0}, {6 * 3600, 200.0}, {18 * 3600, 0.0}},
                 24 * 3600),
           cluster(tenants, power::ServerPowerConfig{8, 1.35, 5.0, 0.0}),
           phys(&grid, &solar, energy::BatteryConfig{}),
-          eco(&cluster, &phys,
-              core::EcovisorOptions{core::ExcessSolarPolicy::Curtail,
-                                    /*record_telemetry=*/false})
+          eco(&cluster, &phys, eco_opts)
     {
         const double n = static_cast<double>(tenants);
         names.reserve(static_cast<std::size_t>(tenants));
@@ -80,6 +87,76 @@ struct World
     }
 };
 
+/** One timed run of the churn workload; returns wall seconds. */
+double
+driveWorld(World &w, const ScenarioOptions &opt, std::int64_t ticks,
+           int tenants, std::int64_t *churn_events)
+{
+    Rng churn(opt.seed + static_cast<std::uint64_t>(tenants));
+
+    sim::Simulation simul(opt.tick_s);
+    *churn_events = 0;
+    // Workload phase: churn a small fraction of pools, then set
+    // every container's demand from cheap deterministic
+    // arithmetic keyed by (tenant, pool position, tick) — stable
+    // across COP-internal representation changes.
+    std::int64_t tick_no = 0;
+    simul.addListener(
+        [&](TimeS, TimeS) {
+            for (std::size_t a = 0; a < w.pools.size(); ++a) {
+                auto &pool = w.pools[a];
+                if (!pool.empty() && churn.bernoulli(0.05)) {
+                    w.cluster.destroyContainer(pool.front());
+                    pool.erase(pool.begin());
+                    auto id = w.cluster.createContainer(
+                        w.names[a], 1.0);
+                    if (id)
+                        pool.push_back(*id);
+                    ++*churn_events;
+                }
+                for (std::size_t c = 0; c < pool.size(); ++c) {
+                    double phase = static_cast<double>(
+                        (tick_no * 31 +
+                         static_cast<std::int64_t>(a) * 13 +
+                         static_cast<std::int64_t>(c) * 7) %
+                        97);
+                    w.cluster.setDemand(pool[c],
+                                        0.2 + 0.6 * phase / 97.0);
+                }
+            }
+            ++tick_no;
+        },
+        sim::TickPhase::Workload);
+    w.eco.attach(simul);
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    simul.runTicks(ticks);
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - wall0)
+        .count();
+}
+
+/** Deterministic world summary shared by both scenarios. */
+void
+recordWorldMetrics(World &w, const std::string &sfx,
+                   std::int64_t churn_events, ScenarioOutcome *out,
+                   double *carbon_out, int *containers_out)
+{
+    double carbon_g = 0.0;
+    int containers = 0;
+    for (const auto &name : w.names) {
+        carbon_g += w.eco.ves(name).totalCarbonG();
+        containers += static_cast<int>(
+            w.cluster.appContainers(name).size());
+    }
+    out->metric("carbon_g" + sfx, carbon_g);
+    out->metric("live_containers" + sfx, containers);
+    out->metric("churn_events" + sfx,
+                static_cast<double>(churn_events));
+    *carbon_out = carbon_g;
+    *containers_out = containers;
+}
+
 ScenarioOutcome
 run(const ScenarioOptions &opt)
 {
@@ -92,63 +169,18 @@ run(const ScenarioOptions &opt)
     TextTable t({"tenants", "containers", "churn_events", "carbon_g",
                  "ticks_per_sec"});
     for (int tenants : {16, 64, 256}) {
-        World w(tenants);
-        Rng churn(opt.seed + static_cast<std::uint64_t>(tenants));
-
-        sim::Simulation simul(opt.tick_s);
+        World w(tenants,
+                core::EcovisorOptions{core::ExcessSolarPolicy::Curtail,
+                                      /*record_telemetry=*/false});
         std::int64_t churn_events = 0;
-        // Workload phase: churn a small fraction of pools, then set
-        // every container's demand from cheap deterministic
-        // arithmetic keyed by (tenant, pool position, tick) — stable
-        // across COP-internal representation changes.
-        std::int64_t tick_no = 0;
-        simul.addListener(
-            [&](TimeS, TimeS) {
-                for (std::size_t a = 0; a < w.pools.size(); ++a) {
-                    auto &pool = w.pools[a];
-                    if (!pool.empty() && churn.bernoulli(0.05)) {
-                        w.cluster.destroyContainer(pool.front());
-                        pool.erase(pool.begin());
-                        auto id = w.cluster.createContainer(
-                            w.names[a], 1.0);
-                        if (id)
-                            pool.push_back(*id);
-                        ++churn_events;
-                    }
-                    for (std::size_t c = 0; c < pool.size(); ++c) {
-                        double phase = static_cast<double>(
-                            (tick_no * 31 +
-                             static_cast<std::int64_t>(a) * 13 +
-                             static_cast<std::int64_t>(c) * 7) %
-                            97);
-                        w.cluster.setDemand(pool[c],
-                                            0.2 + 0.6 * phase / 97.0);
-                    }
-                }
-                ++tick_no;
-            },
-            sim::TickPhase::Workload);
-        w.eco.attach(simul);
-
-        const auto wall0 = std::chrono::steady_clock::now();
-        simul.runTicks(ticks);
         const double wall_s =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - wall0)
-                .count();
+            driveWorld(w, opt, ticks, tenants, &churn_events);
 
+        const std::string sfx = "_" + std::to_string(tenants);
         double carbon_g = 0.0;
         int containers = 0;
-        for (const auto &name : w.names) {
-            carbon_g += w.eco.ves(name).totalCarbonG();
-            containers += static_cast<int>(
-                w.cluster.appContainers(name).size());
-        }
-        const std::string sfx = "_" + std::to_string(tenants);
-        out.metric("carbon_g" + sfx, carbon_g);
-        out.metric("live_containers" + sfx, containers);
-        out.metric("churn_events" + sfx,
-                   static_cast<double>(churn_events));
+        recordWorldMetrics(w, sfx, churn_events, &out, &carbon_g,
+                           &containers);
         const double tps =
             wall_s > 0.0 ? static_cast<double>(ticks) / wall_s : 0.0;
         out.perfMetric("ticks_per_sec" + sfx, tps);
@@ -168,6 +200,87 @@ run(const ScenarioOptions &opt)
     return out;
 }
 
+ScenarioOutcome
+runTelemetry(const ScenarioOptions &opt)
+{
+    const std::int64_t ticks =
+        opt.horizon == Horizon::Short ? 240 : 2880;
+
+    ScenarioOutcome out;
+    out.metric("horizon_ticks", static_cast<double>(ticks));
+
+    TextTable t({"tenants", "carbon_g", "series", "samples",
+                 "tps_seriesid", "tps_strings", "speedup"});
+    for (int tenants : {16, 64, 256}) {
+        // SeriesId fast path, pre-sized from the known horizon.
+        core::EcovisorOptions fast;
+        fast.record_telemetry = true;
+        fast.expected_ticks = ticks;
+        World wf(tenants, fast);
+        std::int64_t churn_events = 0;
+        const double wall_fast =
+            driveWorld(wf, opt, ticks, tenants, &churn_events);
+
+        // Legacy string-keyed shim path: same seeded workload, so
+        // the two stores are bit-identical (telemetry_pipeline
+        // suite); only the recording cost differs.
+        core::EcovisorOptions shim;
+        shim.record_telemetry = true;
+        shim.telemetry_via_strings = true;
+        World ws(tenants, shim);
+        std::int64_t churn_shim = 0;
+        const double wall_shim =
+            driveWorld(ws, opt, ticks, tenants, &churn_shim);
+
+        const std::string sfx = "_" + std::to_string(tenants);
+        double carbon_g = 0.0;
+        int containers = 0;
+        recordWorldMetrics(wf, sfx, churn_events, &out, &carbon_g,
+                           &containers);
+
+        // The store's shape is a pure function of (seed, horizon):
+        // deterministic domain metrics the baseline diff gates.
+        std::size_t samples = 0;
+        const auto keys = wf.eco.db().keys();
+        for (const auto &k : keys)
+            samples +=
+                wf.eco.db().series(k.measurement, k.tag).size();
+        out.metric("telemetry_series" + sfx,
+                   static_cast<double>(wf.eco.db().seriesCount()));
+        out.metric("telemetry_samples" + sfx,
+                   static_cast<double>(samples));
+
+        const double tps_fast =
+            wall_fast > 0.0
+                ? static_cast<double>(ticks) / wall_fast
+                : 0.0;
+        const double tps_shim =
+            wall_shim > 0.0
+                ? static_cast<double>(ticks) / wall_shim
+                : 0.0;
+        out.perfMetric("ticks_per_sec" + sfx, tps_fast);
+        out.perfMetric("ticks_per_sec_strings" + sfx, tps_shim);
+        t.addRow({std::to_string(tenants), TextTable::fmt(carbon_g, 2),
+                  std::to_string(wf.eco.db().seriesCount()),
+                  std::to_string(samples), TextTable::fmt(tps_fast, 0),
+                  TextTable::fmt(tps_shim, 0),
+                  TextTable::fmt(
+                      tps_shim > 0.0 ? tps_fast / tps_shim : 0.0, 2)});
+    }
+
+    if (opt.print_figures) {
+        std::printf("=== Scale: many tenants with telemetry ON "
+                    "===\n\n");
+        t.print();
+        std::printf("\nAlways-on telemetry is affordable only when "
+                    "recording is index-addressed: the SeriesId path "
+                    "must hold its lead over the string shim as "
+                    "tenant count (and therefore series count) "
+                    "grows.\n");
+    }
+    return out;
+}
+
 const ScenarioRegistrar reg({
     "scale_many_tenants",
     "Scale: N in {16,64,256} tenants with churning container pools; "
@@ -175,6 +288,15 @@ const ScenarioRegistrar reg({
     /*default_seed=*/7,
     {},
     run,
+});
+
+const ScenarioRegistrar reg_telemetry({
+    "scale_many_tenants_telemetry",
+    "Scale: N in {16,64,256} tenants with telemetry recording ON; "
+    "SeriesId fast path vs legacy string shim throughput",
+    /*default_seed=*/7,
+    {},
+    runTelemetry,
 });
 
 } // namespace

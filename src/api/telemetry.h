@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Typed telemetry-series lookup for the v2 ecovisor API.
+ *
+ * The telemetry store addresses every series by an interned
+ * ts::SeriesId (docs/PERF.md): resolve once, append/query by index
+ * thereafter — the same resolve-once discipline api::AppHandle
+ * applies to per-app state. These enums name the series the ecovisor
+ * records, so a v2 client (EcoLib, a policy, a future RPC transport)
+ * obtains ids through Ecovisor::appSeriesId()/containerSeriesId()
+ * without ever spelling a measurement string or formatting a
+ * container id on its hot path.
+ */
+
+#ifndef ECOV_API_TELEMETRY_H
+#define ECOV_API_TELEMETRY_H
+
+namespace ecov::api {
+
+/** Per-app series the ecovisor records each settled tick. */
+enum class AppMetric
+{
+    PowerW,          ///< "app_power_w": settled demand, watts (gauge)
+    GridW,           ///< "app_grid_w": grid draw, watts (gauge)
+    SolarUsedW,      ///< "app_solar_used_w": solar consumed, watts
+    BattDischargeW,  ///< "app_batt_discharge_w": discharge, watts
+    BattChargeW,     ///< "app_batt_charge_w": charge (solar+grid), watts
+    CarbonG,         ///< "app_carbon_g": per-tick emissions, grams
+    BattSoc,         ///< "app_batt_soc": state of charge [0,1]
+    Containers,      ///< "app_containers": live container count
+};
+
+/** Per-container series (PowerAPI-style attribution, Table 2). */
+enum class ContainerMetric
+{
+    PowerW,   ///< "container_power_w": attributed power, watts (gauge)
+    CarbonG,  ///< "container_carbon_g": attributed carbon, grams
+};
+
+} // namespace ecov::api
+
+#endif // ECOV_API_TELEMETRY_H

@@ -200,6 +200,12 @@ Cluster::destroyContainer(ContainerId id)
     free_.push_back(s);
 }
 
+void
+Cluster::fatalSlot(const char *who)
+{
+    fatal(std::string(who) + ": slot index out of range");
+}
+
 std::int32_t
 Cluster::slotOf(ContainerId id) const
 {

@@ -67,6 +67,26 @@ using AppIndex = std::int32_t;
 /** Sentinel for "no app". */
 inline constexpr AppIndex kInvalidApp = -1;
 
+/** Sentinel generation marking a slot-side cache as never filled. */
+inline constexpr std::uint32_t kNoCacheGeneration = 0xffffffffu;
+
+/**
+ * Slot-side cache of externally assigned per-container dense ids —
+ * today the ecovisor's telemetry SeriesIds (docs/PERF.md). The
+ * cluster stores and recycles the cache with its slot but never
+ * interprets the ids; validity is generation-checked: the cache is
+ * filled with the slot's current generation, and destroying the
+ * container bumps the slot generation, so a recycled slot can never
+ * read its predecessor's ids. (A slot would need ~4 billion destroys
+ * to wrap its generation onto the sentinel; accepted.)
+ */
+struct SlotSeriesCache
+{
+    std::uint32_t generation = kNoCacheGeneration;
+    std::int32_t power = -1;  ///< container_power_w series
+    std::int32_t carbon = -1; ///< container_carbon_g series
+};
+
 /**
  * O(1)-validated reference to a slab slot: {slot, generation}.
  * A ref obtained before the container's destruction goes *stale*
@@ -259,6 +279,16 @@ class Cluster
     double containerPowerW(ContainerRef ref) const;
 
     /**
+     * Direct variant for a Container obtained from an iteration
+     * callback: same value as the id overload with zero lookups.
+     */
+    double
+    containerPowerW(const Container &c) const
+    {
+        return powerOf(c);
+    }
+
+    /**
      * Utilization cap keeping a container's power at or below cap_w,
      * via the hosting node's power model (Thunderbolt-style mapping).
      */
@@ -292,6 +322,49 @@ class Cluster
         for (std::int32_t s = apps_[static_cast<std::size_t>(app)].head;
              s >= 0; s = slots_[static_cast<std::size_t>(s)].app_next)
             fn(slots_[static_cast<std::size_t>(s)].c);
+    }
+
+    /**
+     * Slot-aware variant: fn(const Container &, std::int32_t slot).
+     * The slot index keys the per-slot SlotSeriesCache — the
+     * ecovisor's telemetry path resolves ids through it without any
+     * id->slot lookup. Same iteration order and restrictions as
+     * forEachAppContainer.
+     */
+    template <typename Fn>
+    void
+    forEachAppContainerSlot(AppIndex app, Fn &&fn) const
+    {
+        if (app < 0 || static_cast<std::size_t>(app) >= apps_.size())
+            return;
+        for (std::int32_t s = apps_[static_cast<std::size_t>(app)].head;
+             s >= 0; s = slots_[static_cast<std::size_t>(s)].app_next)
+            fn(slots_[static_cast<std::size_t>(s)].c, s);
+    }
+
+    /**
+     * The series cache of a slab slot (mutable: callers fill it with
+     * the ids they assigned, stamping the slot's current generation).
+     * Disjointness contract: with sharded recording, each slot is
+     * visited by exactly one shard (its app's), so concurrent access
+     * never aliases — and *filling* the cache (which also mutates the
+     * shared telemetry store) must happen in a sequential phase.
+     */
+    SlotSeriesCache &
+    seriesCache(std::int32_t slot)
+    {
+        if (slot < 0 || static_cast<std::size_t>(slot) >= slots_.size())
+            fatalSlot("Cluster::seriesCache");
+        return slots_[static_cast<std::size_t>(slot)].series_cache;
+    }
+
+    /** Current generation of a slab slot (cache validity checks). */
+    std::uint32_t
+    slotGeneration(std::int32_t slot) const
+    {
+        if (slot < 0 || static_cast<std::size_t>(slot) >= slots_.size())
+            fatalSlot("Cluster::slotGeneration");
+        return slots_[static_cast<std::size_t>(slot)].generation;
     }
 
     /** Live containers owned by an interned app. */
@@ -343,7 +416,11 @@ class Cluster
         std::int32_t app_next = -1;
         std::int32_t all_prev = -1; ///< global live list (id order)
         std::int32_t all_next = -1;
+        SlotSeriesCache series_cache; ///< generation-checked ext. ids
     };
+
+    /** Out-of-line fatal for the inline slot accessors. */
+    [[noreturn]] static void fatalSlot(const char *who);
 
     /** Interned app: name, container list, cached power aggregate. */
     struct AppInfo

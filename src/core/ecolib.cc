@@ -19,6 +19,12 @@ EcoLib::EcoLib(Ecovisor *ecovisor, std::string app)
         fatal("EcoLib: unknown app '" + app_ + "'");
     handle_ = resolved.value();
     cop_app_ = eco_->copAppIndex(handle_);
+    // Resolve the interval-query series once too: every per-tick
+    // query below is then an indexed read with a cursor hint.
+    power_series_ =
+        eco_->appSeriesId(handle_, api::AppMetric::PowerW).value();
+    carbon_series_ =
+        eco_->appSeriesId(handle_, api::AppMetric::CarbonG).value();
     eco_->registerTickCallback(
               handle_,
               [this](TimeS start_s, TimeS dt_s) { onTick(start_s, dt_s); })
@@ -34,13 +40,15 @@ EcoLib::getAppPower() const
 double
 EcoLib::getAppEnergyWh(TimeS t1, TimeS t2) const
 {
-    return eco_->db().series("app_power_w", app_).integrateWh(t1, t2);
+    return eco_->db().series(power_series_).integrateWh(
+        t1, t2, &energy_cursor_);
 }
 
 double
 EcoLib::getAppCarbonG(TimeS t1, TimeS t2) const
 {
-    return eco_->db().series("app_carbon_g", app_).sumRange(t1, t2);
+    return eco_->db().series(carbon_series_).sumRange(t1, t2,
+                                                      &carbon_cursor_);
 }
 
 double
@@ -49,20 +57,44 @@ EcoLib::getAppCarbonG() const
     return eco_->ves(handle_)->totalCarbonG();
 }
 
+EcoLib::ContainerSeries *
+EcoLib::containerSeries(cop::ContainerId id) const
+{
+    auto it = container_series_.find(id);
+    if (it != container_series_.end())
+        return &it->second;
+    // First query for this container: resolve the string keys once.
+    // Queries never intern (the const contract: an unknown series
+    // reads as empty), so an unrecorded container is simply retried
+    // on the next call rather than cached as absent.
+    const std::string tag = std::to_string(id);
+    ContainerSeries cs;
+    cs.power = eco_->db().findSeries("container_power_w", tag);
+    cs.carbon = eco_->db().findSeries("container_carbon_g", tag);
+    if (cs.power == ts::kInvalidSeries ||
+        cs.carbon == ts::kInvalidSeries)
+        return nullptr;
+    return &container_series_.emplace(id, cs).first->second;
+}
+
 double
 EcoLib::getContainerEnergyWh(cop::ContainerId id, TimeS t1, TimeS t2) const
 {
-    return eco_->db()
-        .series("container_power_w", std::to_string(id))
-        .integrateWh(t1, t2);
+    ContainerSeries *cs = containerSeries(id);
+    if (!cs)
+        return 0.0;
+    return eco_->db().series(cs->power).integrateWh(t1, t2,
+                                                    &cs->power_cursor);
 }
 
 double
 EcoLib::getContainerCarbonG(cop::ContainerId id, TimeS t1, TimeS t2) const
 {
-    return eco_->db()
-        .series("container_carbon_g", std::to_string(id))
-        .sumRange(t1, t2);
+    ContainerSeries *cs = containerSeries(id);
+    if (!cs)
+        return 0.0;
+    return eco_->db().series(cs->carbon).sumRange(t1, t2,
+                                                  &cs->carbon_cursor);
 }
 
 void

@@ -152,11 +152,41 @@ class EcoLib
     void enforceContainerCarbonRates();
     void fireNotifications();
 
+    /**
+     * Cached telemetry series ids + query cursor for one container.
+     * Container ids are never reused, so a resolved id stays correct
+     * for the ecovisor's lifetime; cursors are monotone search hints
+     * (they never change results, see ts::TimeSeries).
+     */
+    struct ContainerSeries
+    {
+        ts::SeriesId power = ts::kInvalidSeries;
+        ts::SeriesId carbon = ts::kInvalidSeries;
+        std::size_t power_cursor = 0;
+        std::size_t carbon_cursor = 0;
+    };
+
+    /**
+     * Resolve (and cache) a container's series ids. nullptr while the
+     * container has no recorded samples yet — the queries then return
+     * 0, the empty-series contract. Mutable cache: queries are
+     * logically const.
+     */
+    ContainerSeries *containerSeries(cop::ContainerId id) const;
+
     Ecovisor *eco_;
     std::string app_;
     api::AppHandle handle_;
     /** Interned COP index for allocation-free container walks. */
     cop::AppIndex cop_app_ = cop::kInvalidApp;
+    /** Per-app series ids, resolved once at construction. */
+    ts::SeriesId power_series_ = ts::kInvalidSeries;
+    ts::SeriesId carbon_series_ = ts::kInvalidSeries;
+    /** Monotone cursors for the interval queries. */
+    mutable std::size_t energy_cursor_ = 0;
+    mutable std::size_t carbon_cursor_ = 0;
+    mutable std::map<cop::ContainerId, ContainerSeries>
+        container_series_;
 
     std::optional<double> rate_g_per_s_;
     std::map<cop::ContainerId, double> container_rates_g_per_s_;

@@ -60,6 +60,26 @@ Ecovisor::Ecovisor(cop::Cluster *cluster,
         fatal("Ecovisor: null cluster");
     if (!phys_)
         fatal("Ecovisor: null physical energy system");
+
+    // Pre-intern the global series: recording them is then a pure
+    // indexed append. Interned-but-unwritten series are invisible to
+    // the query surface, so doing this even with record_telemetry
+    // off changes nothing observable.
+    s_grid_carbon_ = db_.intern("grid_carbon", "");
+    s_solar_w_ = db_.intern("solar_w", "");
+    s_cluster_power_ = db_.intern("cluster_power_w", "");
+    reserveExpected(s_grid_carbon_);
+    reserveExpected(s_solar_w_);
+    reserveExpected(s_cluster_power_);
+}
+
+void
+Ecovisor::reserveExpected(ts::SeriesId id)
+{
+    const std::int64_t remaining =
+        options_.expected_ticks - settled_ticks_;
+    if (remaining > 0)
+        db_.reserve(id, static_cast<std::size_t>(remaining));
 }
 
 // ---------------------------------------------------------------------
@@ -152,6 +172,24 @@ Ecovisor::tryAddApp(const std::string &app, const AppShareConfig &share)
     } catch (const FatalError &e) {
         return Status::error(ErrorCode::InvalidArgument, e.what());
     }
+
+    // Intern every per-app telemetry series now (registration is the
+    // one-time setup path) so per-tick recording never touches a
+    // string key. BattSoc is interned even without a battery share —
+    // it just stays empty, which the query surface hides.
+    st.series.power = db_.intern("app_power_w", app);
+    st.series.grid = db_.intern("app_grid_w", app);
+    st.series.solar_used = db_.intern("app_solar_used_w", app);
+    st.series.batt_discharge = db_.intern("app_batt_discharge_w", app);
+    st.series.batt_charge = db_.intern("app_batt_charge_w", app);
+    st.series.carbon = db_.intern("app_carbon_g", app);
+    st.series.soc = db_.intern("app_batt_soc", app);
+    st.series.containers = db_.intern("app_containers", app);
+    for (ts::SeriesId id :
+         {st.series.power, st.series.grid, st.series.solar_used,
+          st.series.batt_discharge, st.series.batt_charge,
+          st.series.carbon, st.series.soc, st.series.containers})
+        reserveExpected(id);
 
     const auto idx = static_cast<std::int32_t>(apps_.size());
     apps_.push_back(std::move(st));
@@ -451,6 +489,56 @@ Ecovisor::copAppIndex(api::AppHandle h) const
     return st ? st->cop_app : cop::kInvalidApp;
 }
 
+Result<ts::SeriesId>
+Ecovisor::appSeriesId(api::AppHandle h, api::AppMetric m) const
+{
+    const AppState *st = state(h);
+    if (!st)
+        return invalidHandle();
+    switch (m) {
+      case api::AppMetric::PowerW:
+        return st->series.power;
+      case api::AppMetric::GridW:
+        return st->series.grid;
+      case api::AppMetric::SolarUsedW:
+        return st->series.solar_used;
+      case api::AppMetric::BattDischargeW:
+        return st->series.batt_discharge;
+      case api::AppMetric::BattChargeW:
+        return st->series.batt_charge;
+      case api::AppMetric::CarbonG:
+        return st->series.carbon;
+      case api::AppMetric::BattSoc:
+        return st->series.soc;
+      case api::AppMetric::Containers:
+        return st->series.containers;
+    }
+    return Status::error(ErrorCode::InvalidArgument,
+                         "Ecovisor::appSeriesId: unknown metric");
+}
+
+Result<ts::SeriesId>
+Ecovisor::containerSeriesId(api::ContainerHandle c,
+                            api::ContainerMetric m)
+{
+    const cop::Container *ct = cluster_->find(c.ref());
+    if (!ct)
+        return Status::error(ErrorCode::UnknownContainer,
+                             "Ecovisor::containerSeriesId: unknown "
+                             "container");
+    ensureContainerSeries(*ct, c.ref().slot);
+    const cop::SlotSeriesCache &cache =
+        cluster_->seriesCache(c.ref().slot);
+    switch (m) {
+      case api::ContainerMetric::PowerW:
+        return static_cast<ts::SeriesId>(cache.power);
+      case api::ContainerMetric::CarbonG:
+        return static_cast<ts::SeriesId>(cache.carbon);
+    }
+    return Status::error(ErrorCode::InvalidArgument,
+                         "Ecovisor::containerSeriesId: unknown metric");
+}
+
 // ---------------------------------------------------------------------
 // v1 compat shims.
 // ---------------------------------------------------------------------
@@ -651,24 +739,14 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     for (const auto &kv : index_)
         settle_order_.push_back(
             &apps_[static_cast<std::size_t>(kv.second)]);
-    const int app_count = static_cast<int>(settle_order_.size());
 
     // Per-app settlement is independent (disjoint VES + COP state),
     // so shard it across the pool. Every cross-app reduction below
     // runs sequentially in canonical order after the join, which is
     // what keeps results bit-identical at any ECOV_THREADS value.
-    const int shards = std::min(threads_, app_count);
-    if (shards > 1) {
-        if (!pool_ || pool_->threads() != threads_)
-            pool_ = std::make_unique<WorkerPool>(threads_);
-        pool_->run(shards, [&](int shard) {
-            const int lo = shard * app_count / shards;
-            const int hi = (shard + 1) * app_count / shards;
-            for (int i = lo; i < hi; ++i)
-                settleApp(*settle_order_[static_cast<std::size_t>(i)],
-                          solar_w, intensity, start_s, dt_s);
-        });
-    }
+    runSharded([&](AppState &st) {
+        settleApp(st, solar_w, intensity, start_s, dt_s);
+    });
 
     double owned_solar_fraction = 0.0;
     double total_grid_w = 0.0;
@@ -677,8 +755,6 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     for (AppState *stp : settle_order_) {
         AppState &st = *stp;
         owned_solar_fraction += st.solar_fraction;
-        if (shards <= 1)
-            settleApp(st, solar_w, intensity, start_s, dt_s);
         const TickSettlement &s = st.ves->lastSettlement();
         total_grid_w += s.grid_w;
         total_curtailed_w += s.curtailed_w;
@@ -722,6 +798,9 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
 
     if (options_.record_telemetry)
         recordTelemetry(start_s);
+    // After recording: a series interned during tick k still has all
+    // expected_ticks - k of its appends ahead of it.
+    ++settled_ticks_;
 }
 
 double
@@ -736,7 +815,97 @@ Ecovisor::aggregateBatteryWh() const
 }
 
 void
+Ecovisor::ensureContainerSeries(const cop::Container &c,
+                                std::int32_t slot)
+{
+    cop::SlotSeriesCache &cache = cluster_->seriesCache(slot);
+    const std::uint32_t generation = cluster_->slotGeneration(slot);
+    if (cache.generation == generation && cache.power >= 0)
+        return;
+    // First sight of this container (or of this slot incarnation):
+    // the one place the per-container string key is ever built —
+    // once per container lifetime, not per tick.
+    const std::string tag = std::to_string(c.id);
+    cache.power = db_.intern("container_power_w", tag);
+    cache.carbon = db_.intern("container_carbon_g", tag);
+    cache.generation = generation;
+    reserveExpected(static_cast<ts::SeriesId>(cache.power));
+    reserveExpected(static_cast<ts::SeriesId>(cache.carbon));
+}
+
+void
+Ecovisor::recordApp(const AppState &st, TimeS start_s)
+{
+    const auto &s = st.ves->lastSettlement();
+    db_.append(st.series.power, start_s, s.demand_w);
+    db_.append(st.series.grid, start_s, s.grid_w);
+    db_.append(st.series.solar_used, start_s, s.solar_used_w);
+    db_.append(st.series.batt_discharge, start_s, s.batt_discharge_w);
+    db_.append(st.series.batt_charge, start_s,
+               s.batt_charge_solar_w + s.batt_charge_grid_w);
+    db_.append(st.series.carbon, start_s, s.carbon_g);
+    if (st.ves->hasBattery())
+        db_.append(st.series.soc, start_s, st.ves->battery().soc());
+    db_.append(st.series.containers, start_s,
+               static_cast<double>(
+                   cluster_->appContainerCount(st.cop_app)));
+
+    // Per-container power and attributed carbon: the container's
+    // carbon share is proportional to its share of app demand
+    // (PowerAPI-style attribution backing Table 2's
+    // get_container_energy/get_container_carbon). Series ids come
+    // from the slot cache the resolve pass filled; everything here is
+    // app-local, which is what makes this function shardable.
+    cluster_->forEachAppContainerSlot(
+        st.cop_app, [&](const cop::Container &c, std::int32_t slot) {
+            const cop::SlotSeriesCache &cache =
+                cluster_->seriesCache(slot);
+            double p_w = cluster_->containerPowerW(c);
+            db_.append(cache.power, start_s, p_w);
+            double share = s.demand_w > 1e-12 ? p_w / s.demand_w : 0.0;
+            db_.append(cache.carbon, start_s, s.carbon_g * share);
+        });
+}
+
+void
 Ecovisor::recordTelemetry(TimeS start_s)
+{
+    // Only called from settleTick, which built settle_order_ (the
+    // canonical sorted-by-name app order) earlier this tick.
+    if (options_.telemetry_via_strings) {
+        recordTelemetryStrings(start_s);
+        return;
+    }
+
+    // Globals are cross-app state: always sequential, before the
+    // shards start.
+    db_.append(s_grid_carbon_, start_s, phys_->gridCarbonAt(start_s));
+    db_.append(s_solar_w_, start_s, phys_->solarPowerAt(start_s));
+    db_.append(s_cluster_power_, start_s, cluster_->totalPowerW());
+
+    // Sequential resolve pass: intern series for any container that
+    // appeared (or whose slot was recycled) since its last recorded
+    // tick. Interning mutates the shared store, so it must finish
+    // before the shards run; in steady state this pass is a
+    // generation compare per live container and nothing else.
+    for (AppState *stp : settle_order_)
+        cluster_->forEachAppContainerSlot(
+            stp->cop_app, [&](const cop::Container &c,
+                              std::int32_t slot) {
+                ensureContainerSeries(c, slot);
+            });
+
+    // Per-app appends, sharded exactly like settlement: each app's
+    // series set is disjoint (per-app series plus its own containers'
+    // series), every series takes exactly one append per tick, and
+    // ticks are sequential — so append order within every series is
+    // independent of the shard count and results are bit-identical
+    // at any ECOV_THREADS value.
+    runSharded([&](AppState &st) { recordApp(st, start_s); });
+}
+
+void
+Ecovisor::recordTelemetryStrings(TimeS start_s)
 {
     db_.write("grid_carbon", "", start_s, phys_->gridCarbonAt(start_s));
     db_.write("solar_w", "", start_s, phys_->solarPowerAt(start_s));
@@ -761,10 +930,6 @@ Ecovisor::recordTelemetry(TimeS start_s)
                   static_cast<double>(
                       cluster_->appContainerCount(st.cop_app)));
 
-        // Per-container power and attributed carbon: the container's
-        // carbon share is proportional to its share of app demand
-        // (PowerAPI-style attribution backing Table 2's
-        // get_container_energy/get_container_carbon).
         cluster_->forEachAppContainer(
             st.cop_app, [&](const cop::Container &c) {
                 double p_w = cluster_->containerPowerW(c.id);

@@ -41,6 +41,8 @@
 #ifndef ECOV_CORE_ECOVISOR_H
 #define ECOV_CORE_ECOVISOR_H
 
+#include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
@@ -52,6 +54,7 @@
 #include "api/handle.h"
 #include "api/snapshot.h"
 #include "api/status.h"
+#include "api/telemetry.h"
 #include "cop/cluster.h"
 #include "core/virtual_energy_system.h"
 #include "energy/physical_energy_system.h"
@@ -84,6 +87,24 @@ struct EcovisorOptions
      * are bit-identical at any thread count.
      */
     int threads = 0;
+    /**
+     * Expected simulation length in ticks. When positive, every
+     * telemetry series is pre-sized for that many samples at intern
+     * time, eliminating repeated vector growth reallocation across
+     * long runs. 0 (default) reserves nothing. Purely a capacity
+     * hint: recorded values and retention are unchanged (telemetry is
+     * unbounded append-only either way, see docs/PERF.md).
+     */
+    std::int64_t expected_ticks = 0;
+    /**
+     * Record telemetry through the legacy string-keyed write path
+     * instead of pre-resolved SeriesIds. The two paths are
+     * bit-identical by contract (asserted by the telemetry
+     * equivalence suite); the flag exists so benches can measure the
+     * string path and tests can diff the two. Always sequential —
+     * the sharded fast path never runs in this mode.
+     */
+    bool telemetry_via_strings = false;
 };
 
 /**
@@ -213,6 +234,29 @@ class Ecovisor
      */
     cop::AppIndex copAppIndex(api::AppHandle h) const;
 
+    /**
+     * The interned telemetry SeriesId for one of an app's per-app
+     * series (api::AppMetric). Resolved once at registration, so this
+     * is an array read — a v2 client caches the id and queries
+     * db().series(id) with zero string traffic per call. The id is
+     * returned even for series the app never writes (e.g. BattSoc
+     * without a battery share); such series simply stay empty.
+     */
+    api::Result<ts::SeriesId> appSeriesId(api::AppHandle h,
+                                          api::AppMetric m) const;
+
+    /**
+     * The interned telemetry SeriesId for a container series
+     * (api::ContainerMetric). Ids are cached on the container's COP
+     * slab slot under its generation — created here or at the
+     * container's first recorded tick, whichever comes first, and
+     * never aliased onto the slot's next occupant after destroy.
+     * Non-const because first resolution interns into the store.
+     * UnknownContainer for an invalid or stale handle.
+     */
+    api::Result<ts::SeriesId>
+    containerSeriesId(api::ContainerHandle c, api::ContainerMetric m);
+
     /** Settlement parallelism in effect (resolved from options/env). */
     int settleThreads() const { return threads_; }
 
@@ -327,12 +371,30 @@ class Ecovisor
      * behind a unique_ptr so references handed out by ves() stay
      * stable across the vector growing on later registrations.
      */
+    /**
+     * Pre-resolved telemetry SeriesIds for one app's per-app series,
+     * interned at tryAddApp. Recording is then a pure indexed append
+     * per series — no string keys, no map walk, no allocation.
+     */
+    struct AppSeriesIds
+    {
+        ts::SeriesId power = ts::kInvalidSeries;
+        ts::SeriesId grid = ts::kInvalidSeries;
+        ts::SeriesId solar_used = ts::kInvalidSeries;
+        ts::SeriesId batt_discharge = ts::kInvalidSeries;
+        ts::SeriesId batt_charge = ts::kInvalidSeries;
+        ts::SeriesId carbon = ts::kInvalidSeries;
+        ts::SeriesId soc = ts::kInvalidSeries;
+        ts::SeriesId containers = ts::kInvalidSeries;
+    };
+
     struct AppState
     {
         std::string name;
         /** The name's interned COP index (container-list walks). */
         cop::AppIndex cop_app = cop::kInvalidApp;
         double solar_fraction = 0.0; ///< cached from the share config
+        AppSeriesIds series; ///< interned at registration
         std::unique_ptr<VirtualEnergySystem> ves;
         /**
          * Deque, not vector: registerTickCallback() may be called from
@@ -357,7 +419,66 @@ class Ecovisor
 
     void commitStagedCaps();
     void applyPowercaps();
+
+    /**
+     * Record the tick into the telemetry store. Globals and the
+     * sequential id-resolution pass run first; the per-app appends
+     * are then sharded over the worker pool (each app's series set is
+     * disjoint, every series receives exactly one append per tick, so
+     * results are bit-identical at any thread count — the settleTick
+     * contract).
+     */
     void recordTelemetry(TimeS start_s);
+
+    /** The seed's string-keyed path (telemetry_via_strings). */
+    void recordTelemetryStrings(TimeS start_s);
+
+    /** Per-app appends for one tick (shardable, app-local only). */
+    void recordApp(const AppState &st, TimeS start_s);
+
+    /**
+     * Ensure the slot's container series ids are interned and cached
+     * under its current generation. Mutates the store on a miss, so
+     * only callable from sequential phases.
+     */
+    void ensureContainerSeries(const cop::Container &c,
+                               std::int32_t slot);
+
+    /**
+     * Pre-size a series for the ticks still ahead of the horizon
+     * hint (expected_ticks minus ticks already settled — a series
+     * interned mid-run can never fill more). No-op without a hint.
+     */
+    void reserveExpected(ts::SeriesId id);
+
+    /**
+     * Run fn(AppState &) for every app in settle_order_ (canonical
+     * sorted-by-name order), partitioned into contiguous shards over
+     * the worker pool when threads_ > 1 — the shared dispatch for
+     * settlement and telemetry recording. fn must touch only
+     * app-local state; callers sequence every cross-app reduction
+     * after this returns (the docs/PERF.md determinism contract).
+     */
+    template <typename Fn>
+    void
+    runSharded(Fn &&fn)
+    {
+        const int app_count = static_cast<int>(settle_order_.size());
+        const int shards = std::min(threads_, app_count);
+        if (shards <= 1) {
+            for (AppState *stp : settle_order_)
+                fn(*stp);
+            return;
+        }
+        if (!pool_ || pool_->threads() != threads_)
+            pool_ = std::make_unique<WorkerPool>(threads_);
+        pool_->run(shards, [&](int shard) {
+            const int lo = shard * app_count / shards;
+            const int hi = (shard + 1) * app_count / shards;
+            for (int i = lo; i < hi; ++i)
+                fn(*settle_order_[static_cast<std::size_t>(i)]);
+        });
+    }
 
     /** Settle one app against this tick's signals (shardable). */
     void settleApp(AppState &st, double solar_w, double intensity,
@@ -395,8 +516,14 @@ class Ecovisor
     std::vector<AppState *> settle_order_;
 
     ts::TsDatabase db_;
+    /** Pre-interned global series (constructor). */
+    ts::SeriesId s_grid_carbon_ = ts::kInvalidSeries;
+    ts::SeriesId s_solar_w_ = ts::kInvalidSeries;
+    ts::SeriesId s_cluster_power_ = ts::kInvalidSeries;
     TimeS last_settled_s_ = -1;
     TimeS last_dt_s_ = 0;
+    /** Ticks settled so far (remaining-horizon reserve sizing). */
+    std::int64_t settled_ticks_ = 0;
     TimeS now_hint_s_ = -1;
     double net_metered_wh_ = 0.0;
     double curtailed_wh_ = 0.0;

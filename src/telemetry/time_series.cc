@@ -6,6 +6,17 @@
 
 namespace ecov::ts {
 
+namespace {
+
+/** The comparator shared by every lower-bound search. */
+inline bool
+sampleBefore(const Sample &s, TimeS v)
+{
+    return s.time_s < v;
+}
+
+} // namespace
+
 void
 TimeSeries::append(TimeS time_s, double value)
 {
@@ -24,9 +35,30 @@ std::size_t
 TimeSeries::lowerBound(TimeS t) const
 {
     auto it = std::lower_bound(samples_.begin(), samples_.end(), t,
-                               [](const Sample &s, TimeS v) {
-                                   return s.time_s < v;
-                               });
+                               sampleBefore);
+    return static_cast<std::size_t>(it - samples_.begin());
+}
+
+std::size_t
+TimeSeries::lowerBound(TimeS t, std::size_t hint) const
+{
+    const std::size_t n = samples_.size();
+    if (hint > n)
+        hint = n;
+    // One comparison decides which side of the hint the answer lies
+    // on; the binary search then runs over that side only. Since
+    // std::lower_bound is deterministic and the answer is inside the
+    // chosen subrange, the result is identical to an unhinted search.
+    std::size_t lo = 0, hi = n;
+    if (hint < n && samples_[hint].time_s < t)
+        lo = hint + 1;
+    else
+        hi = hint;
+    auto it = std::lower_bound(samples_.begin() +
+                                   static_cast<std::ptrdiff_t>(lo),
+                               samples_.begin() +
+                                   static_cast<std::ptrdiff_t>(hi),
+                               t, sampleBefore);
     return static_cast<std::size_t>(it - samples_.begin());
 }
 
@@ -42,36 +74,45 @@ TimeSeries::valueAt(TimeS t) const
 }
 
 double
-TimeSeries::integrateWh(TimeS t1, TimeS t2) const
+TimeSeries::integrateWh(TimeS t1, TimeS t2, std::size_t *cursor) const
 {
     if (t2 <= t1 || samples_.empty())
         return 0.0;
     double acc = 0.0;
-    TimeS cursor = t1;
+    TimeS cursor_t = t1;
     // Walk sample boundaries inside (t1, t2).
-    std::size_t idx = lowerBound(t1);
-    // Value in effect at t1 comes from the previous sample (or 0).
-    double current = valueAt(t1);
+    std::size_t idx =
+        cursor ? lowerBound(t1, *cursor) : lowerBound(t1);
+    if (cursor)
+        *cursor = idx;
+    // Value in effect at t1: the previous sample's (or 0 before the
+    // first) — read straight from the index the search already found,
+    // instead of re-searching via valueAt(t1).
+    double current = idx > 0 ? samples_[idx - 1].value : 0.0;
     if (idx < samples_.size() && samples_[idx].time_s == t1) {
         current = samples_[idx].value;
         ++idx;
     }
     while (idx < samples_.size() && samples_[idx].time_s < t2) {
         acc += current *
-               static_cast<double>(samples_[idx].time_s - cursor);
-        cursor = samples_[idx].time_s;
+               static_cast<double>(samples_[idx].time_s - cursor_t);
+        cursor_t = samples_[idx].time_s;
         current = samples_[idx].value;
         ++idx;
     }
-    acc += current * static_cast<double>(t2 - cursor);
+    acc += current * static_cast<double>(t2 - cursor_t);
     return acc / kSecondsPerHour;
 }
 
 double
-TimeSeries::sumRange(TimeS t1, TimeS t2) const
+TimeSeries::sumRange(TimeS t1, TimeS t2, std::size_t *cursor) const
 {
+    const std::size_t start =
+        cursor ? lowerBound(t1, *cursor) : lowerBound(t1);
+    if (cursor)
+        *cursor = start;
     double acc = 0.0;
-    for (std::size_t i = lowerBound(t1);
+    for (std::size_t i = start;
          i < samples_.size() && samples_[i].time_s < t2; ++i)
         acc += samples_[i].value;
     return acc;

@@ -34,12 +34,31 @@ struct Sample
  *    integrate() treats samples as a step function.
  *  - *counter* deltas (e.g. energy per tick in Wh): sumRange() adds the
  *    raw values whose timestamps fall inside the window.
+ *
+ * The range queries take an optional *cursor*: an in/out sample index
+ * used as a search hint and updated to the window start that was
+ * found. Policy loops issue monotonically advancing windows, so the
+ * cursor turns the per-query binary search over the whole history
+ * into a search over the few samples appended since the last query.
+ * The cursor never changes a result — a wrong (or stale) hint only
+ * costs a wider search — so cursored and cursorless calls are
+ * bit-identical.
  */
 class TimeSeries
 {
   public:
     /** Append a sample; timestamps must be non-decreasing. */
     void append(TimeS time_s, double value);
+
+    /**
+     * Pre-size the sample storage for n total samples (pass-through
+     * to vector::reserve): an ecovisor that knows its horizon avoids
+     * repeated growth reallocation across long runs. Never shrinks.
+     */
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    /** Reserved sample capacity (diagnostics/benches). */
+    std::size_t capacity() const { return samples_.capacity(); }
 
     /** Number of stored samples. */
     std::size_t size() const { return samples_.size(); }
@@ -67,12 +86,15 @@ class TimeSeries
      * For a power series in watts with times in seconds the result is
      * watt-seconds / 3600 = watt-hours.
      *
+     * @param cursor optional search hint (see class comment)
      * @return integral in (value-unit x hours)
      */
-    double integrateWh(TimeS t1, TimeS t2) const;
+    double integrateWh(TimeS t1, TimeS t2,
+                       std::size_t *cursor = nullptr) const;
 
     /** Sum raw sample values with t1 <= time < t2 (counter deltas). */
-    double sumRange(TimeS t1, TimeS t2) const;
+    double sumRange(TimeS t1, TimeS t2,
+                    std::size_t *cursor = nullptr) const;
 
     /** Average step-function value over [t1, t2). */
     double averageOver(TimeS t1, TimeS t2) const;
@@ -80,10 +102,19 @@ class TimeSeries
     /** Maximum raw sample value with t1 <= time < t2; 0 when none. */
     double maxRange(TimeS t1, TimeS t2) const;
 
-  private:
     /** Index of first sample with time >= t. */
     std::size_t lowerBound(TimeS t) const;
 
+    /**
+     * Hinted lower bound: identical result to lowerBound(t), but the
+     * binary search is confined to the side of `hint` the answer lies
+     * on. A hint at (or just before) the answer — the monotone-query
+     * steady state — degenerates to O(1) comparisons. Any hint value
+     * is safe, including one past size().
+     */
+    std::size_t lowerBound(TimeS t, std::size_t hint) const;
+
+  private:
     std::vector<Sample> samples_;
 };
 

@@ -6,11 +6,24 @@
  * ("container_power_w", "app1/c3") or ("grid_carbon", ""). The ecovisor
  * writes one sample per tick per series; library functions (Table 2)
  * query intervals.
+ *
+ * Storage layout (the telemetry hot path, see docs/PERF.md): series
+ * live in a dense **slab** addressed by a SeriesId. The string pair is
+ * *interned* to an id exactly once (intern()/findSeries()); every
+ * append after that is an indexed, allocation-free, string-free
+ * vector push. The string-keyed write()/series() surface remains as a
+ * thin compat shim — resolve, then delegate — with bit-identical
+ * results, so seed-era callers and tests observe no change. The slab
+ * is a deque: interning a new series never moves existing ones, so
+ * `const TimeSeries &` references and SeriesIds stay valid for the
+ * database's lifetime (until clear()).
  */
 
 #ifndef ECOV_TELEMETRY_TS_DATABASE_H
 #define ECOV_TELEMETRY_TS_DATABASE_H
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,11 +33,26 @@
 namespace ecov::ts {
 
 /**
+ * Dense index of an interned (measurement, tag) series. Stable from
+ * intern() until clear(); never recycled while the database lives.
+ */
+using SeriesId = std::int32_t;
+
+/** Sentinel for "no series". */
+inline constexpr SeriesId kInvalidSeries = -1;
+
+/**
  * In-memory multi-series store.
  *
  * Lookup creates series on demand (write path); the const query path
  * returns a shared empty series for unknown keys so callers need no
  * existence checks.
+ *
+ * Interned-but-never-written series are invisible to the query
+ * surface: has()/keys()/seriesCount() report only series holding at
+ * least one sample, so pre-resolving ids (the ecovisor interns every
+ * app's series at registration) does not change what a reader
+ * observes versus the write-creates-series compat path.
  */
 class TsDatabase
 {
@@ -44,6 +72,43 @@ class TsDatabase
         }
     };
 
+    // ------------------------------------------------------------------
+    // SeriesId surface (the hot path: resolve once, index thereafter).
+    // ------------------------------------------------------------------
+
+    /**
+     * Intern (measurement, tag): the existing id, or a fresh slab
+     * slot on first use. The only allocating call on the write path —
+     * do it at setup time, not per tick.
+     */
+    SeriesId intern(const std::string &measurement,
+                    const std::string &tag);
+
+    /** Id of an already-interned pair; kInvalidSeries when unknown. */
+    SeriesId findSeries(const std::string &measurement,
+                        const std::string &tag = "") const;
+
+    /**
+     * Append a sample to an interned series: a bounds check plus an
+     * indexed vector push — no string compares, no allocation beyond
+     * amortized sample growth (none at all after reserve()).
+     * Fatal on an invalid id (e.g. one held across clear()).
+     */
+    void append(SeriesId id, TimeS time_s, double value);
+
+    /** Indexed series lookup (fatal on an invalid id). */
+    const TimeSeries &series(SeriesId id) const;
+
+    /** Pre-size an interned series for n total samples. */
+    void reserve(SeriesId id, std::size_t n);
+
+    /** Interned series count, including never-written ones. */
+    std::size_t internedCount() const { return slab_.size(); }
+
+    // ------------------------------------------------------------------
+    // String surface (compat shim: resolve, then delegate).
+    // ------------------------------------------------------------------
+
     /** Append a sample to (measurement, tag), creating it if needed. */
     void write(const std::string &measurement, const std::string &tag,
                TimeS time_s, double value);
@@ -56,17 +121,27 @@ class TsDatabase
     bool has(const std::string &measurement,
              const std::string &tag = "") const;
 
-    /** All (measurement, tag) keys currently stored. */
+    /** All (measurement, tag) keys with at least one sample, sorted. */
     std::vector<Key> keys() const;
 
-    /** Number of stored series. */
-    std::size_t seriesCount() const { return series_.size(); }
+    /** Number of series holding at least one sample. */
+    std::size_t seriesCount() const;
 
-    /** Drop everything. */
-    void clear() { series_.clear(); }
+    /** Drop everything. Outstanding SeriesIds become invalid. */
+    void clear();
 
   private:
-    std::map<Key, TimeSeries> series_;
+    /** Sorted intern table: key -> slab index. */
+    std::map<Key, SeriesId> index_;
+    /**
+     * The series slab. A deque so interning never relocates existing
+     * series: ids, and `const TimeSeries &` references handed to
+     * callers, stay stable — which is also what lets sharded
+     * recording append to disjoint ids while the structure itself is
+     * untouched (interning is sequential by contract, see
+     * Ecovisor::recordTelemetry).
+     */
+    std::deque<TimeSeries> slab_;
     static const TimeSeries empty_;
 };
 
