@@ -4,8 +4,9 @@
  * sample write through the string-keyed compat shim vs the interned
  * SeriesId fast path (with and without the std::to_string container
  * tagging the shim pays per call), interval queries with and without
- * the monotone cursor hint, and allocation traffic on the write
- * paths. The companion of `micro_cop_overhead`: that one times the
+ * the monotone cursor hint, allocation traffic on the write paths,
+ * and the bounded-retention append (rollup folding + amortized
+ * sealing) next to the heap held by a bounded vs unbounded series. The companion of `micro_cop_overhead`: that one times the
  * cluster layer, this one times the store every settled tick records
  * into. All timing results are host-dependent perf metrics
  * (warn-only in `ecobench diff`).
@@ -171,13 +172,13 @@ run(const ScenarioOptions &opt)
                     static_cast<double>(iters);
         }
         {
-            std::size_t cursor = 0;
+            ts::Cursor cursor;
             const auto start = std::chrono::steady_clock::now();
             for (int i = 0; i < iters; ++i) {
                 const TimeS t1 =
                     (static_cast<TimeS>(i) * 60) % (span - 600);
                 if (t1 == 0)
-                    cursor = 0; // window wrapped: restart the sweep
+                    cursor = ts::Cursor{}; // window wrapped: restart
                 guard = guard + s.integrateWh(t1, t1 + 600, &cursor);
             }
             hinted = std::chrono::duration<double, std::nano>(
@@ -188,6 +189,46 @@ run(const ScenarioOptions &opt)
         (void)guard;
         record("integrate_600s_window", plain);
         record("integrate_600s_window_cursor", hinted);
+    }
+
+    // ------------------------------------------------------------------
+    // Retention: the bounded append pays for rollup folding plus the
+    // amortized seal, and in exchange the series holds O(window)
+    // bytes instead of O(horizon). Both are perf metrics (the heap
+    // ones are exact byte counts from memoryBytes(), but they track
+    // container growth policy, which is toolchain-dependent).
+    // ------------------------------------------------------------------
+    {
+        const int n = opt.horizon == Horizon::Short ? 100000 : 1000000;
+
+        ts::TsDatabase unbounded;
+        const ts::SeriesId uid = unbounded.intern("app_power_w", "u");
+        for (int i = 0; i < n; ++i)
+            unbounded.append(uid, static_cast<TimeS>(i) * 60,
+                             0.5 + static_cast<double>(i % 17));
+
+        ts::TsDatabase bounded;
+        ts::RetentionConfig retention;
+        retention.window_s = 1440 * 60; // one day of minute ticks
+        bounded.setDefaultRetention(retention);
+        const ts::SeriesId bid = bounded.intern("app_power_w", "b");
+        TimeS bnow = 0;
+        record("append_seriesid_bounded", nsPerOp(n, [&](int) {
+                   bounded.append(bid, bnow, 0.5);
+                   bnow += 60;
+                   return 0.0;
+               }));
+
+        const double ub = static_cast<double>(unbounded.memoryBytes());
+        const double bb = static_cast<double>(bounded.memoryBytes());
+        out.perfMetric("series_heap_bytes_unbounded", ub);
+        out.perfMetric("series_heap_bytes_bounded", bb);
+        t.addRow({"series_heap_unbounded",
+                  TextTable::fmt(ub / 1024.0, 1) + " KiB/" +
+                      std::to_string(n) + " samples"});
+        t.addRow({"series_heap_bounded",
+                  TextTable::fmt(bb / 1024.0, 1) + " KiB/" +
+                      std::to_string(n) + " samples"});
     }
 
     if (opt.print_figures) {

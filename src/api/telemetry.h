@@ -10,6 +10,13 @@
  * obtains ids through Ecovisor::appSeriesId()/containerSeriesId()
  * without ever spelling a measurement string or formatting a
  * container id on its hot path.
+ *
+ * Interval queries against a resolved series take an epoch-checked
+ * ts::Cursor search hint. Under bounded retention
+ * (EcovisorOptions::retention_samples / retention_window_s) the
+ * series may evict raw samples between queries; the cursor's epoch
+ * lets it self-reset instead of hinting at a shifted index, so
+ * clients cache cursors freely regardless of the retention policy.
  */
 
 #ifndef ECOV_API_TELEMETRY_H

@@ -162,8 +162,8 @@ class EcoLib
     {
         ts::SeriesId power = ts::kInvalidSeries;
         ts::SeriesId carbon = ts::kInvalidSeries;
-        std::size_t power_cursor = 0;
-        std::size_t carbon_cursor = 0;
+        ts::Cursor power_cursor;
+        ts::Cursor carbon_cursor;
     };
 
     /**
@@ -182,9 +182,14 @@ class EcoLib
     /** Per-app series ids, resolved once at construction. */
     ts::SeriesId power_series_ = ts::kInvalidSeries;
     ts::SeriesId carbon_series_ = ts::kInvalidSeries;
-    /** Monotone cursors for the interval queries. */
-    mutable std::size_t energy_cursor_ = 0;
-    mutable std::size_t carbon_cursor_ = 0;
+    /**
+     * Monotone cursors for the interval queries. Epoch-checked
+     * (ts::Cursor): under bounded retention an eviction batch bumps
+     * the series epoch and a stale cursor self-resets instead of
+     * hinting at the wrong post-eviction index.
+     */
+    mutable ts::Cursor energy_cursor_;
+    mutable ts::Cursor carbon_cursor_;
     mutable std::map<cop::ContainerId, ContainerSeries>
         container_series_;
 

@@ -61,6 +61,19 @@ Ecovisor::Ecovisor(cop::Cluster *cluster,
     if (!phys_)
         fatal("Ecovisor: null physical energy system");
 
+    // Install the retention policy before interning anything, so
+    // every series — globals here, per-app/per-container later — is
+    // uniformly bounded (or uniformly unbounded, the default).
+    if (options_.retention_samples > 0 ||
+        options_.retention_window_s > 0) {
+        ts::RetentionConfig retention;
+        if (options_.retention_samples > 0)
+            retention.max_samples =
+                static_cast<std::size_t>(options_.retention_samples);
+        retention.window_s = options_.retention_window_s;
+        db_.setDefaultRetention(retention);
+    }
+
     // Pre-intern the global series: recording them is then a pure
     // indexed append. Interned-but-unwritten series are invisible to
     // the query surface, so doing this even with record_telemetry

@@ -92,10 +92,31 @@ struct EcovisorOptions
      * telemetry series is pre-sized for that many samples at intern
      * time, eliminating repeated vector growth reallocation across
      * long runs. 0 (default) reserves nothing. Purely a capacity
-     * hint: recorded values and retention are unchanged (telemetry is
-     * unbounded append-only either way, see docs/PERF.md).
+     * hint: recorded values are unchanged, and on a retention-bounded
+     * series (below) the reservation is capped at the retention bound
+     * (see docs/PERF.md "Retention tiers").
      */
     std::int64_t expected_ticks = 0;
+    /**
+     * Raw telemetry samples retained per series; 0 (default) keeps
+     * everything — the seed's unbounded append-only behavior, bit-
+     * identical. When positive (and/or retention_window_s is set),
+     * every series the ecovisor interns becomes a bounded three-tier
+     * store: a raw hot ring, delta-compressed cold blocks, and
+     * minute/hour rollups, so long-horizon memory is O(retention)
+     * instead of O(horizon). Interval queries are bit-identical to
+     * the unbounded run while the window start lies inside the exact
+     * (ring + cold) coverage; older history is answered from rollups
+     * at bucket resolution and clamps to 0 beyond them (docs/PERF.md
+     * "Retention tiers").
+     */
+    std::int64_t retention_samples = 0;
+    /**
+     * Raw sample age bound in seconds behind the newest sample; 0
+     * (default) = no time bound. Combines with retention_samples
+     * (tighter bound wins). Same tier semantics as above.
+     */
+    TimeS retention_window_s = 0;
     /**
      * Record telemetry through the legacy string-keyed write path
      * instead of pre-resolved SeriesIds. The two paths are

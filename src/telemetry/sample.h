@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The raw telemetry sample. Split out of time_series.h so the cold
+ * block codec (block.h) and the series (time_series.h) can share it
+ * without a cyclic include.
+ */
+
+#ifndef ECOV_TELEMETRY_SAMPLE_H
+#define ECOV_TELEMETRY_SAMPLE_H
+
+#include "util/units.h"
+
+namespace ecov::ts {
+
+/** One timestamped sample. */
+struct Sample
+{
+    TimeS time_s;   ///< sample timestamp (start of its interval)
+    double value;   ///< sample value (units defined by the series)
+};
+
+} // namespace ecov::ts
+
+#endif // ECOV_TELEMETRY_SAMPLE_H

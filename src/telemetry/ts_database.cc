@@ -14,8 +14,25 @@ TsDatabase::intern(const std::string &measurement, const std::string &tag)
         return it->second;
     const auto id = static_cast<SeriesId>(slab_.size());
     slab_.emplace_back();
+    if (default_retention_.bounded())
+        slab_.back().setRetention(default_retention_);
     index_.emplace(Key{measurement, tag}, id);
     return id;
+}
+
+void
+TsDatabase::setDefaultRetention(const RetentionConfig &config)
+{
+    default_retention_ = config;
+}
+
+std::size_t
+TsDatabase::memoryBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &s : slab_)
+        bytes += s.memoryBytes();
+    return bytes;
 }
 
 SeriesId

@@ -79,10 +79,28 @@ class TsDatabase
     /**
      * Intern (measurement, tag): the existing id, or a fresh slab
      * slot on first use. The only allocating call on the write path —
-     * do it at setup time, not per tick.
+     * do it at setup time, not per tick. Fresh series inherit the
+     * database's default retention policy.
      */
     SeriesId intern(const std::string &measurement,
                     const std::string &tag);
+
+    /**
+     * Retention policy applied to every series interned from now on
+     * (already-interned series keep theirs). The ecovisor sets this
+     * from EcovisorOptions before interning any series, so the whole
+     * database is uniformly bounded or uniformly unbounded.
+     */
+    void setDefaultRetention(const RetentionConfig &config);
+
+    /** The policy fresh series inherit (default: unbounded). */
+    const RetentionConfig &defaultRetention() const
+    {
+        return default_retention_;
+    }
+
+    /** Approximate live bytes across all interned series. */
+    std::size_t memoryBytes() const;
 
     /** Id of an already-interned pair; kInvalidSeries when unknown. */
     SeriesId findSeries(const std::string &measurement,
@@ -142,6 +160,7 @@ class TsDatabase
      * Ecovisor::recordTelemetry).
      */
     std::deque<TimeSeries> slab_;
+    RetentionConfig default_retention_;
     static const TimeSeries empty_;
 };
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * Scenario-registry tests: all 18 scenarios register with sane
+ * Scenario-registry tests: all 19 scenarios register with sane
  * metadata, lookup works, and running a scenario through the harness
  * produces metrics, tick counts, and a well-formed JSON report.
  */
@@ -16,10 +16,10 @@
 namespace ecov::bench {
 namespace {
 
-TEST(ScenarioRegistryTest, AllEighteenScenariosRegistered)
+TEST(ScenarioRegistryTest, AllNineteenScenariosRegistered)
 {
     const auto &registry = ScenarioRegistry::instance();
-    EXPECT_EQ(registry.size(), 18u);
+    EXPECT_EQ(registry.size(), 19u);
 
     const char *expected[] = {
         "ablation_carbon_arbitrage", "ablation_excess_solar",
@@ -30,7 +30,8 @@ TEST(ScenarioRegistryTest, AllEighteenScenariosRegistered)
         "fig09_battery_multitenancy","fig10_solar_caps",
         "fig11_stragglers",          "micro_api_overhead",
         "micro_cop_overhead",        "micro_telemetry_overhead",
-        "scale_many_tenants",        "scale_many_tenants_telemetry",
+        "scale_long_horizon",        "scale_many_tenants",
+        "scale_many_tenants_telemetry",
     };
     for (const char *name : expected)
         EXPECT_NE(registry.find(name), nullptr) << name;

@@ -176,12 +176,12 @@ TEST(TimeSeries, CursorQueriesAreBitIdentical)
             const double plain_sum = s.sumRange(t1, t2);
             for (std::size_t start : {std::size_t{0}, std::size_t{7},
                                       s.size(), s.size() + 5}) {
-                std::size_t cur = start;
+                Cursor cur{start, 0};
                 EXPECT_EQ(s.integrateWh(t1, t2, &cur), plain_wh);
-                EXPECT_EQ(cur, s.lowerBound(t1));
-                cur = start;
+                EXPECT_EQ(cur.index, s.lowerBound(t1));
+                cur = Cursor{start, 0};
                 EXPECT_EQ(s.sumRange(t1, t2, &cur), plain_sum);
-                EXPECT_EQ(cur, s.lowerBound(t1));
+                EXPECT_EQ(cur.index, s.lowerBound(t1));
             }
         }
     }
