@@ -107,7 +107,7 @@ Cluster::createContainer(std::string_view app, double cores)
     const AppIndex app_idx = internApp(app);
 
     // Reuse a recycled slot (generation already bumped at destroy) or
-    // grow the slab.
+    // grow the slab; the hot columns grow in lockstep.
     std::int32_t s;
     if (!free_.empty()) {
         s = free_.back();
@@ -115,6 +115,7 @@ Cluster::createContainer(std::string_view app, double cores)
     } else {
         s = static_cast<std::int32_t>(slots_.size());
         slots_.emplace_back();
+        cols_.grow();
     }
     Slot &slot = slots_[static_cast<std::size_t>(s)];
     slot.live = true;
@@ -124,15 +125,27 @@ Cluster::createContainer(std::string_view app, double cores)
     slot.c.node = node;
     slot.c.cores = cores;
 
+    // Columns mirror the fresh row view (Container's defaults) and
+    // cache the hosting node's power-model coefficients.
+    const auto si = static_cast<std::size_t>(s);
+    cols_.demand[si] = 0.0;
+    cols_.util_cap[si] = 1.0;
+    cols_.cores[si] = cores;
+    cols_.gpu_util[si] = 0.0;
+    cols_.node[si] = node;
+    refreshModelCoefficients(s);
+
     id_to_slot_.push_back(s);
 
     // Append to the app's list and the global live list: tail-append
-    // keeps both in creation order == increasing-id order.
+    // keeps both in creation order == increasing-id order. Forward
+    // links are columns (the walk direction); backward links are slot
+    // state (only create/destroy touch them).
     AppInfo &info = apps_[static_cast<std::size_t>(app_idx)];
     slot.app_prev = info.tail;
-    slot.app_next = -1;
+    cols_.app_next[si] = -1;
     if (info.tail >= 0)
-        slots_[static_cast<std::size_t>(info.tail)].app_next = s;
+        cols_.app_next[static_cast<std::size_t>(info.tail)] = s;
     else
         info.head = s;
     info.tail = s;
@@ -140,9 +153,9 @@ Cluster::createContainer(std::string_view app, double cores)
     info.power_dirty = true;
 
     slot.all_prev = all_tail_;
-    slot.all_next = -1;
+    cols_.all_next[si] = -1;
     if (all_tail_ >= 0)
-        slots_[static_cast<std::size_t>(all_tail_)].all_next = s;
+        cols_.all_next[static_cast<std::size_t>(all_tail_)] = s;
     else
         all_head_ = s;
     all_tail_ = s;
@@ -168,14 +181,18 @@ Cluster::destroyContainer(ContainerId id)
         n.cores_allocated = 0.0;
     n.instances -= 1;
 
+    const auto si = static_cast<std::size_t>(s);
+    const std::int32_t app_next = cols_.app_next[si];
+    const std::int32_t all_next = cols_.all_next[si];
+
     AppInfo &info = apps_[static_cast<std::size_t>(slot.c.app)];
     if (slot.app_prev >= 0)
-        slots_[static_cast<std::size_t>(slot.app_prev)].app_next =
-            slot.app_next;
+        cols_.app_next[static_cast<std::size_t>(slot.app_prev)] =
+            app_next;
     else
-        info.head = slot.app_next;
-    if (slot.app_next >= 0)
-        slots_[static_cast<std::size_t>(slot.app_next)].app_prev =
+        info.head = app_next;
+    if (app_next >= 0)
+        slots_[static_cast<std::size_t>(app_next)].app_prev =
             slot.app_prev;
     else
         info.tail = slot.app_prev;
@@ -183,12 +200,12 @@ Cluster::destroyContainer(ContainerId id)
     info.power_dirty = true;
 
     if (slot.all_prev >= 0)
-        slots_[static_cast<std::size_t>(slot.all_prev)].all_next =
-            slot.all_next;
+        cols_.all_next[static_cast<std::size_t>(slot.all_prev)] =
+            all_next;
     else
-        all_head_ = slot.all_next;
-    if (slot.all_next >= 0)
-        slots_[static_cast<std::size_t>(slot.all_next)].all_prev =
+        all_head_ = all_next;
+    if (all_next >= 0)
+        slots_[static_cast<std::size_t>(all_next)].all_prev =
             slot.all_prev;
     else
         all_tail_ = slot.all_prev;
@@ -197,6 +214,7 @@ Cluster::destroyContainer(ContainerId id)
     id_to_slot_[static_cast<std::size_t>(id - 1)] = -1;
     slot.live = false;
     slot.generation += 1; // refs to this incarnation are now stale
+    cols_.clearSlot(s);   // dead state must not leak to a recycle
     free_.push_back(s);
 }
 
@@ -248,22 +266,25 @@ Cluster::find(ContainerRef ref) const
     return &slot.c;
 }
 
-Cluster::Slot &
-Cluster::liveSlot(ContainerId id, const char *who)
+std::int32_t
+Cluster::liveSlotIndex(ContainerId id, const char *who) const
 {
     const std::int32_t s = slotOf(id);
     if (s < 0)
         fatal(std::string(who) + ": unknown container");
-    return slots_[static_cast<std::size_t>(s)];
+    return s;
+}
+
+Cluster::Slot &
+Cluster::liveSlot(ContainerId id, const char *who)
+{
+    return slots_[static_cast<std::size_t>(liveSlotIndex(id, who))];
 }
 
 const Cluster::Slot &
 Cluster::liveSlot(ContainerId id, const char *who) const
 {
-    const std::int32_t s = slotOf(id);
-    if (s < 0)
-        fatal(std::string(who) + ": unknown container");
-    return slots_[static_cast<std::size_t>(s)];
+    return slots_[static_cast<std::size_t>(liveSlotIndex(id, who))];
 }
 
 const Container &
@@ -293,18 +314,38 @@ Cluster::markAppPowerDirty(AppIndex app)
     apps_[static_cast<std::size_t>(app)].power_dirty = true;
 }
 
+void
+Cluster::refreshModelCoefficients(std::int32_t s)
+{
+    const auto si = static_cast<std::size_t>(s);
+    const auto &model =
+        nodes_[static_cast<std::size_t>(cols_.node[si])].model;
+    // Store the exact idlePerCoreW()*cores / dynamicPerCoreW()*cores
+    // products ServerPowerModel::containerPowerW computes — including
+    // its node-core clamp — so powerAtSlot() reproduces the model
+    // bit-for-bit.
+    const double cl = clamp(cols_.cores[si], 0.0,
+                            static_cast<double>(model.cores()));
+    cols_.idle_w[si] = model.idlePerCoreW() * cl;
+    cols_.dyn_w[si] = model.dynamicPerCoreW() * cl;
+    cols_.gpu_peak_w[si] = model.config().gpu_peak_w;
+}
+
 bool
 Cluster::setCores(ContainerId id, double cores)
 {
     if (cores <= 0.0)
         fatal("Cluster::setCores: cores must be positive");
-    Slot &slot = liveSlot(id, "Cluster::setCores");
+    const std::int32_t s = liveSlotIndex(id, "Cluster::setCores");
+    Slot &slot = slots_[static_cast<std::size_t>(s)];
     auto &n = nodes_[static_cast<std::size_t>(slot.c.node)];
     double delta = cores - slot.c.cores;
     if (delta > n.freeCores() + 1e-9)
         return false;
     n.cores_allocated += delta;
     slot.c.cores = cores;
+    cols_.cores[static_cast<std::size_t>(s)] = cores;
+    refreshModelCoefficients(s);
     markAppPowerDirty(slot.c.app);
     return true;
 }
@@ -312,24 +353,31 @@ Cluster::setCores(ContainerId id, double cores)
 void
 Cluster::setUtilizationCap(ContainerId id, double cap)
 {
-    Slot &slot = liveSlot(id, "Cluster::setUtilizationCap");
+    const std::int32_t s =
+        liveSlotIndex(id, "Cluster::setUtilizationCap");
+    Slot &slot = slots_[static_cast<std::size_t>(s)];
     slot.c.util_cap = clamp(cap, 0.0, 1.0);
+    cols_.util_cap[static_cast<std::size_t>(s)] = slot.c.util_cap;
     markAppPowerDirty(slot.c.app);
 }
 
 void
 Cluster::setDemand(ContainerId id, double demand)
 {
-    Slot &slot = liveSlot(id, "Cluster::setDemand");
+    const std::int32_t s = liveSlotIndex(id, "Cluster::setDemand");
+    Slot &slot = slots_[static_cast<std::size_t>(s)];
     slot.c.demand = clamp(demand, 0.0, 1.0);
+    cols_.demand[static_cast<std::size_t>(s)] = slot.c.demand;
     markAppPowerDirty(slot.c.app);
 }
 
 void
 Cluster::setGpuUtil(ContainerId id, double gpu_util)
 {
-    Slot &slot = liveSlot(id, "Cluster::setGpuUtil");
+    const std::int32_t s = liveSlotIndex(id, "Cluster::setGpuUtil");
+    Slot &slot = slots_[static_cast<std::size_t>(s)];
     slot.c.gpu_util = clamp(gpu_util, 0.0, 1.0);
+    cols_.gpu_util[static_cast<std::size_t>(s)] = slot.c.gpu_util;
     markAppPowerDirty(slot.c.app);
 }
 
@@ -343,39 +391,50 @@ Cluster::powerOf(const Container &c) const
 double
 Cluster::containerPowerW(ContainerId id) const
 {
-    return powerOf(liveSlot(id, "Cluster::container").c);
+    return powerAtSlot(liveSlotIndex(id, "Cluster::container"));
 }
 
 double
 Cluster::containerPowerW(ContainerRef ref) const
 {
-    const Container *c = find(ref);
-    if (!c)
+    if (!find(ref))
         fatal("Cluster::containerPowerW: stale container ref");
-    return powerOf(*c);
+    return powerAtSlot(ref.slot);
 }
 
 double
 Cluster::utilizationCapForPower(ContainerId id, double cap_w) const
 {
-    const Container &c = liveSlot(id, "Cluster::container").c;
-    const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
-    return model.utilizationForCap(c.cores, cap_w);
+    // ServerPowerModel::utilizationForCap over the coefficient
+    // columns: idle_w/dyn_w already hold the idle-share and dynamic
+    // terms it derives, with identical guards.
+    const auto s = static_cast<std::size_t>(
+        liveSlotIndex(id, "Cluster::container"));
+    if (cols_.cores[s] <= 0.0)
+        return 0.0;
+    const double dyn = cols_.dyn_w[s];
+    if (dyn <= 0.0)
+        return 0.0;
+    return clamp((cap_w - cols_.idle_w[s]) / dyn, 0.0, 1.0);
 }
 
 double
 Cluster::maxContainerPowerW(ContainerId id) const
 {
-    const Container &c = liveSlot(id, "Cluster::container").c;
-    const auto &model = nodes_[static_cast<std::size_t>(c.node)].model;
-    return model.maxContainerPowerW(c.cores, c.gpu_util);
+    // containerPowerW at utilization 1: idle_w + dyn_w*1 + gpu term.
+    const auto s = static_cast<std::size_t>(
+        liveSlotIndex(id, "Cluster::container"));
+    return (cols_.idle_w[s] + cols_.dyn_w[s] * 1.0) +
+           cols_.gpu_peak_w[s] * cols_.gpu_util[s];
 }
 
 double
 Cluster::workCoreSeconds(ContainerId id, TimeS dt_s) const
 {
-    const Container &c = liveSlot(id, "Cluster::container").c;
-    return c.effectiveUtil() * c.cores * static_cast<double>(dt_s);
+    const auto s = static_cast<std::size_t>(
+        liveSlotIndex(id, "Cluster::container"));
+    return std::min(cols_.demand[s], cols_.util_cap[s]) *
+           cols_.cores[s] * static_cast<double>(dt_s);
 }
 
 // ---------------------------------------------------------------------
@@ -398,10 +457,13 @@ Cluster::appPowerW(AppIndex app) const
     const AppInfo &info = apps_[static_cast<std::size_t>(app)];
     if (!info.power_dirty)
         return info.power_w;
+    // The settle walk: streams only the hot columns (never the slot
+    // array), summing in list order == creation order == id order —
+    // the FP-summation-order half of the determinism contract.
     double total = 0.0;
     for (std::int32_t s = info.head; s >= 0;
-         s = slots_[static_cast<std::size_t>(s)].app_next)
-        total += powerOf(slots_[static_cast<std::size_t>(s)].c);
+         s = cols_.app_next[static_cast<std::size_t>(s)])
+        total += powerAtSlot(s);
     info.power_w = total;
     info.power_dirty = false;
     return total;
@@ -450,11 +512,13 @@ Cluster::totalPowerW() const
     std::vector<double> core_util(nodes_.size(), 0.0);
     std::vector<double> gpu_util(nodes_.size(), 0.0);
     for (std::int32_t s = all_head_; s >= 0;
-         s = slots_[static_cast<std::size_t>(s)].all_next) {
-        const Container &c = slots_[static_cast<std::size_t>(s)].c;
-        auto idx = static_cast<std::size_t>(c.node);
-        core_util[idx] += c.effectiveUtil() * c.cores;
-        gpu_util[idx] = std::max(gpu_util[idx], c.gpu_util);
+         s = cols_.all_next[static_cast<std::size_t>(s)]) {
+        const auto i = static_cast<std::size_t>(s);
+        auto idx = static_cast<std::size_t>(cols_.node[i]);
+        core_util[idx] +=
+            std::min(cols_.demand[i], cols_.util_cap[i]) *
+            cols_.cores[i];
+        gpu_util[idx] = std::max(gpu_util[idx], cols_.gpu_util[i]);
     }
     double total = 0.0;
     for (std::size_t i = 0; i < nodes_.size(); ++i)
@@ -468,6 +532,12 @@ Cluster::node(int idx) const
     if (idx < 0 || idx >= nodeCount())
         fatal("Cluster::node: index out of range");
     return nodes_[static_cast<std::size_t>(idx)];
+}
+
+std::size_t
+Cluster::slotSizeBytes()
+{
+    return sizeof(Slot);
 }
 
 } // namespace ecov::cop

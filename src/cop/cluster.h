@@ -33,6 +33,15 @@
  *    forEachAppContainer() walk only that app's list: no string
  *    compares, no allocation, O(app's containers) instead of
  *    O(all containers).
+ *  - The fields those walks actually read — demand, util cap, cores,
+ *    GPU share, cached power-model coefficients, and the forward list
+ *    links — live in parallel slot-indexed **hot columns**
+ *    (cop/columns.h, SoA), not in the slot struct; aggregate walks
+ *    stream dense doubles and never touch the slot array. The slot
+ *    keeps the cold state (id, generation, backward links, telemetry
+ *    cache) plus a coherent `Container` row view that every mutator
+ *    writes alongside the columns, so reference-returning accessors
+ *    (`find`, `container`, the iteration callbacks) are unchanged.
  *  - Each app carries a cached power aggregate invalidated by any
  *    demand/cap/cores/gpu change, so repeated appPowerW() calls
  *    within a tick are O(1).
@@ -50,6 +59,7 @@
 #include <vector>
 
 #include "api/status.h"
+#include "cop/columns.h"
 #include "power/server_power_model.h"
 #include "util/units.h"
 
@@ -320,7 +330,7 @@ class Cluster
         if (app < 0 || static_cast<std::size_t>(app) >= apps_.size())
             return;
         for (std::int32_t s = apps_[static_cast<std::size_t>(app)].head;
-             s >= 0; s = slots_[static_cast<std::size_t>(s)].app_next)
+             s >= 0; s = cols_.app_next[static_cast<std::size_t>(s)])
             fn(slots_[static_cast<std::size_t>(s)].c);
     }
 
@@ -338,7 +348,7 @@ class Cluster
         if (app < 0 || static_cast<std::size_t>(app) >= apps_.size())
             return;
         for (std::int32_t s = apps_[static_cast<std::size_t>(app)].head;
-             s >= 0; s = slots_[static_cast<std::size_t>(s)].app_next)
+             s >= 0; s = cols_.app_next[static_cast<std::size_t>(s)])
             fn(slots_[static_cast<std::size_t>(s)].c, s);
     }
 
@@ -405,17 +415,39 @@ class Cluster
     /** Node accessor (for tests and power accounting). */
     const Node &node(int idx) const;
 
+    // ------------------------------------------------------------------
+    // Layout introspection (coherence tests, micro_cop_overhead).
+    // ------------------------------------------------------------------
+
+    /**
+     * Read-only view of the hot columns. Slot-indexed in lockstep
+     * with the slab; authoritative for every aggregate walk and kept
+     * write-through-coherent with each slot's `Container` row view.
+     */
+    const HotColumns &hotColumns() const { return cols_; }
+
+    /**
+     * sizeof the (private) slab slot struct — the per-container AoS
+     * footprint aggregate walks dragged through cache before the hot
+     * fields moved to columns. micro_cop_overhead reports cache-line
+     * utilisation of both layouts from this.
+     */
+    static std::size_t slotSizeBytes();
+
   private:
-    /** One slab slot: the container plus its lifecycle/link state. */
+    /**
+     * One slab slot: cold per-container state. Hot fields walked per
+     * tick live in `cols_` (cop/columns.h); `c` is the coherent AoS
+     * row view every mutator updates alongside the columns so
+     * pointer/reference accessors keep their exact semantics.
+     */
     struct Slot
     {
         Container c;
         std::uint32_t generation = 0;
         bool live = false;
-        std::int32_t app_prev = -1; ///< per-app intrusive list
-        std::int32_t app_next = -1;
-        std::int32_t all_prev = -1; ///< global live list (id order)
-        std::int32_t all_next = -1;
+        std::int32_t app_prev = -1; ///< per-app list, backward (cold)
+        std::int32_t all_prev = -1; ///< global live list, backward
         SlotSeriesCache series_cache; ///< generation-checked ext. ids
     };
 
@@ -444,17 +476,40 @@ class Cluster
     /** Slot index for a live id; -1 otherwise. O(1). */
     std::int32_t slotOf(ContainerId id) const;
 
+    /** Slot index for a live id; fatal with `who` when unknown. */
+    std::int32_t liveSlotIndex(ContainerId id, const char *who) const;
+
     /** Slot for a live id; fatal with `who` context when unknown. */
     Slot &liveSlot(ContainerId id, const char *who);
     const Slot &liveSlot(ContainerId id, const char *who) const;
 
-    /** Attributed power of one live container. */
+    /** Attributed power of one live container (row-view path). */
     double powerOf(const Container &c) const;
+
+    /**
+     * Attributed power of one live slot from the hot columns — the
+     * settle-walk kernel. Same floating-point expression tree as
+     * ServerPowerModel::containerPowerW (the coefficient columns hold
+     * the identical idlePerCoreW()*cores / dynamicPerCoreW()*cores
+     * products), so both paths round bit-identically.
+     */
+    double
+    powerAtSlot(std::int32_t s) const
+    {
+        const auto i = static_cast<std::size_t>(s);
+        const double util = std::min(cols_.demand[i], cols_.util_cap[i]);
+        return (cols_.idle_w[i] + cols_.dyn_w[i] * util) +
+               cols_.gpu_peak_w[i] * cols_.gpu_util[i];
+    }
+
+    /** Refresh a slot's coefficient columns from its node's model. */
+    void refreshModelCoefficients(std::int32_t s);
 
     void markAppPowerDirty(AppIndex app);
 
     std::vector<Node> nodes_;
     std::vector<Slot> slots_;
+    HotColumns cols_; ///< slot-indexed hot columns (size == slots_)
     std::vector<std::int32_t> free_;       ///< LIFO recycled slots
     std::vector<std::int32_t> id_to_slot_; ///< [id-1] -> slot | -1
     std::vector<AppInfo> apps_;

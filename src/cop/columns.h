@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SoA hot columns for the container slab (docs/PERF.md §2.1,
+ * docs/ARCHITECTURE.md).
+ *
+ * The per-container fields the per-tick aggregate walks actually read
+ * — demand, utilization cap, cores, GPU share, and the precomputed
+ * power-model coefficients — live here as parallel slot-indexed
+ * arrays (structure-of-arrays), not inside the slab's slot struct.
+ * A settle walk (`Cluster::appPowerW` recompute, `totalPowerW`)
+ * therefore streams dense `double` columns at ~100 % cache-line
+ * utilisation instead of dragging a whole multi-line slot into cache
+ * for a few scalar reads; the forward list links ride along as their
+ * own `int32` columns so the walk never touches the slot array at
+ * all. Cold, identity and lifecycle state (ids, generation counters,
+ * backward links, the telemetry series cache, and the `Container`
+ * row view handed to reference-returning accessors) stays in the
+ * slot.
+ *
+ * Coherence contract: the columns are the authoritative layout for
+ * every aggregate walk, and every `Cluster` mutator writes them and
+ * the slot's `Container` row view in the same call — the two can
+ * never diverge (asserted against a shadow AoS model by
+ * tests/cop/columns_test.cc). The coefficient columns cache the
+ * hosting node's power-model constants scaled by the slot's
+ * allocation, refreshed whenever `cores` (or the slot's node, at
+ * create) changes; they reproduce `ServerPowerModel::containerPowerW`
+ * with the exact same floating-point expression tree, so column walks
+ * are bit-identical to the model-call path (the determinism
+ * contract, docs/ARCHITECTURE.md).
+ */
+
+#ifndef ECOV_COP_COLUMNS_H
+#define ECOV_COP_COLUMNS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ecov::cop {
+
+/**
+ * Parallel slot-indexed hot columns owned by the cluster slab.
+ * Every column always has exactly one element per slab slot; dead
+ * (free-listed) slots hold zeros and -1 links and are unreachable
+ * from any list walk.
+ */
+struct HotColumns
+{
+    // ------------------------------------------------------------------
+    // Runtime utilization state (written by the Cluster setters).
+    // ------------------------------------------------------------------
+    std::vector<double> demand;   ///< workload demand in [0, 1]
+    std::vector<double> util_cap; ///< cgroup ceiling in [0, 1]
+    std::vector<double> cores;    ///< allocated cores (raw, unclamped)
+    std::vector<double> gpu_util; ///< GPU utilization in [0, 1]
+
+    // ------------------------------------------------------------------
+    // Cached power-model coefficients of the hosting node, scaled by
+    // the slot's (node-clamped) core allocation. Refreshed at create
+    // and setCores; gpu_peak_w is a per-node constant fixed at
+    // create. Attributed power is then three column reads and two
+    // fused-shape multiply-adds:
+    //   p = (idle_w + dyn_w * min(demand, util_cap))
+    //       + gpu_peak_w * gpu_util
+    // — the same expression tree ServerPowerModel::containerPowerW
+    // evaluates, term for term, so both paths round identically.
+    // ------------------------------------------------------------------
+    std::vector<double> idle_w;     ///< idlePerCoreW(node) * cores
+    std::vector<double> dyn_w;      ///< dynamicPerCoreW(node) * cores
+    std::vector<double> gpu_peak_w; ///< node's GPU peak draw constant
+
+    /** Hosting node index (totalPowerW's per-node accumulation). */
+    std::vector<std::int32_t> node;
+
+    // ------------------------------------------------------------------
+    // Forward intrusive-list links (creation == increasing-id order;
+    // the iteration-order part of the determinism contract). Backward
+    // links are cold — only destroy reads them — and stay in the slot.
+    // ------------------------------------------------------------------
+    std::vector<std::int32_t> app_next; ///< next slot in the app list
+    std::vector<std::int32_t> all_next; ///< next slot in the live list
+
+    /** Slots provisioned (== the slab's slot count). */
+    std::size_t size() const { return demand.size(); }
+
+    /** Provision one more slot, zeroed and unlinked. */
+    void
+    grow()
+    {
+        demand.push_back(0.0);
+        util_cap.push_back(0.0);
+        cores.push_back(0.0);
+        gpu_util.push_back(0.0);
+        idle_w.push_back(0.0);
+        dyn_w.push_back(0.0);
+        gpu_peak_w.push_back(0.0);
+        node.push_back(-1);
+        app_next.push_back(-1);
+        all_next.push_back(-1);
+    }
+
+    /** Zero a recycled slot so dead state can never leak forward. */
+    void
+    clearSlot(std::int32_t s)
+    {
+        const auto i = static_cast<std::size_t>(s);
+        demand[i] = 0.0;
+        util_cap[i] = 0.0;
+        cores[i] = 0.0;
+        gpu_util[i] = 0.0;
+        idle_w[i] = 0.0;
+        dyn_w[i] = 0.0;
+        gpu_peak_w[i] = 0.0;
+        node[i] = -1;
+        app_next[i] = -1;
+        all_next[i] = -1;
+    }
+};
+
+/**
+ * Bytes the per-app settle walk reads per container from the columns:
+ * demand, util_cap, idle_w, dyn_w, gpu_peak_w, gpu_util plus the
+ * app_next link. Dense and fully useful — the numerator and (up to
+ * column-boundary effects) the denominator of the walk's cache-line
+ * utilisation. micro_cop_overhead reports this against the AoS slot
+ * footprint (`Cluster::slotSizeBytes()`).
+ */
+inline constexpr std::size_t kSettleColumnBytesPerContainer =
+    6 * sizeof(double) + sizeof(std::int32_t);
+
+/**
+ * Bytes of a fat AoS slot the pre-column settle walk actually used
+ * per container (demand, util_cap, cores, gpu_util, node, app_next)
+ * — the cache-line-utilisation numerator of the old layout, whose
+ * denominator was every line the slot straddled.
+ */
+inline constexpr std::size_t kSettleUsefulAosBytesPerContainer =
+    4 * sizeof(double) + 2 * sizeof(std::int32_t);
+
+} // namespace ecov::cop
+
+#endif // ECOV_COP_COLUMNS_H

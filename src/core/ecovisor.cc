@@ -720,10 +720,11 @@ void
 Ecovisor::settleApp(AppState &st, double solar_w, double intensity,
                     TimeS start_s, TimeS dt_s)
 {
-    // appPowerW walks only this app's container list (O(1) when its
-    // cached aggregate is clean); with sharded settlement each app —
-    // and therefore each COP-side aggregate cache — belongs to
-    // exactly one worker, so the walk is race-free.
+    // appPowerW walks only this app's container list, streaming the
+    // slab's SoA hot columns (cop/columns.h; O(1) when its cached
+    // aggregate is clean); with sharded settlement each app — and
+    // therefore each COP-side aggregate cache — belongs to exactly
+    // one worker, so the walk is race-free.
     const double app_solar_w = st.solar_fraction * solar_w;
     const double demand_w = cluster_->appPowerW(st.cop_app);
     st.ves->settle(demand_w, app_solar_w, intensity, start_s, dt_s);
