@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# ecovisord end-to-end smoke, as the CI server-smoke job runs it:
+#
+#   1. start ecovisord on 127.0.0.1 with an OS-assigned port,
+#   2. run examples/remote_quickstart against it (must exit 0),
+#   3. run it again with --inject-protocol-error (must exit nonzero:
+#      the server has to reject broken framing and drop the peer),
+#   4. SIGTERM the daemon and require a clean (0) drain/shutdown.
+#
+# Expects a built tree; pass it as $1 or via ECOV_BUILD_DIR
+# (default: build-ci, matching build_and_test.sh).
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${ECOV_BUILD_DIR:-${REPO_ROOT}/build-ci}}"
+DAEMON="${BUILD_DIR}/src/net/ecovisord"
+EXAMPLE="${BUILD_DIR}/examples/remote_quickstart"
+LOG="$(mktemp /tmp/ecovisord_smoke.XXXXXX.log)"
+
+fail() {
+    echo "server_smoke: FAIL: $*" >&2
+    echo "--- ecovisord log ---" >&2
+    cat "${LOG}" >&2
+    [[ -n "${daemon_pid:-}" ]] && kill -9 "${daemon_pid}" 2>/dev/null
+    exit 1
+}
+
+[[ -x "${DAEMON}" ]] || fail "missing binary ${DAEMON}"
+[[ -x "${EXAMPLE}" ]] || fail "missing binary ${EXAMPLE}"
+
+# 1. Start the daemon on an ephemeral port and scrape it from the
+#    one-line startup banner.
+"${DAEMON}" --port=0 --tick-ms=20 >"${LOG}" 2>&1 &
+daemon_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^ecovisord: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "${LOG}")"
+    [[ -n "${port}" ]] && break
+    kill -0 "${daemon_pid}" 2>/dev/null || fail "daemon exited early"
+    sleep 0.05
+done
+[[ -n "${port}" ]] || fail "no listening banner in daemon output"
+echo "server_smoke: ecovisord up on port ${port} (pid ${daemon_pid})"
+
+# 2. The happy path must succeed end to end.
+if ! "${EXAMPLE}" "${port}"; then
+    fail "remote_quickstart exited nonzero on the happy path"
+fi
+
+# 3. Broken framing must be rejected: nonzero exit, daemon survives.
+"${EXAMPLE}" "${port}" --inject-protocol-error
+inject_status=$?
+if [[ ${inject_status} -eq 0 ]]; then
+    fail "remote_quickstart --inject-protocol-error exited 0"
+fi
+kill -0 "${daemon_pid}" 2>/dev/null \
+    || fail "daemon died from a client protocol error"
+echo "server_smoke: protocol error rejected (exit ${inject_status})"
+
+# 4. Clean drain on SIGTERM.
+kill -TERM "${daemon_pid}"
+shutdown_status=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+        wait "${daemon_pid}"
+        shutdown_status=$?
+        break
+    fi
+    sleep 0.05
+done
+kill -0 "${daemon_pid}" 2>/dev/null && fail "daemon ignored SIGTERM"
+[[ ${shutdown_status} -eq 0 ]] \
+    || fail "daemon exited ${shutdown_status} on SIGTERM"
+
+echo "server_smoke: PASS"
+rm -f "${LOG}"
+exit 0

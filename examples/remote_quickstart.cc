@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Remote quickstart: the quickstart workload driven over TCP against
+ * a running `ecovisord` — the same register/spawn/cap/snapshot flow,
+ * but through net::Client instead of linking the ecovisor in-process
+ * (docs/ECOVISORD.md).
+ *
+ * Run a daemon, then point this at it:
+ *   ./build/src/net/ecovisord --port=7447 &
+ *   ./build/examples/remote_quickstart 7447
+ *
+ * With --inject-protocol-error the example instead sends garbage
+ * bytes mid-session and exits 2 once the server, as it must, answers
+ * with a ProtocolError frame and closes the connection (the CI
+ * server-smoke job asserts this nonzero exit). Exit codes: 0 normal
+ * success, 1 failure, 2 protocol error observed as intended.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+#include "net/client.h"
+#include "net/socket.h"
+
+using namespace ecov;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <port> [host] [--inject-protocol-error]\n",
+                 argv0);
+    return 64;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint16_t port = 0;
+    std::string host = "127.0.0.1";
+    bool inject_error = false;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--inject-protocol-error") == 0) {
+            inject_error = true;
+        } else if (positional == 0) {
+            const long p = std::strtol(argv[i], nullptr, 10);
+            if (p <= 0 || p > 65535)
+                return usage(argv[0]);
+            port = static_cast<std::uint16_t>(p);
+            ++positional;
+        } else if (positional == 1) {
+            host = argv[i];
+            ++positional;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (port == 0)
+        return usage(argv[0]);
+
+    auto transport = net::SocketTransport::connect(host, port);
+    if (!transport.ok()) {
+        std::fprintf(stderr, "connect failed: %s\n",
+                     transport.status().message().c_str());
+        return 1;
+    }
+    net::Client client(transport.value().get());
+
+    if (auto st = client.ping(); !st.ok()) {
+        std::fprintf(stderr, "ping failed: %s\n",
+                     st.message().c_str());
+        return 1;
+    }
+    std::printf("connected to ecovisord at %s:%u\n", host.c_str(),
+                port);
+
+    if (inject_error) {
+        // Deliberately break framing. The server must answer with a
+        // ProtocolError frame and close the connection; the client
+        // surfaces that as a latched Unavailable on the next call.
+        const std::uint8_t garbage[] = {0xBA, 0xDF, 0x00, 0x0D,
+                                        0xBA, 0xDF, 0x00, 0x0D,
+                                        0xBA, 0xDF, 0x00, 0x0D};
+        (void)transport.value()->send(garbage, sizeof garbage);
+        const api::Status st = client.ping();
+        if (st.ok()) {
+            std::fprintf(stderr,
+                         "server accepted garbage framing!\n");
+            return 1;
+        }
+        std::printf("protocol error handled as expected: %s\n",
+                    st.message().c_str());
+        return 2;
+    }
+
+    // Tenant names are per-daemon unique; key by pid so reruns
+    // against a long-lived daemon don't collide.
+    char name[32];
+    std::snprintf(name, sizeof name, "rq-%d",
+                  static_cast<int>(::getpid()));
+
+    // A share of solar plus a slice of virtual battery.
+    core::AppShareConfig share;
+    share.solar_fraction = 0.25;
+    energy::BatteryConfig battery;
+    battery.capacity_wh = 360.0;
+    battery.max_charge_w = 90.0;
+    battery.max_discharge_w = 360.0;
+    battery.initial_soc = 0.5;
+    share.battery = battery;
+
+    // Mutating calls resolve at the daemon's next tick commit; the
+    // sync client just blocks across that boundary.
+    auto app = client.registerApp(name, share);
+    if (!app.ok()) {
+        std::fprintf(stderr, "registerApp failed: %s\n",
+                     app.status().message().c_str());
+        return 1;
+    }
+    auto c1 = client.spawnContainer(app.value(), 2.0);
+    auto c2 = client.spawnContainer(app.value(), 2.0);
+    if (!c1.ok() || !c2.ok()) {
+        std::fprintf(stderr, "spawnContainer failed\n");
+        return 1;
+    }
+    if (!client.setDemand(c1.value(), 0.9).ok() ||
+        !client.setDemand(c2.value(), 0.6).ok()) {
+        std::fprintf(stderr, "setDemand failed\n");
+        return 1;
+    }
+
+    // Carbon-aware capping loop: snapshot (immediate), react (next
+    // tick), exactly like the in-process quickstart's tick callback.
+    for (int i = 0; i < 10; ++i) {
+        auto snap = client.getEnergySnapshot(app.value());
+        if (!snap.ok()) {
+            std::fprintf(stderr, "getEnergySnapshot failed: %s\n",
+                         snap.status().message().c_str());
+            return 1;
+        }
+        const api::EnergySnapshot &s = snap.value();
+        const double cap =
+            s.grid_carbon_g_per_kwh > 250.0 && s.solar_w < 50.0
+                ? 1.0
+                : core::kUnlimitedW;
+        std::vector<net::RemoteCap> caps{{c1.value(), cap},
+                                         {c2.value(), cap}};
+        if (auto st = client.applyCapBatch(caps); !st.ok()) {
+            std::fprintf(stderr, "applyCapBatch failed: %s\n",
+                         st.message().c_str());
+            return 1;
+        }
+        if (auto st = client.setBatteryChargeRate(
+                app.value(),
+                s.grid_carbon_g_per_kwh < 150.0 ? 50.0 : 0.0);
+            !st.ok()) {
+            std::fprintf(stderr, "setBatteryChargeRate failed: %s\n",
+                         st.message().c_str());
+            return 1;
+        }
+        std::printf("iter=%d carbon=%6.1f g/kWh solar=%6.1f W "
+                    "battery=%6.1f Wh grid=%5.2f W\n",
+                    i, s.grid_carbon_g_per_kwh, s.solar_w,
+                    s.battery_charge_level_wh, s.grid_w);
+    }
+
+    // Tear down one container explicitly; the other is revoked by
+    // the disconnect when this process exits.
+    if (auto st = client.destroyContainer(c2.value()); !st.ok()) {
+        std::fprintf(stderr, "destroyContainer failed: %s\n",
+                     st.message().c_str());
+        return 1;
+    }
+    std::printf("remote quickstart complete\n");
+    return 0;
+}

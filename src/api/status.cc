@@ -26,6 +26,10 @@ errorCodeName(ErrorCode code)
         return "no_battery";
       case ErrorCode::NoSolar:
         return "no_solar";
+      case ErrorCode::ResourceExhausted:
+        return "resource_exhausted";
+      case ErrorCode::Unavailable:
+        return "unavailable";
     }
     return "?";
 }

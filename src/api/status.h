@@ -43,6 +43,8 @@ enum class ErrorCode
     ShareViolation,   ///< aggregate share validation failed (§3.3)
     NoBattery,        ///< battery operation on a battery-less share
     NoSolar,          ///< solar share without a physical array
+    ResourceExhausted, ///< admission control: queue/inflight budget hit
+    Unavailable,      ///< endpoint shutting down / connection gone
 };
 
 /** Stable identifier string for an ErrorCode ("unknown_app", ...). */

@@ -737,6 +737,15 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
         fatal("Ecovisor::settleTick: non-positive tick");
     now_hint_s_ = start_s;
 
+    // Pre-settle hook: a transport front-end (net::ServerCore) commits
+    // its per-tick coalesced tenant requests here, in its own canonical
+    // order, before anything below reads cluster or cap state. Runs
+    // sequentially, so the hook may freely call the v2 surface —
+    // including applyCapBatch(), whose staged entries then commit in
+    // this very tick via commitStagedCaps() below.
+    if (pre_settle_hook_)
+        pre_settle_hook_(start_s, dt_s);
+
     // Commit any staged CapBatch, then re-apply watt caps:
     // allocations may have changed this tick.
     commitStagedCaps();

@@ -357,6 +357,23 @@ class Ecovisor
     /** Dispatch registered app callbacks (Policy phase). */
     void dispatchTickCallbacks(TimeS start_s, TimeS dt_s);
 
+    /**
+     * Install a hook that runs at the very top of settleTick(), before
+     * staged caps commit and before any settlement state is read. This
+     * is the commit point for a transport front-end (net::ServerCore):
+     * tenant requests that arrived since the previous tick are applied
+     * here in a canonical order, so the settled results are
+     * bit-identical regardless of network arrival interleaving. The
+     * hook runs sequentially on the settling thread and may call any
+     * v2 surface method. One consumer at a time; pass nullptr to
+     * uninstall.
+     */
+    void
+    setPreSettleHook(std::function<void(TimeS, TimeS)> hook)
+    {
+        pre_settle_hook_ = std::move(hook);
+    }
+
     // ------------------------------------------------------------------
     // Privileged access (library layer, tests, benches).
     // ------------------------------------------------------------------
@@ -525,6 +542,9 @@ class Ecovisor
     std::map<cop::ContainerId, double> powercaps_w_;
     /** Caps staged by applyCapBatch(), committed at settlement. */
     std::vector<api::CapRequest> staged_caps_;
+
+    /** Transport front-end commit point (setPreSettleHook). */
+    std::function<void(TimeS, TimeS)> pre_settle_hook_;
 
     /**
      * Settlement parallelism (>= 1) and its lazily-built pool. The

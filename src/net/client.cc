@@ -1,0 +1,368 @@
+#include "net/client.h"
+
+namespace ecov::net {
+
+namespace {
+
+api::Status
+opcodeMismatch()
+{
+    return api::Status::error(api::ErrorCode::Unavailable,
+                              "response opcode does not match the "
+                              "request — stream desynchronised");
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Pipelined sends.
+// ----------------------------------------------------------------------
+
+std::uint32_t
+Client::finishSend(std::uint32_t req_id)
+{
+    ++requests_sent_;
+    if (conn_error_.ok()) {
+        api::Status st =
+            transport_->send(tx_.data(), tx_.size());
+        if (!st.ok())
+            latch(std::move(st));
+    }
+    return req_id;
+}
+
+std::uint32_t
+Client::sendPing()
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodePing(tx_, req);
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendRegisterApp(const std::string &name,
+                        const core::AppShareConfig &share)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    RegisterAppReq r;
+    r.name = name;
+    r.share = share;
+    encodeRegisterApp(tx_, req, r);
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendSpawnContainer(RemoteApp app, double cores)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeIdValue(tx_, Opcode::SpawnContainer, req,
+                  {app.id, cores});
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendDestroyContainer(RemoteContainer c)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeIdOnly(tx_, Opcode::DestroyContainer, req, c.id);
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendSetContainerPowercap(RemoteContainer c, double cap_w)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeIdValue(tx_, Opcode::SetPowercap, req, {c.id, cap_w});
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendApplyCapBatch(const std::vector<RemoteCap> &caps)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    batch_scratch_.clear();
+    for (const RemoteCap &c : caps)
+        batch_scratch_.push_back({c.container.id, c.cap_w});
+    encodeCapBatch(tx_, req, batch_scratch_);
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendSetBatteryChargeRate(RemoteApp app, double rate_w)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeIdValue(tx_, Opcode::SetChargeRate, req, {app.id, rate_w});
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendSetBatteryMaxDischarge(RemoteApp app, double rate_w)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeIdValue(tx_, Opcode::SetMaxDischarge, req,
+                  {app.id, rate_w});
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendSetDemand(RemoteContainer c, double demand)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeIdValue(tx_, Opcode::SetDemand, req, {c.id, demand});
+    return finishSend(req);
+}
+
+std::uint32_t
+Client::sendGetSnapshot(RemoteApp app)
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeIdOnly(tx_, Opcode::GetSnapshot, req, app.id);
+    return finishSend(req);
+}
+
+// ----------------------------------------------------------------------
+// Receive path.
+// ----------------------------------------------------------------------
+
+void
+Client::latch(api::Status status)
+{
+    if (conn_error_.ok())
+        conn_error_ = std::move(status);
+}
+
+api::Status
+Client::pump()
+{
+    if (!conn_error_.ok())
+        return conn_error_;
+    rx_scratch_.clear();
+    api::Status st = transport_->receiveSome(rx_scratch_);
+    if (!st.ok()) {
+        latch(st);
+        return conn_error_;
+    }
+    decoder_.feed(rx_scratch_.data(), rx_scratch_.size());
+    for (;;) {
+        Frame f;
+        switch (decoder_.next(&f)) {
+          case DecodeStatus::NeedMore:
+            return api::Status::okStatus();
+          case DecodeStatus::Error:
+            latch(api::Status::error(api::ErrorCode::Unavailable,
+                                     "malformed response stream: " +
+                                         decoder_.error()));
+            return conn_error_;
+          case DecodeStatus::Frame: {
+            Reply reply;
+            reply.opcode = f.opcode;
+            std::size_t consumed = 0;
+            if (!decodeResponseHead(f.payload, f.payload_len,
+                                    &reply.head, &consumed)) {
+                latch(api::Status::error(
+                    api::ErrorCode::Unavailable,
+                    "malformed response payload"));
+                return conn_error_;
+            }
+            reply.result.assign(f.payload + consumed,
+                                f.payload + f.payload_len);
+            const std::uint8_t protocol_error_resp =
+                static_cast<std::uint8_t>(Opcode::ProtocolError) |
+                kResponseBit;
+            if (f.opcode == protocol_error_resp) {
+                // Server-initiated: the connection is about to die.
+                latch(api::Status::error(
+                    api::ErrorCode::Unavailable,
+                    "server reported a protocol error: " +
+                        reply.head.message));
+                return conn_error_;
+            }
+            replies_[f.request_id] = std::move(reply);
+            break;
+          }
+        }
+    }
+}
+
+bool
+Client::replyReady(std::uint32_t request_id) const
+{
+    return replies_.count(request_id) != 0;
+}
+
+api::Status
+Client::take(std::uint32_t request_id, Reply *out)
+{
+    for (;;) {
+        auto it = replies_.find(request_id);
+        if (it != replies_.end()) {
+            *out = std::move(it->second);
+            replies_.erase(it);
+            return api::Status::okStatus();
+        }
+        if (!conn_error_.ok())
+            return conn_error_;
+        api::Status st = pump();
+        if (!st.ok())
+            return st;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Awaits.
+// ----------------------------------------------------------------------
+
+api::Status
+Client::await(std::uint32_t request_id)
+{
+    Reply r;
+    api::Status st = take(request_id, &r);
+    if (!st.ok())
+        return st;
+    if (r.head.code != api::ErrorCode::Ok)
+        return api::Status::error(r.head.code,
+                                  std::move(r.head.message));
+    return api::Status::okStatus();
+}
+
+api::Result<RemoteApp>
+Client::awaitApp(std::uint32_t request_id)
+{
+    Reply r;
+    api::Status st = take(request_id, &r);
+    if (!st.ok())
+        return st;
+    if (r.head.code != api::ErrorCode::Ok)
+        return api::Status::error(r.head.code,
+                                  std::move(r.head.message));
+    if (r.opcode !=
+        (static_cast<std::uint8_t>(Opcode::RegisterApp) |
+         kResponseBit))
+        return opcodeMismatch();
+    RemoteApp app;
+    if (!decodeIdResult(r.result.data(), r.result.size(), 0, &app.id))
+        return api::Status::error(api::ErrorCode::Unavailable,
+                                  "malformed register_app response");
+    return app;
+}
+
+api::Result<RemoteContainer>
+Client::awaitContainer(std::uint32_t request_id)
+{
+    Reply r;
+    api::Status st = take(request_id, &r);
+    if (!st.ok())
+        return st;
+    if (r.head.code != api::ErrorCode::Ok)
+        return api::Status::error(r.head.code,
+                                  std::move(r.head.message));
+    if (r.opcode !=
+        (static_cast<std::uint8_t>(Opcode::SpawnContainer) |
+         kResponseBit))
+        return opcodeMismatch();
+    RemoteContainer c;
+    if (!decodeIdResult(r.result.data(), r.result.size(), 0, &c.id))
+        return api::Status::error(
+            api::ErrorCode::Unavailable,
+            "malformed spawn_container response");
+    return c;
+}
+
+api::Result<api::EnergySnapshot>
+Client::awaitSnapshot(std::uint32_t request_id)
+{
+    Reply r;
+    api::Status st = take(request_id, &r);
+    if (!st.ok())
+        return st;
+    if (r.head.code != api::ErrorCode::Ok)
+        return api::Status::error(r.head.code,
+                                  std::move(r.head.message));
+    if (r.opcode !=
+        (static_cast<std::uint8_t>(Opcode::GetSnapshot) |
+         kResponseBit))
+        return opcodeMismatch();
+    api::EnergySnapshot snap;
+    if (!decodeSnapshotResult(r.result.data(), r.result.size(), 0,
+                              &snap))
+        return api::Status::error(api::ErrorCode::Unavailable,
+                                  "malformed snapshot response");
+    return snap;
+}
+
+// ----------------------------------------------------------------------
+// Synchronous wrappers.
+// ----------------------------------------------------------------------
+
+api::Status
+Client::ping()
+{
+    return await(sendPing());
+}
+
+api::Result<RemoteApp>
+Client::registerApp(const std::string &name,
+                    const core::AppShareConfig &share)
+{
+    return awaitApp(sendRegisterApp(name, share));
+}
+
+api::Result<RemoteContainer>
+Client::spawnContainer(RemoteApp app, double cores)
+{
+    return awaitContainer(sendSpawnContainer(app, cores));
+}
+
+api::Status
+Client::destroyContainer(RemoteContainer c)
+{
+    return await(sendDestroyContainer(c));
+}
+
+api::Status
+Client::setContainerPowercap(RemoteContainer c, double cap_w)
+{
+    return await(sendSetContainerPowercap(c, cap_w));
+}
+
+api::Status
+Client::applyCapBatch(const std::vector<RemoteCap> &caps)
+{
+    return await(sendApplyCapBatch(caps));
+}
+
+api::Status
+Client::setBatteryChargeRate(RemoteApp app, double rate_w)
+{
+    return await(sendSetBatteryChargeRate(app, rate_w));
+}
+
+api::Status
+Client::setBatteryMaxDischarge(RemoteApp app, double rate_w)
+{
+    return await(sendSetBatteryMaxDischarge(app, rate_w));
+}
+
+api::Status
+Client::setDemand(RemoteContainer c, double demand)
+{
+    return await(sendSetDemand(c, demand));
+}
+
+api::Result<api::EnergySnapshot>
+Client::getEnergySnapshot(RemoteApp app)
+{
+    return awaitSnapshot(sendGetSnapshot(app));
+}
+
+} // namespace ecov::net

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * C++ client for ecovisord — the remote mirror of the in-process v2
+ * surface (and of EcoLib's setup calls) over any net::Transport.
+ *
+ * Two call styles:
+ *
+ *  - Synchronous: registerApp(), setContainerPowercap(), ... — send,
+ *    then block until the response arrives. Because mutating requests
+ *    are answered at the server's per-tick commit point, a sync
+ *    mutating call returns after the next tick settles (the loopback
+ *    transport's idle handler, or real time on the TCP daemon).
+ *
+ *  - Pipelined: sendX() returns the request id immediately; awaitX()
+ *    blocks for that specific response later. This is how a tenant
+ *    batches many requests into one tick window — and how the
+ *    equality suite and scale_rpc drive shuffled interleavings.
+ *
+ * Remote ids (RemoteApp / RemoteContainer) are *connection-local*:
+ * dense indices in this connection's server-side namespace, worthless
+ * on any other connection. That is the isolation property — there is
+ * no global handle a tenant could forge.
+ *
+ * The client is single-threaded like the rest of the tenant surface;
+ * one Client per Transport per thread.
+ */
+
+#ifndef ECOV_NET_CLIENT_H
+#define ECOV_NET_CLIENT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/snapshot.h"
+#include "api/status.h"
+#include "core/virtual_energy_system.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/transport.h"
+
+namespace ecov::net {
+
+/** Connection-local app id. */
+struct RemoteApp
+{
+    std::uint32_t id = UINT32_MAX;
+    bool valid() const { return id != UINT32_MAX; }
+};
+
+/** Connection-local container id. */
+struct RemoteContainer
+{
+    std::uint32_t id = UINT32_MAX;
+    bool valid() const { return id != UINT32_MAX; }
+};
+
+/** One entry of a remote cap batch. */
+struct RemoteCap
+{
+    RemoteContainer container;
+    double cap_w = 0.0;
+};
+
+class Client
+{
+  public:
+    /** @param transport borrowed; must outlive the client. */
+    explicit Client(Transport *transport) : transport_(transport) {}
+
+    // ------------------------------------------------------------------
+    // Synchronous surface (send + await in one call).
+    // ------------------------------------------------------------------
+
+    api::Status ping();
+    api::Result<RemoteApp>
+    registerApp(const std::string &name,
+                const core::AppShareConfig &share);
+    api::Result<RemoteContainer> spawnContainer(RemoteApp app,
+                                                double cores);
+    api::Status destroyContainer(RemoteContainer c);
+    api::Status setContainerPowercap(RemoteContainer c, double cap_w);
+    api::Status applyCapBatch(const std::vector<RemoteCap> &caps);
+    api::Status setBatteryChargeRate(RemoteApp app, double rate_w);
+    api::Status setBatteryMaxDischarge(RemoteApp app, double rate_w);
+    api::Status setDemand(RemoteContainer c, double demand);
+    api::Result<api::EnergySnapshot> getEnergySnapshot(RemoteApp app);
+
+    // ------------------------------------------------------------------
+    // Pipelined surface. Each sendX() transmits immediately and
+    // returns the request id to pass to the matching awaitX().
+    // ------------------------------------------------------------------
+
+    std::uint32_t sendPing();
+    std::uint32_t sendRegisterApp(const std::string &name,
+                                  const core::AppShareConfig &share);
+    std::uint32_t sendSpawnContainer(RemoteApp app, double cores);
+    std::uint32_t sendDestroyContainer(RemoteContainer c);
+    std::uint32_t sendSetContainerPowercap(RemoteContainer c,
+                                           double cap_w);
+    std::uint32_t sendApplyCapBatch(const std::vector<RemoteCap> &caps);
+    std::uint32_t sendSetBatteryChargeRate(RemoteApp app,
+                                           double rate_w);
+    std::uint32_t sendSetBatteryMaxDischarge(RemoteApp app,
+                                             double rate_w);
+    std::uint32_t sendSetDemand(RemoteContainer c, double demand);
+    std::uint32_t sendGetSnapshot(RemoteApp app);
+
+    /** Await a status-only response. */
+    api::Status await(std::uint32_t request_id);
+    /** Await a RegisterApp response. */
+    api::Result<RemoteApp> awaitApp(std::uint32_t request_id);
+    /** Await a SpawnContainer response. */
+    api::Result<RemoteContainer>
+    awaitContainer(std::uint32_t request_id);
+    /** Await a GetSnapshot response. */
+    api::Result<api::EnergySnapshot>
+    awaitSnapshot(std::uint32_t request_id);
+
+    /** True when the response is already buffered (non-blocking). */
+    bool replyReady(std::uint32_t request_id) const;
+
+    /**
+     * Latched connection-fatal error (transport failure, server
+     * ProtocolError, malformed response); Ok while healthy. Once
+     * latched, every await returns it.
+     */
+    const api::Status &connectionError() const { return conn_error_; }
+
+    std::uint64_t requestsSent() const { return requests_sent_; }
+
+  private:
+    /** A parsed response parked until its awaitX(). */
+    struct Reply
+    {
+        std::uint8_t opcode = 0;
+        ResponseHead head;
+        std::vector<std::uint8_t> result; ///< fields after the status
+    };
+
+    /** Transmit tx_ and count the request. */
+    std::uint32_t finishSend(std::uint32_t req_id);
+
+    /** One blocking receive; parses every complete frame. */
+    api::Status pump();
+
+    /** Block until request_id's reply is buffered; pops it. */
+    api::Status take(std::uint32_t request_id, Reply *out);
+
+    void latch(api::Status status);
+
+    Transport *transport_;
+    std::vector<std::uint8_t> tx_;
+    std::vector<CapEntry> batch_scratch_;
+    std::vector<std::uint8_t> rx_scratch_;
+    FrameDecoder decoder_;
+    std::map<std::uint32_t, Reply> replies_;
+    std::uint32_t next_req_ = 1;
+    std::uint64_t requests_sent_ = 0;
+    api::Status conn_error_;
+};
+
+} // namespace ecov::net
+
+#endif // ECOV_NET_CLIENT_H

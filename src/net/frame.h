@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Framed transport layer for the ecovisord protocol.
+ *
+ * Every message — request or response — is one frame:
+ *
+ *   offset  size  field
+ *   0       2     magic        0x5645 ("EV", little-endian)
+ *   2       1     version      kProtocolVersion (1)
+ *   3       1     opcode       net::Opcode (responses set bit 7)
+ *   4       4     request id   client-chosen, echoed in the response
+ *   8       4     payload len  bytes following the header
+ *   12      n     payload      opcode-specific (protocol.h)
+ *
+ * The decoder is incremental: feed() whatever the transport produced,
+ * then pull complete frames with next(). Frames are views into the
+ * decoder's buffer (no per-frame allocation); a view stays valid until
+ * the next feed()/next() call. Malformed input — wrong magic, wrong
+ * version, payload length over the bound — is a latched protocol
+ * error, never a crash and never an over-read (the fuzz suite in
+ * tests/net/frame_test runs this under asan+ubsan).
+ */
+
+#ifndef ECOV_NET_FRAME_H
+#define ECOV_NET_FRAME_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ecov::net {
+
+/** Frame magic: "EV" in the first two bytes. */
+inline constexpr std::uint16_t kFrameMagic = 0x5645;
+
+/** Wire protocol version this build speaks. */
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+/** Fixed header size in bytes. */
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/** Payload length bound: anything larger is a protocol error. */
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+
+/** A decoded frame; payload points into the decoder's buffer. */
+struct Frame
+{
+    std::uint8_t opcode = 0;
+    std::uint32_t request_id = 0;
+    const std::uint8_t *payload = nullptr;
+    std::uint32_t payload_len = 0;
+};
+
+/** Outcome of FrameDecoder::next(). */
+enum class DecodeStatus
+{
+    NeedMore, ///< no complete frame buffered yet
+    Frame,    ///< *out holds the next frame
+    Error,    ///< protocol error; the connection must be closed
+};
+
+/**
+ * Incremental frame decoder for one connection's byte stream.
+ * Single-owner, no internal locking.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(std::uint32_t max_payload = kMaxPayloadBytes)
+        : max_payload_(max_payload)
+    {}
+
+    /** Append transport bytes. No-op after a latched error. */
+    void feed(const std::uint8_t *data, std::size_t n);
+
+    /**
+     * Pull the next complete frame. After Error the decoder stays in
+     * the error state (error() describes it) until reset().
+     */
+    DecodeStatus next(Frame *out);
+
+    /** Description of the latched protocol error ("" when none). */
+    const std::string &error() const { return error_; }
+
+    /** True once a protocol error has been latched. */
+    bool failed() const { return !error_.empty(); }
+
+    /** Bytes buffered but not yet consumed by next(). */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+    /** Drop all state (buffer and any latched error). */
+    void reset();
+
+  private:
+    std::uint32_t max_payload_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+/**
+ * Begin a frame in `out`: append the header with a zero payload
+ * length and return the header's offset. Write the payload through a
+ * WireWriter over the same vector, then patch the length with
+ * endFrame().
+ */
+std::size_t beginFrame(std::vector<std::uint8_t> &out,
+                       std::uint8_t opcode, std::uint32_t request_id);
+
+/** Patch the payload length of the frame begun at header_offset. */
+void endFrame(std::vector<std::uint8_t> &out, std::size_t header_offset);
+
+} // namespace ecov::net
+
+#endif // ECOV_NET_FRAME_H

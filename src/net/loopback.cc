@@ -1,0 +1,75 @@
+#include "net/loopback.h"
+
+namespace ecov::net {
+
+LoopbackTransport::LoopbackTransport(ServerCore *core)
+    : core_(core), conn_(core->openConnection())
+{}
+
+LoopbackTransport::~LoopbackTransport()
+{
+    if (core_->connectionOpen(conn_))
+        core_->closeConnection(conn_);
+}
+
+void
+LoopbackTransport::setIdleHandler(std::function<void()> on_idle)
+{
+    on_idle_ = std::move(on_idle);
+}
+
+api::Status
+LoopbackTransport::send(const std::uint8_t *data, std::size_t n)
+{
+    // After a protocol error the server is done with this connection,
+    // but its ProtocolError frame may still be unread. Accept (and
+    // drop) further sends so the client discovers the failure on the
+    // read path with the server's message — exactly what a TCP client
+    // sees when its last writes race the server's close.
+    if (dead_)
+        return api::Status::okStatus();
+    if (!core_->connectionOpen(conn_))
+        return api::Status::error(api::ErrorCode::Unavailable,
+                                  "loopback connection closed");
+    if (!core_->onBytes(conn_, data, n)) {
+        // Protocol error: the server's ProtocolError frame is in the
+        // outbox for the client to read, after which the connection
+        // is gone — mirroring what the TCP transport observes.
+        dead_ = true;
+        return api::Status::okStatus();
+    }
+    return api::Status::okStatus();
+}
+
+api::Status
+LoopbackTransport::receiveSome(std::vector<std::uint8_t> &buf)
+{
+    if (!core_->connectionOpen(conn_))
+        return api::Status::error(api::ErrorCode::Unavailable,
+                                  "loopback connection closed");
+    std::vector<std::uint8_t> &out = core_->outbox(conn_);
+    if (out.empty() && !dead_ && on_idle_) {
+        on_idle_();
+        if (!core_->connectionOpen(conn_))
+            return api::Status::error(api::ErrorCode::Unavailable,
+                                      "loopback connection closed");
+    }
+    if (out.empty()) {
+        if (dead_) {
+            core_->closeConnection(conn_);
+            return api::Status::error(api::ErrorCode::Unavailable,
+                                      "connection closed by server "
+                                      "(protocol error)");
+        }
+        return api::Status::error(api::ErrorCode::Unavailable,
+                                  "loopback: no data pending and no "
+                                  "idle handler to produce any");
+    }
+    buf.insert(buf.end(), out.begin(), out.end());
+    out.clear();
+    if (dead_)
+        core_->closeConnection(conn_);
+    return api::Status::okStatus();
+}
+
+} // namespace ecov::net

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * In-process loopback transport: one ServerCore connection, no
+ * sockets, no threads.
+ *
+ * send() feeds the server synchronously; receiveSome() drains the
+ * connection's outbox. Because mutating requests only produce
+ * responses at the per-tick commit point, a sync client call would
+ * otherwise deadlock waiting for a tick that nobody runs — the idle
+ * handler covers that: when the outbox is empty, receiveSome()
+ * invokes it (typically "settle one tick") and re-checks. Drivers
+ * that pump ticks themselves (the equality test, scale_rpc) use the
+ * pipelined client API and never hit the idle path.
+ *
+ * Everything here runs on the driver's thread: determinism and
+ * TSan-cleanliness come for free, which is exactly why the equality
+ * suite and the bench use this transport.
+ */
+
+#ifndef ECOV_NET_LOOPBACK_H
+#define ECOV_NET_LOOPBACK_H
+
+#include <functional>
+
+#include "net/server.h"
+#include "net/transport.h"
+
+namespace ecov::net {
+
+class LoopbackTransport : public Transport
+{
+  public:
+    /** Opens a connection on `core`; must not outlive it. */
+    explicit LoopbackTransport(ServerCore *core);
+
+    /** Closes the connection (revoking this tenant's containers). */
+    ~LoopbackTransport() override;
+
+    LoopbackTransport(const LoopbackTransport &) = delete;
+    LoopbackTransport &operator=(const LoopbackTransport &) = delete;
+
+    /** Called when a receive finds the outbox empty; see above. */
+    void setIdleHandler(std::function<void()> on_idle);
+
+    ConnId connection() const { return conn_; }
+
+    api::Status send(const std::uint8_t *data, std::size_t n) override;
+    api::Status receiveSome(std::vector<std::uint8_t> &buf) override;
+
+  private:
+    ServerCore *core_;
+    ConnId conn_;
+    bool dead_ = false;
+    std::function<void()> on_idle_;
+};
+
+} // namespace ecov::net
+
+#endif // ECOV_NET_LOOPBACK_H

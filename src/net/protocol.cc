@@ -1,0 +1,410 @@
+#include "net/protocol.h"
+
+#include "net/frame.h"
+#include "net/wire.h"
+
+namespace ecov::net {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Ping:
+        return "ping";
+      case Opcode::RegisterApp:
+        return "register_app";
+      case Opcode::SpawnContainer:
+        return "spawn_container";
+      case Opcode::DestroyContainer:
+        return "destroy_container";
+      case Opcode::SetPowercap:
+        return "set_powercap";
+      case Opcode::ApplyCapBatch:
+        return "apply_cap_batch";
+      case Opcode::SetChargeRate:
+        return "set_charge_rate";
+      case Opcode::SetMaxDischarge:
+        return "set_max_discharge";
+      case Opcode::GetSnapshot:
+        return "get_snapshot";
+      case Opcode::SetDemand:
+        return "set_demand";
+      case Opcode::ProtocolError:
+        return "protocol_error";
+    }
+    return "?";
+}
+
+bool
+validOpcode(std::uint8_t raw)
+{
+    switch (static_cast<Opcode>(raw)) {
+      case Opcode::Ping:
+      case Opcode::RegisterApp:
+      case Opcode::SpawnContainer:
+      case Opcode::DestroyContainer:
+      case Opcode::SetPowercap:
+      case Opcode::ApplyCapBatch:
+      case Opcode::SetChargeRate:
+      case Opcode::SetMaxDischarge:
+      case Opcode::GetSnapshot:
+      case Opcode::SetDemand:
+        return true;
+      case Opcode::ProtocolError:
+        return false; // server-initiated only, never a request
+    }
+    return false;
+}
+
+bool
+isCoalesced(Opcode op)
+{
+    switch (op) {
+      case Opcode::RegisterApp:
+      case Opcode::SpawnContainer:
+      case Opcode::DestroyContainer:
+      case Opcode::SetPowercap:
+      case Opcode::ApplyCapBatch:
+      case Opcode::SetChargeRate:
+      case Opcode::SetMaxDischarge:
+      case Opcode::SetDemand:
+        return true;
+      case Opcode::Ping:
+      case Opcode::GetSnapshot:
+      case Opcode::ProtocolError:
+        return false; // read-only: answered at arrival
+    }
+    return false;
+}
+
+std::uint16_t
+wireErrorCode(api::ErrorCode code)
+{
+    // Stable protocol values — never renumber.
+    switch (code) {
+      case api::ErrorCode::Ok:
+        return 0;
+      case api::ErrorCode::InvalidArgument:
+        return 1;
+      case api::ErrorCode::InvalidHandle:
+        return 2;
+      case api::ErrorCode::UnknownApp:
+        return 3;
+      case api::ErrorCode::DuplicateApp:
+        return 4;
+      case api::ErrorCode::UnknownContainer:
+        return 5;
+      case api::ErrorCode::ShareViolation:
+        return 6;
+      case api::ErrorCode::NoBattery:
+        return 7;
+      case api::ErrorCode::NoSolar:
+        return 8;
+      case api::ErrorCode::ResourceExhausted:
+        return 9;
+      case api::ErrorCode::Unavailable:
+        return 10;
+    }
+    return 1; // unknown code degrades to invalid_argument
+}
+
+bool
+errorCodeFromWire(std::uint16_t wire, api::ErrorCode *out)
+{
+    switch (wire) {
+      case 0:
+        *out = api::ErrorCode::Ok;
+        return true;
+      case 1:
+        *out = api::ErrorCode::InvalidArgument;
+        return true;
+      case 2:
+        *out = api::ErrorCode::InvalidHandle;
+        return true;
+      case 3:
+        *out = api::ErrorCode::UnknownApp;
+        return true;
+      case 4:
+        *out = api::ErrorCode::DuplicateApp;
+        return true;
+      case 5:
+        *out = api::ErrorCode::UnknownContainer;
+        return true;
+      case 6:
+        *out = api::ErrorCode::ShareViolation;
+        return true;
+      case 7:
+        *out = api::ErrorCode::NoBattery;
+        return true;
+      case 8:
+        *out = api::ErrorCode::NoSolar;
+        return true;
+      case 9:
+        *out = api::ErrorCode::ResourceExhausted;
+        return true;
+      case 10:
+        *out = api::ErrorCode::Unavailable;
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+encodeRegisterApp(std::vector<std::uint8_t> &out,
+                  std::uint32_t request_id, const RegisterAppReq &req)
+{
+    const std::size_t off = beginFrame(
+        out, static_cast<std::uint8_t>(Opcode::RegisterApp),
+        request_id);
+    WireWriter w(&out);
+    w.u16(static_cast<std::uint16_t>(req.name.size()));
+    w.bytes(req.name);
+    w.f64(req.share.solar_fraction);
+    w.f64(req.share.grid_max_w);
+    w.u8(req.share.battery.has_value() ? 1 : 0);
+    if (req.share.battery) {
+        const energy::BatteryConfig &b = *req.share.battery;
+        w.f64(b.capacity_wh);
+        w.f64(b.soc_floor);
+        w.f64(b.soc_ceiling);
+        w.f64(b.max_charge_w);
+        w.f64(b.max_discharge_w);
+        w.f64(b.efficiency);
+        w.f64(b.initial_soc);
+    }
+    endFrame(out, off);
+}
+
+bool
+decodeRegisterApp(const std::uint8_t *payload, std::size_t len,
+                  RegisterAppReq *req)
+{
+    WireReader r(payload, len);
+    std::uint16_t name_len = 0;
+    if (!r.u16(&name_len) || name_len > kMaxAppNameBytes)
+        return false;
+    std::string_view name;
+    if (!r.bytes(&name, name_len))
+        return false;
+    req->name.assign(name);
+    std::uint8_t has_battery = 0;
+    if (!r.f64(&req->share.solar_fraction) ||
+        !r.f64(&req->share.grid_max_w) || !r.u8(&has_battery))
+        return false;
+    if (has_battery > 1)
+        return false;
+    if (has_battery) {
+        energy::BatteryConfig b;
+        if (!r.f64(&b.capacity_wh) || !r.f64(&b.soc_floor) ||
+            !r.f64(&b.soc_ceiling) || !r.f64(&b.max_charge_w) ||
+            !r.f64(&b.max_discharge_w) || !r.f64(&b.efficiency) ||
+            !r.f64(&b.initial_soc))
+            return false;
+        req->share.battery = b;
+    } else {
+        req->share.battery.reset();
+    }
+    return r.done();
+}
+
+void
+encodeIdOnly(std::vector<std::uint8_t> &out, Opcode op,
+             std::uint32_t request_id, std::uint32_t id)
+{
+    const std::size_t off =
+        beginFrame(out, static_cast<std::uint8_t>(op), request_id);
+    WireWriter w(&out);
+    w.u32(id);
+    endFrame(out, off);
+}
+
+bool
+decodeIdOnly(const std::uint8_t *payload, std::size_t len,
+             std::uint32_t *id)
+{
+    WireReader r(payload, len);
+    return r.u32(id) && r.done();
+}
+
+void
+encodePing(std::vector<std::uint8_t> &out, std::uint32_t request_id)
+{
+    const std::size_t off = beginFrame(
+        out, static_cast<std::uint8_t>(Opcode::Ping), request_id);
+    endFrame(out, off);
+}
+
+void
+encodeIdValue(std::vector<std::uint8_t> &out, Opcode op,
+              std::uint32_t request_id, const IdValueReq &req)
+{
+    const std::size_t off =
+        beginFrame(out, static_cast<std::uint8_t>(op), request_id);
+    WireWriter w(&out);
+    w.u32(req.id);
+    w.f64(req.value);
+    endFrame(out, off);
+}
+
+bool
+decodeIdValue(const std::uint8_t *payload, std::size_t len,
+              IdValueReq *req)
+{
+    WireReader r(payload, len);
+    return r.u32(&req->id) && r.f64(&req->value) && r.done();
+}
+
+void
+encodeCapBatch(std::vector<std::uint8_t> &out,
+               std::uint32_t request_id,
+               const std::vector<CapEntry> &entries)
+{
+    const std::size_t off = beginFrame(
+        out, static_cast<std::uint8_t>(Opcode::ApplyCapBatch),
+        request_id);
+    WireWriter w(&out);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const CapEntry &e : entries) {
+        w.u32(e.container);
+        w.f64(e.cap_w);
+    }
+    endFrame(out, off);
+}
+
+bool
+decodeCapBatch(const std::uint8_t *payload, std::size_t len,
+               std::vector<CapEntry> *entries)
+{
+    WireReader r(payload, len);
+    std::uint32_t count = 0;
+    if (!r.u32(&count) || count > kMaxCapBatchEntries)
+        return false;
+    // The count is cross-checked against the actual payload length
+    // before reserving, so a forged huge count cannot drive a huge
+    // allocation: 12 bytes per entry must actually be present.
+    if (r.remaining() != static_cast<std::size_t>(count) * 12)
+        return false;
+    entries->clear();
+    entries->reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        CapEntry e;
+        if (!r.u32(&e.container) || !r.f64(&e.cap_w))
+            return false;
+        entries->push_back(e);
+    }
+    return r.done();
+}
+
+namespace {
+
+std::size_t
+beginResponse(std::vector<std::uint8_t> &out, Opcode op,
+              std::uint32_t request_id)
+{
+    return beginFrame(
+        out, static_cast<std::uint8_t>(op) | kResponseBit, request_id);
+}
+
+} // namespace
+
+void
+encodeOkResponse(std::vector<std::uint8_t> &out, Opcode op,
+                 std::uint32_t request_id)
+{
+    const std::size_t off = beginResponse(out, op, request_id);
+    WireWriter w(&out);
+    w.u16(0);
+    endFrame(out, off);
+}
+
+void
+encodeIdResponse(std::vector<std::uint8_t> &out, Opcode op,
+                 std::uint32_t request_id, std::uint32_t id)
+{
+    const std::size_t off = beginResponse(out, op, request_id);
+    WireWriter w(&out);
+    w.u16(0);
+    w.u32(id);
+    endFrame(out, off);
+}
+
+void
+encodeSnapshotResponse(std::vector<std::uint8_t> &out,
+                       std::uint32_t request_id,
+                       const api::EnergySnapshot &snap)
+{
+    const std::size_t off =
+        beginResponse(out, Opcode::GetSnapshot, request_id);
+    WireWriter w(&out);
+    w.u16(0);
+    w.f64(snap.solar_w);
+    w.f64(snap.grid_w);
+    w.f64(snap.grid_carbon_g_per_kwh);
+    w.f64(snap.battery_discharge_w);
+    w.f64(snap.battery_charge_level_wh);
+    endFrame(out, off);
+}
+
+void
+encodeErrorResponse(std::vector<std::uint8_t> &out, Opcode op,
+                    std::uint32_t request_id, const api::Status &status)
+{
+    const std::size_t off = beginResponse(out, op, request_id);
+    WireWriter w(&out);
+    w.u16(wireErrorCode(status.code()));
+    std::string_view msg = status.message();
+    if (msg.size() > 512)
+        msg = msg.substr(0, 512);
+    w.u16(static_cast<std::uint16_t>(msg.size()));
+    w.bytes(msg);
+    endFrame(out, off);
+}
+
+bool
+decodeResponseHead(const std::uint8_t *payload, std::size_t len,
+                   ResponseHead *head, std::size_t *consumed)
+{
+    WireReader r(payload, len);
+    std::uint16_t wire = 0;
+    if (!r.u16(&wire))
+        return false;
+    if (!errorCodeFromWire(wire, &head->code))
+        return false;
+    head->message.clear();
+    *consumed = 2;
+    if (head->code != api::ErrorCode::Ok) {
+        std::uint16_t msg_len = 0;
+        std::string_view msg;
+        if (!r.u16(&msg_len) || !r.bytes(&msg, msg_len) || !r.done())
+            return false;
+        head->message.assign(msg);
+        *consumed = len;
+    }
+    return true;
+}
+
+bool
+decodeIdResult(const std::uint8_t *payload, std::size_t len,
+               std::size_t offset, std::uint32_t *id)
+{
+    if (offset > len)
+        return false;
+    WireReader r(payload + offset, len - offset);
+    return r.u32(id) && r.done();
+}
+
+bool
+decodeSnapshotResult(const std::uint8_t *payload, std::size_t len,
+                     std::size_t offset, api::EnergySnapshot *snap)
+{
+    if (offset > len)
+        return false;
+    WireReader r(payload + offset, len - offset);
+    return r.f64(&snap->solar_w) && r.f64(&snap->grid_w) &&
+           r.f64(&snap->grid_carbon_g_per_kwh) &&
+           r.f64(&snap->battery_discharge_w) &&
+           r.f64(&snap->battery_charge_level_wh) && r.done();
+}
+
+} // namespace ecov::net

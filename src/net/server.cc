@@ -1,0 +1,479 @@
+#include "net/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ecov::net {
+
+namespace {
+
+api::Status
+err(api::ErrorCode code, const char *msg)
+{
+    return api::Status::error(code, msg);
+}
+
+} // namespace
+
+ServerCore::ServerCore(core::Ecovisor *eco, ServerCoreOptions options)
+    : eco_(eco), options_(options)
+{
+    eco_->setPreSettleHook(
+        [this](TimeS start_s, TimeS dt_s) {
+            commitCoalesced(start_s, dt_s);
+        });
+}
+
+ServerCore::~ServerCore()
+{
+    eco_->setPreSettleHook(nullptr);
+}
+
+ConnId
+ServerCore::openConnection()
+{
+    const ConnId conn = next_conn_++;
+    Session &s = sessions_[conn];
+    s.decoder = FrameDecoder(options_.max_payload_bytes);
+    return conn;
+}
+
+void
+ServerCore::closeConnection(ConnId conn)
+{
+    auto it = sessions_.find(conn);
+    if (it == sessions_.end())
+        return;
+
+    // Queued requests die with the peer: no one is left to read the
+    // responses, and committing them would let a disconnected tenant
+    // keep mutating the sim.
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [conn](const PendingOp &op) {
+                                      return op.conn == conn;
+                                  }),
+                   pending_.end());
+
+    // Revocation: destroy the tenant's live containers in local-id
+    // order (deterministic). The destroy bumps each slot's
+    // generation, so any handle that escaped this namespace is now
+    // stale everywhere — the existing COP revocation semantics.
+    cop::Cluster &cluster = eco_->cluster();
+    for (const api::ContainerHandle &h : it->second.containers)
+        if (const cop::Container *c = cluster.find(h.ref()))
+            cluster.destroyContainer(c->id);
+
+    sessions_.erase(it);
+}
+
+bool
+ServerCore::connectionOpen(ConnId conn) const
+{
+    return sessions_.count(conn) != 0;
+}
+
+std::vector<std::uint8_t> &
+ServerCore::outbox(ConnId conn)
+{
+    auto it = sessions_.find(conn);
+    if (it == sessions_.end())
+        fatal("ServerCore::outbox: unknown connection");
+    return it->second.outbox;
+}
+
+bool
+ServerCore::onBytes(ConnId conn, const std::uint8_t *data,
+                    std::size_t n)
+{
+    auto it = sessions_.find(conn);
+    if (it == sessions_.end())
+        fatal("ServerCore::onBytes: unknown connection");
+    Session &s = it->second;
+
+    s.decoder.feed(data, n);
+    for (;;) {
+        Frame f;
+        switch (s.decoder.next(&f)) {
+          case DecodeStatus::NeedMore:
+            return true;
+          case DecodeStatus::Error:
+            ++stats_.protocol_errors;
+            encodeErrorResponse(s.outbox, Opcode::ProtocolError, 0,
+                                err(api::ErrorCode::InvalidArgument,
+                                    s.decoder.error().c_str()));
+            return false;
+          case DecodeStatus::Frame:
+            ++stats_.frames_decoded;
+            if (!handleFrame(conn, s, f)) {
+                ++stats_.protocol_errors;
+                encodeErrorResponse(
+                    s.outbox, Opcode::ProtocolError, 0,
+                    err(api::ErrorCode::InvalidArgument,
+                        "unknown request opcode"));
+                return false;
+            }
+            break;
+        }
+    }
+}
+
+bool
+ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
+{
+    // An opcode this build does not serve (including a response
+    // opcode echoed back at us) means the peer is not speaking this
+    // protocol: connection-fatal, like bad framing.
+    if (!validOpcode(f.opcode))
+        return false;
+    const auto op = static_cast<Opcode>(f.opcode);
+
+    if (draining_) {
+        encodeErrorResponse(s.outbox, op, f.request_id,
+                            err(api::ErrorCode::Unavailable,
+                                "server draining"));
+        return true;
+    }
+
+    // Malformed payloads on a well-framed request are request-scoped:
+    // the frame boundary is intact, so the stream stays in sync and
+    // the connection survives.
+    const auto bad_payload = [&] {
+        encodeErrorResponse(s.outbox, op, f.request_id,
+                            err(api::ErrorCode::InvalidArgument,
+                                "malformed request payload"));
+        return true;
+    };
+
+    switch (op) {
+      case Opcode::Ping: {
+        if (f.payload_len != 0)
+            return bad_payload();
+        ++stats_.immediate_replies;
+        encodeOkResponse(s.outbox, op, f.request_id);
+        return true;
+      }
+      case Opcode::GetSnapshot: {
+        std::uint32_t id = 0;
+        if (!decodeIdOnly(f.payload, f.payload_len, &id))
+            return bad_payload();
+        ++stats_.immediate_replies;
+        if (id >= s.apps.size()) {
+            encodeErrorResponse(s.outbox, op, f.request_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "unknown local app id"));
+            return true;
+        }
+        auto snap = eco_->getEnergySnapshot(s.apps[id]);
+        if (!snap.ok())
+            encodeErrorResponse(s.outbox, op, f.request_id,
+                                snap.status());
+        else
+            encodeSnapshotResponse(s.outbox, f.request_id,
+                                   snap.value());
+        return true;
+      }
+      case Opcode::RegisterApp: {
+        PendingOp p;
+        if (!decodeRegisterApp(f.payload, f.payload_len, &p.reg))
+            return bad_payload();
+        p.conn = conn;
+        p.req_id = f.request_id;
+        p.op = op;
+        admit(conn, s, std::move(p));
+        return true;
+      }
+      case Opcode::ApplyCapBatch: {
+        PendingOp p;
+        if (!decodeCapBatch(f.payload, f.payload_len, &p.caps))
+            return bad_payload();
+        p.conn = conn;
+        p.req_id = f.request_id;
+        p.op = op;
+        admit(conn, s, std::move(p));
+        return true;
+      }
+      case Opcode::DestroyContainer: {
+        PendingOp p;
+        if (!decodeIdOnly(f.payload, f.payload_len, &p.id))
+            return bad_payload();
+        p.conn = conn;
+        p.req_id = f.request_id;
+        p.op = op;
+        admit(conn, s, std::move(p));
+        return true;
+      }
+      case Opcode::SpawnContainer:
+      case Opcode::SetPowercap:
+      case Opcode::SetChargeRate:
+      case Opcode::SetMaxDischarge:
+      case Opcode::SetDemand: {
+        IdValueReq req;
+        if (!decodeIdValue(f.payload, f.payload_len, &req))
+            return bad_payload();
+        PendingOp p;
+        p.conn = conn;
+        p.req_id = f.request_id;
+        p.op = op;
+        p.id = req.id;
+        p.value = req.value;
+        admit(conn, s, std::move(p));
+        return true;
+      }
+      case Opcode::ProtocolError:
+        break; // filtered by validOpcode above
+    }
+    return false;
+}
+
+void
+ServerCore::admit(ConnId conn, Session &s, PendingOp &&op)
+{
+    (void)conn;
+    if (s.inflight >= options_.max_inflight_per_conn) {
+        ++stats_.admission_rejects;
+        encodeErrorResponse(s.outbox, op.op, op.req_id,
+                            err(api::ErrorCode::ResourceExhausted,
+                                "per-connection inflight budget "
+                                "exceeded"));
+        return;
+    }
+    if (pending_.size() >= options_.max_pending_total) {
+        ++stats_.admission_rejects;
+        encodeErrorResponse(s.outbox, op.op, op.req_id,
+                            err(api::ErrorCode::ResourceExhausted,
+                                "global request queue budget "
+                                "exceeded"));
+        return;
+    }
+    ++s.inflight;
+    pending_.push_back(std::move(op));
+}
+
+void
+ServerCore::commitCoalesced(TimeS start_s, TimeS dt_s)
+{
+    (void)start_s;
+    (void)dt_s;
+    if (pending_.empty())
+        return;
+
+    // Canonical order: (connection id, request id). Connection ids
+    // are assigned in open order and request ids are client-chosen,
+    // so for any fixed logical schedule this order — and therefore
+    // every downstream settled value — is independent of how the
+    // requests' bytes interleaved in flight.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingOp &a, const PendingOp &b) {
+                         if (a.conn != b.conn)
+                             return a.conn < b.conn;
+                         return a.req_id < b.req_id;
+                     });
+
+    for (const PendingOp &op : pending_) {
+        auto it = sessions_.find(op.conn);
+        if (it == sessions_.end())
+            continue; // connection closed while queued
+        apply(op, it->second);
+        --it->second.inflight;
+        ++stats_.coalesced_committed;
+    }
+    pending_.clear();
+}
+
+const api::ContainerHandle *
+ServerCore::localContainer(const Session &s, std::uint32_t id) const
+{
+    if (id >= s.containers.size())
+        return nullptr;
+    return &s.containers[id];
+}
+
+void
+ServerCore::apply(const PendingOp &op, Session &s)
+{
+    switch (op.op) {
+      case Opcode::RegisterApp: {
+        auto h = eco_->tryAddApp(op.reg.name, op.reg.share);
+        if (!h.ok()) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                h.status());
+            return;
+        }
+        const auto local =
+            static_cast<std::uint32_t>(s.apps.size());
+        s.apps.push_back(h.value());
+        encodeIdResponse(s.outbox, op.op, op.req_id, local);
+        return;
+      }
+      case Opcode::SpawnContainer: {
+        if (op.id >= s.apps.size()) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "unknown local app id"));
+            return;
+        }
+        const double cores = op.value;
+        if (!std::isfinite(cores) || cores <= 0.0) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::InvalidArgument,
+                                    "cores must be finite and "
+                                    "positive"));
+            return;
+        }
+        auto name = eco_->appName(s.apps[op.id]);
+        if (!name.ok()) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                name.status());
+            return;
+        }
+        auto id = eco_->cluster().createContainer(name.value(), cores);
+        if (!id) {
+            // The cluster is full, not the request malformed — the
+            // same admission-style answer a saturated queue gives.
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::ResourceExhausted,
+                                    "no node can host the container"));
+            return;
+        }
+        const auto local =
+            static_cast<std::uint32_t>(s.containers.size());
+        s.containers.push_back(api::handleOf(eco_->cluster(), *id));
+        encodeIdResponse(s.outbox, op.op, op.req_id, local);
+        return;
+      }
+      case Opcode::DestroyContainer: {
+        const api::ContainerHandle *h = localContainer(s, op.id);
+        if (!h) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "unknown local container id"));
+            return;
+        }
+        const cop::Container *c = eco_->cluster().find(h->ref());
+        if (!c) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::UnknownContainer,
+                                    "container already destroyed"));
+            return;
+        }
+        eco_->cluster().destroyContainer(c->id);
+        encodeOkResponse(s.outbox, op.op, op.req_id);
+        return;
+      }
+      case Opcode::SetPowercap: {
+        const api::ContainerHandle *h = localContainer(s, op.id);
+        if (!h) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "unknown local container id"));
+            return;
+        }
+        auto st = eco_->setContainerPowercap(*h, op.value);
+        if (!st.ok())
+            encodeErrorResponse(s.outbox, op.op, op.req_id, st);
+        else
+            encodeOkResponse(s.outbox, op.op, op.req_id);
+        return;
+      }
+      case Opcode::ApplyCapBatch: {
+        api::CapBatch batch;
+        for (const CapEntry &e : op.caps) {
+            const api::ContainerHandle *h =
+                localContainer(s, e.container);
+            if (!h) {
+                // All-or-nothing, like the underlying call: one bad
+                // local id rejects the whole batch untouched.
+                encodeErrorResponse(
+                    s.outbox, op.op, op.req_id,
+                    err(api::ErrorCode::InvalidHandle,
+                        "unknown local container id in batch"));
+                return;
+            }
+            batch.add(*h, e.cap_w);
+        }
+        auto st = eco_->applyCapBatch(batch);
+        if (!st.ok())
+            encodeErrorResponse(s.outbox, op.op, op.req_id, st);
+        else
+            encodeOkResponse(s.outbox, op.op, op.req_id);
+        return;
+      }
+      case Opcode::SetChargeRate:
+      case Opcode::SetMaxDischarge: {
+        if (op.id >= s.apps.size()) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "unknown local app id"));
+            return;
+        }
+        auto st = op.op == Opcode::SetChargeRate
+                      ? eco_->setBatteryChargeRate(s.apps[op.id],
+                                                   op.value)
+                      : eco_->setBatteryMaxDischarge(s.apps[op.id],
+                                                     op.value);
+        if (!st.ok())
+            encodeErrorResponse(s.outbox, op.op, op.req_id, st);
+        else
+            encodeOkResponse(s.outbox, op.op, op.req_id);
+        return;
+      }
+      case Opcode::SetDemand: {
+        const api::ContainerHandle *h = localContainer(s, op.id);
+        if (!h) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "unknown local container id"));
+            return;
+        }
+        if (std::isnan(op.value)) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::InvalidArgument,
+                                    "demand must not be NaN"));
+            return;
+        }
+        const cop::Container *c = eco_->cluster().find(h->ref());
+        if (!c) {
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::UnknownContainer,
+                                    "container destroyed"));
+            return;
+        }
+        eco_->cluster().setDemand(c->id, op.value);
+        encodeOkResponse(s.outbox, op.op, op.req_id);
+        return;
+      }
+      case Opcode::Ping:
+      case Opcode::GetSnapshot:
+      case Opcode::ProtocolError:
+        break; // never queued
+    }
+    panic("ServerCore::apply: non-coalesced opcode queued");
+}
+
+void
+ServerCore::beginDrain()
+{
+    if (draining_)
+        return;
+    draining_ = true;
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingOp &a, const PendingOp &b) {
+                         if (a.conn != b.conn)
+                             return a.conn < b.conn;
+                         return a.req_id < b.req_id;
+                     });
+    for (const PendingOp &op : pending_) {
+        auto it = sessions_.find(op.conn);
+        if (it == sessions_.end())
+            continue;
+        encodeErrorResponse(it->second.outbox, op.op, op.req_id,
+                            err(api::ErrorCode::Unavailable,
+                                "server draining"));
+        --it->second.inflight;
+    }
+    pending_.clear();
+}
+
+} // namespace ecov::net

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Transport-agnostic core of `ecovisord` (docs/ECOVISORD.md).
+ *
+ * ServerCore owns everything protocol-level about serving remote
+ * tenants and nothing socket-level: a transport (loopback.h for
+ * in-process tests/benches, socket.h for the TCP daemon) feeds it
+ * received bytes per connection and drains per-connection outboxes.
+ * That split keeps the interesting logic — handle namespaces,
+ * per-tick coalescing, admission control — deterministic and testable
+ * without a kernel socket in sight.
+ *
+ * Per-connection handle namespaces: requests address apps and
+ * containers by *local ids*, dense indices into the issuing
+ * connection's own tables, mapped server-side to api::AppHandle /
+ * api::ContainerHandle. A connection can therefore never name another
+ * tenant's state — isolation is structural, not checked. Disconnect
+ * destroys the connection's live containers, which bumps the COP
+ * slot generations; any capability that leaked elsewhere is thereby
+ * revoked (every later use reports UnknownContainer).
+ *
+ * Coalescing: mutating requests are not applied at arrival. They are
+ * queued and committed in one batch at the next tick settlement via
+ * Ecovisor::setPreSettleHook, sorted canonically by (connection id,
+ * request id). The settled simulation is therefore bit-identical
+ * regardless of how request arrivals interleaved on the network — the
+ * docs/ARCHITECTURE.md determinism contract extended across the wire.
+ * Read-only requests (Ping, GetSnapshot) answer immediately: they
+ * observe state, never change it.
+ *
+ * Admission control: a bounded per-connection inflight count plus a
+ * global queue budget. Requests over either bound are answered
+ * ResourceExhausted on the spot — the tick loop never stalls, and a
+ * hostile tenant cannot grow server memory without bound. beginDrain()
+ * (shutdown) answers everything queued or subsequent with Unavailable.
+ */
+
+#ifndef ECOV_NET_SERVER_H
+#define ECOV_NET_SERVER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "api/handle.h"
+#include "core/ecovisor.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "util/units.h"
+
+namespace ecov::net {
+
+/** Connection identifier: monotonically assigned, never reused. */
+using ConnId = std::uint32_t;
+
+/** Admission-control and framing bounds. */
+struct ServerCoreOptions
+{
+    /** Coalesced requests one connection may have awaiting commit. */
+    std::uint32_t max_inflight_per_conn = 128;
+    /** Coalesced requests queued across all connections. */
+    std::uint32_t max_pending_total = 65536;
+    /** Per-frame payload bound handed to each FrameDecoder. */
+    std::uint32_t max_payload_bytes = kMaxPayloadBytes;
+};
+
+/** Running totals (bench/smoke visibility; all monotonic). */
+struct ServerStats
+{
+    std::uint64_t frames_decoded = 0;
+    std::uint64_t immediate_replies = 0;
+    std::uint64_t coalesced_committed = 0;
+    std::uint64_t admission_rejects = 0;
+    std::uint64_t protocol_errors = 0;
+};
+
+class ServerCore
+{
+  public:
+    /**
+     * @param eco borrowed supervisor; must outlive the core. The
+     *        core installs itself as the ecovisor's pre-settle hook
+     *        (sole consumer) and uninstalls on destruction.
+     */
+    explicit ServerCore(core::Ecovisor *eco,
+                        ServerCoreOptions options = {});
+    ~ServerCore();
+
+    ServerCore(const ServerCore &) = delete;
+    ServerCore &operator=(const ServerCore &) = delete;
+
+    /** Open a connection; ids are assigned in call order. */
+    ConnId openConnection();
+
+    /**
+     * Close a connection: its queued requests are dropped (the peer
+     * is gone), and its live containers are destroyed in local-id
+     * order — the generation-counter revocation path.
+     */
+    void closeConnection(ConnId conn);
+
+    /** True while the connection is open. */
+    bool connectionOpen(ConnId conn) const;
+
+    /**
+     * Feed bytes received on a connection. Complete frames are
+     * processed in order: reads answered immediately, mutations
+     * queued for the next commit. Returns false on a protocol error —
+     * a ProtocolError frame (request id 0) is then the outbox tail
+     * and the transport must flush it and closeConnection().
+     */
+    bool onBytes(ConnId conn, const std::uint8_t *data, std::size_t n);
+
+    /** The connection's pending output; the transport drains it. */
+    std::vector<std::uint8_t> &outbox(ConnId conn);
+
+    /**
+     * Apply every queued mutating request in canonical (connection
+     * id, request id) order. Installed as the ecovisor's pre-settle
+     * hook, so it runs exactly once per tick at the commit point;
+     * callable directly by tests.
+     */
+    void commitCoalesced(TimeS start_s, TimeS dt_s);
+
+    /**
+     * Enter shutdown drain: everything queued is answered Unavailable
+     * (canonical order), as is every request that arrives afterwards.
+     */
+    void beginDrain();
+
+    /** True once beginDrain() has run. */
+    bool draining() const { return draining_; }
+
+    /** Coalesced requests currently awaiting commit. */
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** Open-connection count. */
+    std::size_t connectionCount() const { return sessions_.size(); }
+
+    const ServerStats &stats() const { return stats_; }
+
+    /** The supervised ecovisor (tests, daemon wiring). */
+    core::Ecovisor &ecovisor() { return *eco_; }
+
+  private:
+    /** One tenant connection's namespace and buffers. */
+    struct Session
+    {
+        /** Local app id -> handle; grows only. */
+        std::vector<api::AppHandle> apps;
+        /** Local container id -> handle; destroyed entries go stale
+         *  in place (generation mismatch), ids are never reused. */
+        std::vector<api::ContainerHandle> containers;
+        std::vector<std::uint8_t> outbox;
+        FrameDecoder decoder;
+        std::uint32_t inflight = 0;
+    };
+
+    /** A mutating request parked until the next commit point. */
+    struct PendingOp
+    {
+        ConnId conn = 0;
+        std::uint32_t req_id = 0;
+        Opcode op = Opcode::Ping;
+        std::uint32_t id = 0; ///< local app/container id operand
+        double value = 0.0;   ///< scalar operand
+        RegisterAppReq reg;   ///< RegisterApp only
+        std::vector<CapEntry> caps; ///< ApplyCapBatch only
+    };
+
+    /** Process one decoded frame; false latches a protocol error. */
+    bool handleFrame(ConnId conn, Session &s, const Frame &f);
+
+    /** Queue a mutating request, or reject it at admission. */
+    void admit(ConnId conn, Session &s, PendingOp &&op);
+
+    /** Apply one queued request against the v2 surface. */
+    void apply(const PendingOp &op, Session &s);
+
+    /** Resolve a session-local container id (nullptr = bad id). */
+    const api::ContainerHandle *localContainer(const Session &s,
+                                               std::uint32_t id) const;
+
+    core::Ecovisor *eco_;
+    ServerCoreOptions options_;
+    std::map<ConnId, Session> sessions_;
+    std::vector<PendingOp> pending_;
+    ConnId next_conn_ = 1;
+    bool draining_ = false;
+    ServerStats stats_;
+};
+
+} // namespace ecov::net
+
+#endif // ECOV_NET_SERVER_H

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Byte transport abstraction under net::Client.
+ *
+ * The client is transport-agnostic: tests and benches run hundreds of
+ * tenants over LoopbackTransport (loopback.h) — fully in-process,
+ * deterministic, no sockets — while real deployments use
+ * SocketTransport (socket.h) over TCP. Both present the same blocking
+ * byte-stream contract.
+ */
+
+#ifndef ECOV_NET_TRANSPORT_H
+#define ECOV_NET_TRANSPORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "api/status.h"
+
+namespace ecov::net {
+
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Deliver n bytes to the peer; Unavailable once the
+     *  connection is gone. */
+    virtual api::Status send(const std::uint8_t *data,
+                             std::size_t n) = 0;
+
+    /**
+     * Append at least one received byte to `buf`, blocking until data
+     * is available; Unavailable when the peer closed (or, for the
+     * loopback, when no data can ever arrive without driver action).
+     */
+    virtual api::Status receiveSome(std::vector<std::uint8_t> &buf) = 0;
+};
+
+} // namespace ecov::net
+
+#endif // ECOV_NET_TRANSPORT_H

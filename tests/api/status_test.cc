@@ -60,6 +60,33 @@ TEST(Status, ErrorCodeNames)
                  "share_violation");
     EXPECT_STREQ(errorCodeName(ErrorCode::NoBattery), "no_battery");
     EXPECT_STREQ(errorCodeName(ErrorCode::NoSolar), "no_solar");
+    EXPECT_STREQ(errorCodeName(ErrorCode::ResourceExhausted),
+                 "resource_exhausted");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Unavailable), "unavailable");
+}
+
+TEST(Status, AdmissionAndDrainCodes)
+{
+    // The ecovisord admission/shutdown codes behave like every other
+    // structured error: message preserved, fatal bridge intact, and a
+    // Result built from one carries the code through.
+    auto full = api::Status::error(ErrorCode::ResourceExhausted,
+                                   "inflight budget exceeded");
+    EXPECT_FALSE(full.ok());
+    EXPECT_EQ(full.code(), ErrorCode::ResourceExhausted);
+    EXPECT_EQ(full.message(), "inflight budget exceeded");
+    EXPECT_THROW(full.orFatal(), FatalError);
+
+    auto gone = api::Status::error(ErrorCode::Unavailable,
+                                   "server draining");
+    EXPECT_EQ(gone.code(), ErrorCode::Unavailable);
+    EXPECT_EQ(gone.message(), "server draining");
+
+    api::Result<int> r(gone);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.code(), ErrorCode::Unavailable);
+    EXPECT_EQ(r.status().message(), "server draining");
+    EXPECT_EQ(r.valueOr(7), 7);
 }
 
 TEST(TryAddApp, RegistrationErrorPaths)

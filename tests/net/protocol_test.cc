@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Payload codec round trips and the stable wire error-code mapping,
+ * including malformed-payload rejection (short, trailing bytes,
+ * forged counts) — the request-scoped robustness layer above framing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace ecov::net {
+namespace {
+
+using api::ErrorCode;
+
+/** Decode the single frame an encoder emitted. */
+Frame
+frameOf(FrameDecoder &d, const std::vector<std::uint8_t> &bytes)
+{
+    d.reset();
+    d.feed(bytes.data(), bytes.size());
+    Frame f;
+    EXPECT_EQ(d.next(&f), DecodeStatus::Frame);
+    return f;
+}
+
+TEST(Protocol, ErrorCodeWireRoundTrip)
+{
+    const ErrorCode codes[] = {
+        ErrorCode::Ok,
+        ErrorCode::InvalidArgument,
+        ErrorCode::InvalidHandle,
+        ErrorCode::UnknownApp,
+        ErrorCode::DuplicateApp,
+        ErrorCode::UnknownContainer,
+        ErrorCode::ShareViolation,
+        ErrorCode::NoBattery,
+        ErrorCode::NoSolar,
+        ErrorCode::ResourceExhausted,
+        ErrorCode::Unavailable,
+    };
+    for (ErrorCode c : codes) {
+        ErrorCode back = ErrorCode::Ok;
+        ASSERT_TRUE(errorCodeFromWire(wireErrorCode(c), &back))
+            << errorCodeName(c);
+        EXPECT_EQ(back, c) << errorCodeName(c);
+    }
+    // The new admission/drain codes have the documented stable values.
+    EXPECT_EQ(wireErrorCode(ErrorCode::ResourceExhausted), 9);
+    EXPECT_EQ(wireErrorCode(ErrorCode::Unavailable), 10);
+    ErrorCode out;
+    EXPECT_FALSE(errorCodeFromWire(999, &out));
+}
+
+TEST(Protocol, RegisterAppRoundTripWithBattery)
+{
+    RegisterAppReq req;
+    req.name = "tenant-42";
+    req.share.solar_fraction = 0.25;
+    req.share.grid_max_w = 123.5;
+    energy::BatteryConfig b;
+    b.capacity_wh = 360.0;
+    b.soc_floor = 0.25;
+    b.soc_ceiling = 0.95;
+    b.max_charge_w = 90.0;
+    b.max_discharge_w = 360.0;
+    b.efficiency = 0.97;
+    b.initial_soc = 0.5;
+    req.share.battery = b;
+
+    std::vector<std::uint8_t> bytes;
+    encodeRegisterApp(bytes, 7, req);
+    FrameDecoder d;
+    const Frame f = frameOf(d, bytes);
+    EXPECT_EQ(f.opcode,
+              static_cast<std::uint8_t>(Opcode::RegisterApp));
+    EXPECT_EQ(f.request_id, 7u);
+
+    RegisterAppReq back;
+    ASSERT_TRUE(decodeRegisterApp(f.payload, f.payload_len, &back));
+    EXPECT_EQ(back.name, "tenant-42");
+    EXPECT_EQ(back.share.solar_fraction, 0.25);
+    EXPECT_EQ(back.share.grid_max_w, 123.5);
+    ASSERT_TRUE(back.share.battery.has_value());
+    EXPECT_EQ(back.share.battery->capacity_wh, 360.0);
+    EXPECT_EQ(back.share.battery->efficiency, 0.97);
+    EXPECT_EQ(back.share.battery->initial_soc, 0.5);
+}
+
+TEST(Protocol, RegisterAppRoundTripWithoutBattery)
+{
+    RegisterAppReq req;
+    req.name = "n";
+    req.share.solar_fraction = 1.0;
+    std::vector<std::uint8_t> bytes;
+    encodeRegisterApp(bytes, 1, req);
+    FrameDecoder d;
+    const Frame f = frameOf(d, bytes);
+    RegisterAppReq back;
+    ASSERT_TRUE(decodeRegisterApp(f.payload, f.payload_len, &back));
+    EXPECT_EQ(back.name, "n");
+    EXPECT_FALSE(back.share.battery.has_value());
+}
+
+TEST(Protocol, NaNSurvivesTheWireBitExactly)
+{
+    // NaN share parameters must reach the server's validation intact
+    // (the server rejects them; the wire must not mangle them into
+    // something that passes).
+    RegisterAppReq req;
+    req.name = "x";
+    req.share.solar_fraction = std::nan("");
+    std::vector<std::uint8_t> bytes;
+    encodeRegisterApp(bytes, 1, req);
+    FrameDecoder d;
+    const Frame f = frameOf(d, bytes);
+    RegisterAppReq back;
+    ASSERT_TRUE(decodeRegisterApp(f.payload, f.payload_len, &back));
+    EXPECT_TRUE(std::isnan(back.share.solar_fraction));
+}
+
+TEST(Protocol, MalformedRegisterAppRejected)
+{
+    RegisterAppReq req;
+    req.name = "abc";
+    req.share.solar_fraction = 0.5;
+    std::vector<std::uint8_t> bytes;
+    encodeRegisterApp(bytes, 1, req);
+    FrameDecoder d;
+    const Frame f = frameOf(d, bytes);
+
+    RegisterAppReq back;
+    // Every strict prefix of the payload is malformed.
+    for (std::uint32_t len = 0; len < f.payload_len; ++len)
+        EXPECT_FALSE(decodeRegisterApp(f.payload, len, &back))
+            << "prefix " << len;
+    // Trailing garbage is malformed too.
+    std::vector<std::uint8_t> longer(f.payload,
+                                     f.payload + f.payload_len);
+    longer.push_back(0);
+    EXPECT_FALSE(
+        decodeRegisterApp(longer.data(), longer.size(), &back));
+}
+
+TEST(Protocol, IdValueRoundTripAndRejects)
+{
+    std::vector<std::uint8_t> bytes;
+    encodeIdValue(bytes, Opcode::SetPowercap, 3, {17, 2.5});
+    FrameDecoder d;
+    const Frame f = frameOf(d, bytes);
+    EXPECT_EQ(f.opcode,
+              static_cast<std::uint8_t>(Opcode::SetPowercap));
+    IdValueReq req;
+    ASSERT_TRUE(decodeIdValue(f.payload, f.payload_len, &req));
+    EXPECT_EQ(req.id, 17u);
+    EXPECT_EQ(req.value, 2.5);
+    EXPECT_FALSE(decodeIdValue(f.payload, f.payload_len - 1, &req));
+}
+
+TEST(Protocol, CapBatchRoundTripAndForgedCount)
+{
+    std::vector<CapEntry> entries = {{0, 1.5}, {3, 0.25}, {1, 1e9}};
+    std::vector<std::uint8_t> bytes;
+    encodeCapBatch(bytes, 11, entries);
+    FrameDecoder d;
+    const Frame f = frameOf(d, bytes);
+
+    std::vector<CapEntry> back;
+    ASSERT_TRUE(decodeCapBatch(f.payload, f.payload_len, &back));
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[1].container, 3u);
+    EXPECT_EQ(back[2].cap_w, 1e9);
+
+    // Forge the count upward without supplying the entries: the
+    // length cross-check must reject it (no huge reserve, no
+    // over-read).
+    std::vector<std::uint8_t> forged(f.payload,
+                                     f.payload + f.payload_len);
+    forged[0] = 0xFF;
+    forged[1] = 0xFF;
+    EXPECT_FALSE(decodeCapBatch(forged.data(), forged.size(), &back));
+}
+
+TEST(Protocol, ResponseHeadOkAndError)
+{
+    std::vector<std::uint8_t> bytes;
+    encodeIdResponse(bytes, Opcode::RegisterApp, 5, 123);
+    FrameDecoder d;
+    Frame f = frameOf(d, bytes);
+    EXPECT_EQ(f.opcode,
+              static_cast<std::uint8_t>(Opcode::RegisterApp) |
+                  kResponseBit);
+    ResponseHead head;
+    std::size_t consumed = 0;
+    ASSERT_TRUE(decodeResponseHead(f.payload, f.payload_len, &head,
+                                   &consumed));
+    EXPECT_EQ(head.code, ErrorCode::Ok);
+    std::uint32_t id = 0;
+    ASSERT_TRUE(
+        decodeIdResult(f.payload, f.payload_len, consumed, &id));
+    EXPECT_EQ(id, 123u);
+
+    bytes.clear();
+    encodeErrorResponse(bytes, Opcode::SetDemand, 6,
+                        api::Status::error(
+                            ErrorCode::ResourceExhausted,
+                            "inflight budget exceeded"));
+    f = frameOf(d, bytes);
+    ASSERT_TRUE(decodeResponseHead(f.payload, f.payload_len, &head,
+                                   &consumed));
+    EXPECT_EQ(head.code, ErrorCode::ResourceExhausted);
+    EXPECT_EQ(head.message, "inflight budget exceeded");
+}
+
+TEST(Protocol, SnapshotRoundTrip)
+{
+    api::EnergySnapshot snap;
+    snap.solar_w = 123.25;
+    snap.grid_w = 4.5;
+    snap.grid_carbon_g_per_kwh = 301.75;
+    snap.battery_discharge_w = 12.0;
+    snap.battery_charge_level_wh = 1440.0;
+
+    std::vector<std::uint8_t> bytes;
+    encodeSnapshotResponse(bytes, 9, snap);
+    FrameDecoder d;
+    const Frame f = frameOf(d, bytes);
+    ResponseHead head;
+    std::size_t consumed = 0;
+    ASSERT_TRUE(decodeResponseHead(f.payload, f.payload_len, &head,
+                                   &consumed));
+    api::EnergySnapshot back;
+    ASSERT_TRUE(decodeSnapshotResult(f.payload, f.payload_len,
+                                     consumed, &back));
+    EXPECT_EQ(back.solar_w, snap.solar_w);
+    EXPECT_EQ(back.grid_w, snap.grid_w);
+    EXPECT_EQ(back.grid_carbon_g_per_kwh,
+              snap.grid_carbon_g_per_kwh);
+    EXPECT_EQ(back.battery_discharge_w, snap.battery_discharge_w);
+    EXPECT_EQ(back.battery_charge_level_wh,
+              snap.battery_charge_level_wh);
+}
+
+TEST(Protocol, OpcodeClassification)
+{
+    EXPECT_TRUE(isCoalesced(Opcode::RegisterApp));
+    EXPECT_TRUE(isCoalesced(Opcode::SpawnContainer));
+    EXPECT_TRUE(isCoalesced(Opcode::DestroyContainer));
+    EXPECT_TRUE(isCoalesced(Opcode::SetPowercap));
+    EXPECT_TRUE(isCoalesced(Opcode::ApplyCapBatch));
+    EXPECT_TRUE(isCoalesced(Opcode::SetChargeRate));
+    EXPECT_TRUE(isCoalesced(Opcode::SetMaxDischarge));
+    EXPECT_TRUE(isCoalesced(Opcode::SetDemand));
+    EXPECT_FALSE(isCoalesced(Opcode::Ping));
+    EXPECT_FALSE(isCoalesced(Opcode::GetSnapshot));
+
+    EXPECT_TRUE(
+        validOpcode(static_cast<std::uint8_t>(Opcode::Ping)));
+    EXPECT_FALSE(validOpcode(
+        static_cast<std::uint8_t>(Opcode::ProtocolError)));
+    EXPECT_FALSE(validOpcode(0x00));
+    EXPECT_FALSE(validOpcode(0x42));
+    EXPECT_FALSE(validOpcode(
+        static_cast<std::uint8_t>(Opcode::Ping) | kResponseBit));
+}
+
+} // namespace
+} // namespace ecov::net
