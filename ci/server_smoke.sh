@@ -5,7 +5,12 @@
 #   2. run examples/remote_quickstart against it (must exit 0),
 #   3. run it again with --inject-protocol-error (must exit nonzero:
 #      the server has to reject broken framing and drop the peer),
-#   4. SIGTERM the daemon and require a clean (0) drain/shutdown.
+#   4. SIGTERM the daemon and require a clean (0) drain/shutdown,
+#   5. kill-and-restart leg: a lease-enabled daemon is SIGKILLed
+#      while a --chaos client is mid-session, restarted on the same
+#      port, and the client must ride it out (resume against a live
+#      daemon for its self-inflicted drop, re-register against the
+#      restarted one, exit 0). See docs/FAULTS.md.
 #
 # Expects a built tree; pass it as $1 or via ECOV_BUILD_DIR
 # (default: build-ci, matching build_and_test.sh).
@@ -72,6 +77,64 @@ done
 kill -0 "${daemon_pid}" 2>/dev/null && fail "daemon ignored SIGTERM"
 [[ ${shutdown_status} -eq 0 ]] \
     || fail "daemon exited ${shutdown_status} on SIGTERM"
+daemon_pid=""
+
+# 5. Kill-and-restart: leases on, fast ticks. The chaos client keeps
+#    a session going while the daemon is SIGKILLed out from under it
+#    and a fresh one takes the port; the client's backoff + resume /
+#    re-register loop must absorb both the outage and the lost
+#    server state, and exit 0.
+"${DAEMON}" --port=0 --tick-ms=20 --lease-ticks=500 >"${LOG}" 2>&1 &
+daemon_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^ecovisord: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "${LOG}")"
+    [[ -n "${port}" ]] && break
+    kill -0 "${daemon_pid}" 2>/dev/null || fail "daemon exited early"
+    sleep 0.05
+done
+[[ -n "${port}" ]] || fail "no listening banner (restart leg)"
+echo "server_smoke: lease daemon up on port ${port} (pid ${daemon_pid})"
+
+"${EXAMPLE}" "${port}" --chaos &
+chaos_pid=$!
+
+# Let the client enroll and make progress, then yank the daemon.
+sleep 0.15
+kill -KILL "${daemon_pid}" 2>/dev/null
+wait "${daemon_pid}" 2>/dev/null
+daemon_pid=""
+
+# Restart on the SAME port; retry while the kernel releases it.
+restarted=""
+for _ in $(seq 1 60); do
+    "${DAEMON}" --port="${port}" --tick-ms=20 --lease-ticks=500 \
+        >"${LOG}" 2>&1 &
+    daemon_pid=$!
+    sleep 0.1
+    if kill -0 "${daemon_pid}" 2>/dev/null &&
+        grep -q "listening on 127\.0\.0\.1:${port}" "${LOG}"; then
+        restarted=1
+        break
+    fi
+    wait "${daemon_pid}" 2>/dev/null
+    daemon_pid=""
+done
+[[ -n "${restarted}" ]] || fail "could not rebind port ${port}"
+echo "server_smoke: daemon restarted on port ${port} (pid ${daemon_pid})"
+
+if ! wait "${chaos_pid}"; then
+    fail "--chaos client did not survive the daemon restart"
+fi
+echo "server_smoke: chaos client rode out kill-and-restart"
+
+kill -TERM "${daemon_pid}" 2>/dev/null
+for _ in $(seq 1 100); do
+    kill -0 "${daemon_pid}" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "${daemon_pid}" 2>/dev/null
+daemon_pid=""
 
 echo "server_smoke: PASS"
 rm -f "${LOG}"

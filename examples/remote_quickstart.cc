@@ -14,11 +14,24 @@
  * with a ProtocolError frame and closes the connection (the CI
  * server-smoke job asserts this nonzero exit). Exit codes: 0 normal
  * success, 1 failure, 2 protocol error observed as intended.
+ *
+ * With --chaos the example becomes a fault-tolerant tenant
+ * (docs/FAULTS.md): per-call deadlines, a session lease via
+ * beginSession(), and a recovery loop that survives both flaky
+ * transport and a daemon kill-and-restart. Any failed call triggers
+ * reconnect with capped exponential backoff, then resume() — which
+ * retransmits unacknowledged mutations into the server's dedup
+ * window — and, when the lease is gone (expired, or a restarted
+ * daemon that never saw it), abandonSession() and re-registration
+ * under an incarnation-suffixed name. Mid-run it also drops its own
+ * connection once to force the resume path even against a healthy
+ * daemon. Exits 0 only if the full iteration budget completes.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <unistd.h>
 
@@ -33,9 +46,129 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s <port> [host] [--inject-protocol-error]\n",
+                 "usage: %s <port> [host] [--inject-protocol-error] "
+                 "[--chaos]\n",
                  argv0);
     return 64;
+}
+
+/** Connect with capped exponential backoff; null after ~6 s. */
+std::unique_ptr<net::SocketTransport>
+connectWithBackoff(const std::string &host, std::uint16_t port)
+{
+    int delay_ms = 50;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        auto t = net::SocketTransport::connect(host, port);
+        if (t.ok())
+            return std::move(t.value());
+        ::usleep(static_cast<useconds_t>(delay_ms) * 1000);
+        delay_ms = delay_ms < 800 ? delay_ms * 2 : 800;
+    }
+    return nullptr;
+}
+
+/** The chaos tenant: survive anything, finish the loop, exit 0. */
+int
+runChaos(const std::string &host, std::uint16_t port)
+{
+    auto transport = connectWithBackoff(host, port);
+    if (!transport) {
+        std::fprintf(stderr, "chaos: could not reach daemon\n");
+        return 1;
+    }
+    net::Client client(transport.get());
+    client.setCallTimeout(2000);
+
+    char base[32];
+    std::snprintf(base, sizeof base, "rqc-%d",
+                  static_cast<int>(::getpid()));
+    int incarnation = 0;
+    net::RemoteApp app{0};
+    net::RemoteContainer cont{0};
+    int resumes = 0;
+    int reregisters = 0;
+
+    // (Re)establish a working session: fresh lease, registration
+    // keyed by incarnation so a restarted daemon never sees a
+    // name collision with our earlier life.
+    const auto enroll = [&]() -> bool {
+        (void)client.beginSession();
+        char name[48];
+        std::snprintf(name, sizeof name, "%s#%d", base, incarnation);
+        ++incarnation;
+        auto a = client.registerApp(name, core::AppShareConfig{});
+        if (!a.ok())
+            return false;
+        auto c = client.spawnContainer(a.value(), 1.0);
+        if (!c.ok())
+            return false;
+        app = a.value();
+        cont = c.value();
+        return client.setDemand(cont, 0.8).ok();
+    };
+
+    // Recover from any failed call: reconnect (the daemon itself may
+    // be mid-restart), then prefer resume() — same handles, unacked
+    // mutations retransmitted — and fall back to a fresh enrolment.
+    const auto recover = [&]() -> bool {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+            transport = connectWithBackoff(host, port);
+            if (!transport)
+                return false;
+            client.bindTransport(transport.get());
+            if (client.resume().ok()) {
+                ++resumes;
+                return true;
+            }
+            client.abandonSession();
+            if (enroll()) {
+                ++reregisters;
+                return true;
+            }
+            // Enrolment raced another daemon death; go around.
+        }
+        return false;
+    };
+
+    if (!enroll() && !recover()) {
+        std::fprintf(stderr, "chaos: could not enroll\n");
+        return 1;
+    }
+
+    constexpr int kIters = 30;
+    for (int i = 0; i < kIters; ++i) {
+        if (i == kIters / 2) {
+            // Self-inflicted network fault: drop our own connection
+            // so the resume path runs even if the daemon stays up.
+            transport.reset();
+            if (!recover()) {
+                std::fprintf(stderr, "chaos: recovery failed\n");
+                return 1;
+            }
+        }
+        auto snap = client.getEnergySnapshot(app);
+        if (!snap.ok()) {
+            if (!recover()) {
+                std::fprintf(stderr,
+                             "chaos: recovery failed at iter %d: %s\n",
+                             i, snap.status().message().c_str());
+                return 1;
+            }
+            --i; // retry this iteration on the recovered session
+            continue;
+        }
+        if (!client.setDemand(cont, 0.2 + 0.02 * i).ok() &&
+            !recover()) {
+            std::fprintf(stderr, "chaos: recovery failed\n");
+            return 1;
+        }
+        ::usleep(10'000);
+    }
+
+    std::printf("chaos survived: %d iters, %d resume(s), %d "
+                "re-registration(s), incarnation %d\n",
+                kIters, resumes, reregisters, incarnation - 1);
+    return 0;
 }
 
 } // namespace
@@ -46,10 +179,13 @@ main(int argc, char **argv)
     std::uint16_t port = 0;
     std::string host = "127.0.0.1";
     bool inject_error = false;
+    bool chaos = false;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--inject-protocol-error") == 0) {
             inject_error = true;
+        } else if (std::strcmp(argv[i], "--chaos") == 0) {
+            chaos = true;
         } else if (positional == 0) {
             const long p = std::strtol(argv[i], nullptr, 10);
             if (p <= 0 || p > 65535)
@@ -65,6 +201,9 @@ main(int argc, char **argv)
     }
     if (port == 0)
         return usage(argv[0]);
+
+    if (chaos)
+        return runChaos(host, port);
 
     auto transport = net::SocketTransport::connect(host, port);
     if (!transport.ok()) {

@@ -51,6 +51,14 @@ struct EnergySnapshot
     double battery_discharge_w = 0.0;
     /** Energy stored in the virtual battery, watt-hours. */
     double battery_charge_level_wh = 0.0;
+    /**
+     * True when a sensor blackout is active and the live-evaluated
+     * fields (solar_w, grid_carbon_g_per_kwh) are the last *settled*
+     * readings rather than fresh ones. The ecovisor never
+     * extrapolates through a blackout — it serves the last exact
+     * value and says so (docs/FAULTS.md).
+     */
+    bool stale = false;
 };
 
 /** One requested container power cap. */

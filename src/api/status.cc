@@ -30,6 +30,8 @@ errorCodeName(ErrorCode code)
         return "resource_exhausted";
       case ErrorCode::Unavailable:
         return "unavailable";
+      case ErrorCode::DeadlineExceeded:
+        return "deadline_exceeded";
     }
     return "?";
 }

@@ -45,6 +45,7 @@ enum class ErrorCode
     NoSolar,          ///< solar share without a physical array
     ResourceExhausted, ///< admission control: queue/inflight budget hit
     Unavailable,      ///< endpoint shutting down / connection gone
+    DeadlineExceeded, ///< per-call deadline elapsed before a reply
 };
 
 /** Stable identifier string for an ErrorCode ("unknown_app", ...). */

@@ -389,13 +389,37 @@ Ecovisor::currentTime() const
                      TimeS{0}});
 }
 
+double
+Ecovisor::siteSolarWNow() const
+{
+    // Sensor blackout: serve the last settled reading, never a live
+    // (or extrapolated) one — the snapshot's stale flag tells the
+    // tenant what it is getting (docs/FAULTS.md). Outside a blackout
+    // the live value reflects any active derate, because the derated
+    // array *is* what the site's sensors would measure.
+    if (faults_.sensor_blackout)
+        return last_site_solar_w_;
+    double solar_w = phys_->solarPowerAt(currentTime());
+    if (faults_.solar_derate != 1.0)
+        solar_w *= faults_.solar_derate;
+    return solar_w;
+}
+
+double
+Ecovisor::gridCarbonNow() const
+{
+    if (faults_.sensor_blackout)
+        return last_intensity_;
+    return phys_->gridCarbonAt(currentTime());
+}
+
 Result<double>
 Ecovisor::getSolarPower(AppHandle h) const
 {
     const AppState *st = state(h);
     if (!st)
         return invalidHandle();
-    return st->solar_fraction * phys_->solarPowerAt(currentTime());
+    return st->solar_fraction * siteSolarWNow();
 }
 
 Result<double>
@@ -456,9 +480,18 @@ Ecovisor::getEnergySnapshot(AppHandle h) const
     const TimeS now = currentTime();
     const TickSettlement &s = st->ves->lastSettlement();
     api::EnergySnapshot snap;
-    snap.solar_w = st->solar_fraction * phys_->solarPowerAt(now);
+    if (faults_.sensor_blackout) {
+        snap.solar_w = st->solar_fraction * last_site_solar_w_;
+        snap.grid_carbon_g_per_kwh = last_intensity_;
+        snap.stale = true;
+    } else {
+        double site_solar_w = phys_->solarPowerAt(now);
+        if (faults_.solar_derate != 1.0)
+            site_solar_w *= faults_.solar_derate;
+        snap.solar_w = st->solar_fraction * site_solar_w;
+        snap.grid_carbon_g_per_kwh = phys_->gridCarbonAt(now);
+    }
     snap.grid_w = s.grid_w;
-    snap.grid_carbon_g_per_kwh = phys_->gridCarbonAt(now);
     snap.battery_discharge_w = s.batt_discharge_w;
     snap.battery_charge_level_wh =
         st->ves->hasBattery() ? st->ves->battery().energyWh() : 0.0;
@@ -602,7 +635,7 @@ double
 Ecovisor::getSolarPower(const std::string &app) const
 {
     const AppState &st = appState(app);
-    return st.solar_fraction * phys_->solarPowerAt(currentTime());
+    return st.solar_fraction * siteSolarWNow();
 }
 
 double
@@ -614,7 +647,7 @@ Ecovisor::getGridPower(const std::string &app) const
 double
 Ecovisor::getGridCarbon() const
 {
-    return phys_->gridCarbonAt(currentTime());
+    return gridCarbonNow();
 }
 
 double
@@ -718,7 +751,8 @@ Ecovisor::applyPowercaps()
 
 void
 Ecovisor::settleApp(AppState &st, double solar_w, double intensity,
-                    TimeS start_s, TimeS dt_s)
+                    TimeS start_s, TimeS dt_s,
+                    const SettleLimits &limits)
 {
     // appPowerW walks only this app's container list, streaming the
     // slab's SoA hot columns (cop/columns.h; O(1) when its cached
@@ -727,7 +761,63 @@ Ecovisor::settleApp(AppState &st, double solar_w, double intensity,
     // one worker, so the walk is race-free.
     const double app_solar_w = st.solar_fraction * solar_w;
     const double demand_w = cluster_->appPowerW(st.cop_app);
-    st.ves->settle(demand_w, app_solar_w, intensity, start_s, dt_s);
+    st.ves->settle(demand_w, app_solar_w, intensity, start_s, dt_s,
+                   limits);
+}
+
+bool
+Ecovisor::applyEmergencyCaps(double site_solar_w, TimeS dt_s)
+{
+    // Recompute from scratch each outage tick: last tick's emergency
+    // caps would otherwise compound (a capped container reports less
+    // power, shrinking next tick's budget). Tenant powercaps were
+    // re-applied by applyPowercaps() just above, so clearing only
+    // touches containers with no tenant cap of their own.
+    clearEmergencyCaps();
+    bool any_capped = false;
+    for (AppState *stp : settle_order_) {
+        AppState &st = *stp;
+        // The islanded budget: owned solar plus whatever the app's
+        // battery may discharge this tick. An exact bound — if the
+        // budget cannot serve the demand, the demand is cut, never
+        // optimistically carried.
+        double avail_w = st.solar_fraction * site_solar_w;
+        if (st.ves->hasBattery() && !faults_.battery_offline) {
+            const energy::Battery &b = st.ves->battery();
+            avail_w += std::min(st.ves->maxDischargeW(),
+                                b.maxDischargePowerW(dt_s));
+        }
+        const double demand_w = cluster_->appPowerW(st.cop_app);
+        if (demand_w <= 0.0 || demand_w <= avail_w)
+            continue;
+        const double scale = avail_w / demand_w;
+        any_capped = true;
+        cluster_->forEachAppContainer(
+            st.cop_app, [&](const cop::Container &c) {
+                const double target_w =
+                    cluster_->containerPowerW(c) * scale;
+                cluster_->setUtilizationCap(
+                    c.id,
+                    cluster_->utilizationCapForPower(c.id, target_w));
+                emergency_capped_.push_back(c.id);
+            });
+    }
+    return any_capped;
+}
+
+void
+Ecovisor::clearEmergencyCaps()
+{
+    for (cop::ContainerId id : emergency_capped_) {
+        if (!cluster_->exists(id))
+            continue;
+        // Containers with a tenant powercap got it re-applied this
+        // tick by applyPowercaps(); only the rest revert to uncapped.
+        if (powercaps_w_.count(id))
+            continue;
+        cluster_->setUtilizationCap(id, 1.0);
+    }
+    emergency_capped_.clear();
 }
 
 void
@@ -736,6 +826,14 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     if (dt_s <= 0)
         fatal("Ecovisor::settleTick: non-positive tick");
     now_hint_s_ = start_s;
+
+    // Fault plane first: resolve the tick's active fault set from the
+    // armed schedule (fault::FaultInjector) before the transport
+    // commit point runs, so tenant requests committed this tick
+    // already observe the tick's faults. No hook, no faults — and no
+    // cost (docs/FAULTS.md).
+    if (fault_hook_)
+        fault_hook_(start_s, dt_s);
 
     // Pre-settle hook: a transport front-end (net::ServerCore) commits
     // its per-tick coalesced tenant requests here, in its own canonical
@@ -751,8 +849,22 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     commitStagedCaps();
     applyPowercaps();
 
-    const double solar_w = phys_->solarPowerAt(start_s);
+    double solar_w = phys_->solarPowerAt(start_s);
     const double intensity = phys_->gridCarbonAt(start_s);
+
+    // Arm this tick's fault limits. Every branch below is false on
+    // the healthy path, leaving the arithmetic untouched — the fault
+    // plane is bit-identical zero-cost until a schedule arms it.
+    SettleLimits limits;
+    const bool degraded = faults_.any();
+    if (degraded) {
+        if (faults_.solar_derate != 1.0)
+            solar_w *= faults_.solar_derate;
+        limits.grid_available = !faults_.grid_out;
+        limits.battery_available = !faults_.battery_offline;
+        limits.battery_capacity_factor = faults_.battery_capacity_factor;
+        ++degraded_ticks_;
+    }
 
     // Canonical settlement order (sorted by name — the order the
     // seed's name-keyed map iterated in). Pointers stay valid for
@@ -763,17 +875,27 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
         settle_order_.push_back(
             &apps_[static_cast<std::size_t>(kv.second)]);
 
+    // Grid outage: clamp demand to each app's grid-safe budget before
+    // settlement reads container power; lift the clamps on the first
+    // healthy tick after the outage.
+    bool emergency = false;
+    if (degraded && faults_.grid_out)
+        emergency = applyEmergencyCaps(solar_w, dt_s);
+    else if (!emergency_capped_.empty())
+        clearEmergencyCaps();
+
     // Per-app settlement is independent (disjoint VES + COP state),
     // so shard it across the pool. Every cross-app reduction below
     // runs sequentially in canonical order after the join, which is
     // what keeps results bit-identical at any ECOV_THREADS value.
     runSharded([&](AppState &st) {
-        settleApp(st, solar_w, intensity, start_s, dt_s);
+        settleApp(st, solar_w, intensity, start_s, dt_s, limits);
     });
 
     double owned_solar_fraction = 0.0;
     double total_grid_w = 0.0;
     double total_curtailed_w = 0.0;
+    double total_unserved_w = 0.0;
 
     for (AppState *stp : settle_order_) {
         AppState &st = *stp;
@@ -781,7 +903,13 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
         const TickSettlement &s = st.ves->lastSettlement();
         total_grid_w += s.grid_w;
         total_curtailed_w += s.curtailed_w;
+        total_unserved_w += s.unserved_w;
     }
+
+    if (total_unserved_w > 0.0)
+        unserved_wh_ += energyWh(total_unserved_w, dt_s);
+    if (emergency || total_unserved_w > 0.0)
+        ++slo_violation_ticks_;
 
     // Solar not owned by any app is excess by definition.
     total_curtailed_w += (1.0 - owned_solar_fraction) * solar_w;
@@ -818,6 +946,10 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
 
     last_settled_s_ = start_s;
     last_dt_s_ = dt_s;
+    // The blackout staleness source: the exact values this settlement
+    // used (including any derate), never re-evaluated later.
+    last_site_solar_w_ = solar_w;
+    last_intensity_ = intensity;
 
     if (options_.record_telemetry)
         recordTelemetry(start_s);

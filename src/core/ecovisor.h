@@ -56,6 +56,7 @@
 #include "api/status.h"
 #include "api/telemetry.h"
 #include "cop/cluster.h"
+#include "core/faults.h"
 #include "core/virtual_energy_system.h"
 #include "energy/physical_energy_system.h"
 #include "sim/simulation.h"
@@ -375,6 +376,43 @@ class Ecovisor
     }
 
     // ------------------------------------------------------------------
+    // Fault plane (src/fault/, docs/FAULTS.md).
+    // ------------------------------------------------------------------
+
+    /**
+     * Install the fault-resolution hook. It runs at the very top of
+     * settleTick() — before the pre-settle (transport commit) hook —
+     * and typically calls setEnergyFaults() with the schedule's
+     * active fault set for the tick. Sequential, one consumer at a
+     * time (the pre-settle hook slot is owned by net::ServerCore, so
+     * the fault plane gets its own); pass nullptr to uninstall.
+     */
+    void
+    setFaultHook(std::function<void(TimeS, TimeS)> hook)
+    {
+        fault_hook_ = std::move(hook);
+    }
+
+    /** Set the fault set applied from the next settlement on. */
+    void setEnergyFaults(const EnergyFaults &faults) { faults_ = faults; }
+
+    /** The fault set currently in effect. */
+    const EnergyFaults &energyFaults() const { return faults_; }
+
+    /** Ticks settled with at least one fault armed. */
+    std::int64_t degradedTicks() const { return degraded_ticks_; }
+
+    /**
+     * Ticks on which tenant demand was cut — emergency-capped during
+     * a grid outage or shed as unserved load (the SLO-violation
+     * count for fault benches).
+     */
+    std::int64_t sloViolationTicks() const { return slo_violation_ticks_; }
+
+    /** Cumulative demand shed during grid outages, watt-hours. */
+    double unservedWh() const { return unserved_wh_; }
+
+    // ------------------------------------------------------------------
     // Privileged access (library layer, tests, benches).
     // ------------------------------------------------------------------
 
@@ -520,7 +558,29 @@ class Ecovisor
 
     /** Settle one app against this tick's signals (shardable). */
     void settleApp(AppState &st, double solar_w, double intensity,
-                   TimeS start_s, TimeS dt_s);
+                   TimeS start_s, TimeS dt_s,
+                   const SettleLimits &limits);
+
+    /**
+     * Grid outage: clamp every app whose demand exceeds its
+     * grid-safe budget (owned solar + permitted battery discharge)
+     * by scaling its containers' utilization caps. Exact clamp to
+     * what the islanded system can serve — never an extrapolated
+     * brown-out curve. Returns true when any container was capped.
+     */
+    bool applyEmergencyCaps(double site_solar_w, TimeS dt_s);
+
+    /** Lift emergency caps (outage over), restoring tenant caps. */
+    void clearEmergencyCaps();
+
+    /**
+     * Current site solar reading for getters: live (and derated)
+     * normally, the last settled value during a sensor blackout.
+     */
+    double siteSolarWNow() const;
+
+    /** Current grid carbon intensity reading (same blackout rule). */
+    double gridCarbonNow() const;
 
     /** Time getters should evaluate signals at (current tick start). */
     TimeS currentTime() const;
@@ -545,6 +605,18 @@ class Ecovisor
 
     /** Transport front-end commit point (setPreSettleHook). */
     std::function<void(TimeS, TimeS)> pre_settle_hook_;
+
+    /** Fault plane: schedule resolution hook + the active fault set. */
+    std::function<void(TimeS, TimeS)> fault_hook_;
+    EnergyFaults faults_;
+    /** Last settled site solar/intensity (blackout staleness source). */
+    double last_site_solar_w_ = 0.0;
+    double last_intensity_ = 0.0;
+    /** Containers emergency-capped by the current outage. */
+    std::vector<cop::ContainerId> emergency_capped_;
+    std::int64_t degraded_ticks_ = 0;
+    std::int64_t slo_violation_ticks_ = 0;
+    double unserved_wh_ = 0.0;
 
     /**
      * Settlement parallelism (>= 1) and its lazily-built pool. The

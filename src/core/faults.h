@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The active energy-fault set for one tick (docs/FAULTS.md).
+ *
+ * The fault plane (src/fault/) folds its schedule into one of these
+ * at every tick boundary and hands it to the ecovisor, which applies
+ * it as *branches* on the healthy settlement path: the defaults
+ * describe a fault-free system and make every fault check false, so
+ * an unarmed fault plane changes no floating-point operation — the
+ * zero-cost-when-off contract the bench baseline enforces at
+ * --tolerance=0.
+ */
+
+#ifndef ECOV_CORE_FAULTS_H
+#define ECOV_CORE_FAULTS_H
+
+namespace ecov::core {
+
+/** Faults in effect for the current tick (default: none). */
+struct EnergyFaults
+{
+    /** Grid outage: no import at all; deficits become unserved load. */
+    bool grid_out = false;
+    /** Solar output multiplier in [0, 1]; 1.0 = healthy, 0 = dropout. */
+    double solar_derate = 1.0;
+    /** Battery bank offline: no charge or discharge this tick. */
+    bool battery_offline = false;
+    /** Usable fraction of battery capacity (fade), (0, 1]. */
+    double battery_capacity_factor = 1.0;
+    /**
+     * Energy telemetry blackout: getters serve the last *settled*
+     * solar/carbon readings with EnergySnapshot::stale set — exact
+     * last values, never extrapolated.
+     */
+    bool sensor_blackout = false;
+
+    /** True when any fault is armed this tick. */
+    bool
+    any() const
+    {
+        return grid_out || solar_derate != 1.0 || battery_offline ||
+               battery_capacity_factor != 1.0 || sensor_blackout;
+    }
+};
+
+} // namespace ecov::core
+
+#endif // ECOV_CORE_FAULTS_H

@@ -51,10 +51,37 @@ VirtualEnergySystem::settle(double demand_w, double solar_w,
                             double intensity_g_per_kwh,
                             TimeS start_s, TimeS dt_s)
 {
+    return settle(demand_w, solar_w, intensity_g_per_kwh, start_s,
+                  dt_s, SettleLimits{});
+}
+
+const TickSettlement &
+VirtualEnergySystem::settle(double demand_w, double solar_w,
+                            double intensity_g_per_kwh,
+                            TimeS start_s, TimeS dt_s,
+                            const SettleLimits &limits)
+{
     if (demand_w < 0.0 || solar_w < 0.0)
         fatal("VirtualEnergySystem::settle: negative power");
     if (dt_s <= 0)
         fatal("VirtualEnergySystem::settle: non-positive tick");
+
+    // Every fault gate below is a branch on the default-healthy
+    // limits: with SettleLimits{} the arithmetic is bit-identical to
+    // the pre-fault-plane settlement (zero-cost-when-off contract,
+    // docs/FAULTS.md).
+    const bool batt_ok = battery_.has_value() && limits.battery_available;
+
+    // Capacity fade: clamp stored energy to the usable capacity at
+    // the start of the tick. An exact clamp, not a decay model — the
+    // same "exact coverage or clamp" discipline as telemetry
+    // retention (docs/PERF.md).
+    if (battery_ && limits.battery_capacity_factor < 1.0) {
+        double usable_wh = limits.battery_capacity_factor *
+                           battery_->config().capacity_wh;
+        if (battery_->energyWh() > usable_wh)
+            battery_->setEnergyWh(usable_wh);
+    }
 
     TickSettlement s;
     s.start_s = start_s;
@@ -69,7 +96,7 @@ VirtualEnergySystem::settle(double demand_w, double solar_w,
     double excess_w = solar_w - s.solar_used_w;
 
     // 2. Battery covers the deficit up to the app's discharge setting.
-    if (deficit_w > 0.0 && battery_ && max_discharge_w_ > 0.0) {
+    if (deficit_w > 0.0 && batt_ok && max_discharge_w_ > 0.0) {
         double want = std::min(deficit_w, max_discharge_w_);
         s.batt_discharge_w = battery_->discharge(want, dt_s);
         deficit_w -= s.batt_discharge_w;
@@ -79,10 +106,11 @@ VirtualEnergySystem::settle(double demand_w, double solar_w,
     //    configured charge rate may add a grid supplement. The grid
     //    supplement is suppressed while the battery is being
     //    discharged (simultaneous grid-charge + discharge would just
-    //    round-trip energy through the battery).
-    if (battery_ && excess_w > 0.0) {
+    //    round-trip energy through the battery), and during a grid
+    //    outage (nothing to supplement with).
+    if (batt_ok && excess_w > 0.0) {
         double grid_supplement =
-            (s.batt_discharge_w > 0.0)
+            (s.batt_discharge_w > 0.0 || !limits.grid_available)
                 ? 0.0
                 : std::max(0.0, charge_rate_w_ - excess_w);
         double accepted =
@@ -90,8 +118,8 @@ VirtualEnergySystem::settle(double demand_w, double solar_w,
         s.batt_charge_solar_w = std::min(accepted, excess_w);
         s.batt_charge_grid_w = accepted - s.batt_charge_solar_w;
         s.curtailed_w = excess_w - s.batt_charge_solar_w;
-    } else if (battery_ && excess_w <= 0.0 && s.batt_discharge_w <= 0.0 &&
-               charge_rate_w_ > 0.0) {
+    } else if (batt_ok && excess_w <= 0.0 && s.batt_discharge_w <= 0.0 &&
+               charge_rate_w_ > 0.0 && limits.grid_available) {
         // Pure grid charging (carbon arbitrage case: store low-carbon
         // grid energy for later).
         s.batt_charge_grid_w = battery_->charge(charge_rate_w_, dt_s);
@@ -99,7 +127,14 @@ VirtualEnergySystem::settle(double demand_w, double solar_w,
         s.curtailed_w = excess_w;
     }
 
-    // 4. Remaining deficit comes from the virtual grid.
+    // 4. Remaining deficit comes from the virtual grid — unless the
+    //    grid is out, in which case it is unserved load: the fault
+    //    plane sheds it explicitly rather than pretending the import
+    //    happened (graceful degradation, never extrapolation).
+    if (!limits.grid_available) {
+        s.unserved_w = deficit_w;
+        deficit_w = 0.0;
+    }
     s.grid_to_demand_w = deficit_w;
     s.grid_w = s.grid_to_demand_w + s.batt_charge_grid_w;
     if (share_.grid_max_w > 0.0 && s.grid_w > share_.grid_max_w) {

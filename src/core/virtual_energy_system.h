@@ -54,6 +54,28 @@ struct AppShareConfig
     double grid_max_w = 0.0;
 };
 
+/**
+ * Physical-availability limits for one tick's settlement, driven by
+ * the fault plane (src/fault/, docs/FAULTS.md). The defaults describe
+ * the healthy system and make the limited settle() overload compute
+ * exactly the same flows as the unlimited one — arming a fault is a
+ * branch, not a formula change, so the fault plane is bit-identical
+ * zero-cost when no schedule is active.
+ */
+struct SettleLimits
+{
+    /** False during a grid outage: no grid import at all. */
+    bool grid_available = true;
+    /** False while the battery bank is offline: no charge/discharge. */
+    bool battery_available = true;
+    /**
+     * Usable fraction of configured battery capacity (capacity fade),
+     * (0, 1]. Stored energy above the faded capacity is clamped at
+     * the start of the tick — exact clamp, never extrapolated decay.
+     */
+    double battery_capacity_factor = 1.0;
+};
+
 /** Settled energy flows for one tick (all average watts over dt). */
 struct TickSettlement
 {
@@ -70,6 +92,14 @@ struct TickSettlement
     double curtailed_w = 0.0;   ///< excess solar with nowhere to go
     double carbon_g = 0.0;      ///< carbon attributed this tick
     double intensity_g_per_kwh = 0.0; ///< grid intensity used
+    /**
+     * Demand that could not be served because the grid was out and
+     * solar + battery fell short (always 0 outside an outage). The
+     * conservation identity under faults is
+     *   solar_used + battery_discharge + grid_to_demand + unserved
+     *       == demand.
+     */
+    double unserved_w = 0.0;
 };
 
 /**
@@ -125,6 +155,19 @@ class VirtualEnergySystem
     const TickSettlement &settle(double demand_w, double solar_w,
                                  double intensity_g_per_kwh,
                                  TimeS start_s, TimeS dt_s);
+
+    /**
+     * Settle one tick under fault-plane availability limits
+     * (docs/FAULTS.md). With default limits this computes flows
+     * bit-identical to the unlimited overload; under an armed fault
+     * it gates the grid/battery branches (no import during an outage,
+     * no battery flow while offline, capacity clamped under fade) and
+     * reports any shortfall in TickSettlement::unserved_w.
+     */
+    const TickSettlement &settle(double demand_w, double solar_w,
+                                 double intensity_g_per_kwh,
+                                 TimeS start_s, TimeS dt_s,
+                                 const SettleLimits &limits);
 
     /**
      * Accept externally redistributed excess solar into the battery

@@ -1,0 +1,112 @@
+#include "fault/faulty_transport.h"
+
+namespace ecov::fault {
+
+using api::ErrorCode;
+using api::Status;
+
+FaultyTransport::FaultyTransport(net::Transport *inner,
+                                 std::uint64_t seed,
+                                 const TransportFaultProfile &profile)
+    : inner_(inner), rng_(seed), profile_(profile)
+{}
+
+Status
+FaultyTransport::deadStatus() const
+{
+    return Status::error(ErrorCode::Unavailable,
+                         "FaultyTransport: connection severed by "
+                         "injected fault");
+}
+
+void
+FaultyTransport::rebind(net::Transport *fresh)
+{
+    inner_ = fresh;
+    dead_ = false;
+    // Anything still held belonged to the dead connection; it was
+    // never delivered, so it counts as dropped. The client's resume
+    // retransmission covers it (the frame is still unacknowledged).
+    if (!held_.empty()) {
+        dropped_ += held_frames_;
+        held_.clear();
+        held_frames_ = 0;
+    }
+}
+
+Status
+FaultyTransport::flushDelayed()
+{
+    if (dead_ || held_.empty())
+        return Status::okStatus();
+    Status st = inner_->send(held_.data(), held_.size());
+    held_.clear();
+    held_frames_ = 0;
+    return st;
+}
+
+Status
+FaultyTransport::send(const std::uint8_t *data, std::size_t n)
+{
+    if (dead_)
+        return deadStatus();
+    if (armed_) {
+        const double u = rng_.uniform(0.0, 1.0);
+        if (u < profile_.p_kill) {
+            // The frame is lost in flight and the connection is gone:
+            // drop-implies-death, so the loss is always observable
+            // and recoverable via resume + retransmit.
+            dead_ = true;
+            dropped_ += 1 + held_frames_;
+            held_.clear();
+            held_frames_ = 0;
+            return deadStatus();
+        }
+        if (u < profile_.p_kill + profile_.p_partial && n > 1) {
+            // Deliver held traffic in order, then a prefix of this
+            // frame, then die — the server decoder is left mid-frame
+            // and the connection's replacement starts clean.
+            flushDelayed();
+            const auto cut = static_cast<std::size_t>(
+                rng_.uniformInt(1, static_cast<std::int64_t>(n) - 1));
+            inner_->send(data, cut);
+            dead_ = true;
+            partials_ += 1;
+            return deadStatus();
+        }
+        if (u < profile_.p_kill + profile_.p_partial + profile_.p_delay) {
+            // Hold the frame; order is preserved because every later
+            // delivery flushes held traffic first.
+            held_.insert(held_.end(), data, data + n);
+            held_frames_ += 1;
+            delayed_count_ += 1;
+            return Status::okStatus();
+        }
+    }
+    Status st = flushDelayed();
+    if (!st.ok())
+        return st;
+    st = inner_->send(data, n);
+    if (st.ok())
+        delivered_ += 1;
+    return st;
+}
+
+Status
+FaultyTransport::receiveSome(std::vector<std::uint8_t> &buf)
+{
+    if (dead_)
+        return deadStatus();
+    return inner_->receiveSome(buf);
+}
+
+Status
+FaultyTransport::receiveSome(std::vector<std::uint8_t> &buf,
+                             int timeout_ms)
+{
+    if (dead_)
+        return deadStatus();
+    return inner_->receiveSome(buf, timeout_ms);
+}
+
+} // namespace ecov::fault

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Seeded transport-fault wrapper (docs/FAULTS.md).
+ *
+ * FaultyTransport sits between a net::Client and a real transport and
+ * draws a fate for every *sent frame* from its own seeded Rng stream:
+ * deliver, delay (held until the next send or an explicit flush),
+ * deliver-a-prefix-then-die, or die outright. Faults are
+ * frame-aligned by construction — the wrapper never splits a frame in
+ * a way that corrupts framing for *delivered* traffic — and a dropped
+ * frame always implies transport death, so a lost request is never
+ * silently swallowed: the client observes Unavailable, reconnects,
+ * and its resume retransmission recovers every unacknowledged frame
+ * (client.h "Reconnect and resume"). The receive path passes through
+ * untouched while alive and is Unavailable once dead.
+ *
+ * Determinism: fates come only from the seed, in send order. The same
+ * driver schedule against the same seed produces the same faults —
+ * the property the faulted loopback-equality leg asserts at
+ * ECOV_THREADS 1 and 4.
+ */
+
+#ifndef ECOV_FAULT_FAULTY_TRANSPORT_H
+#define ECOV_FAULT_FAULTY_TRANSPORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/rng.h"
+
+namespace ecov::fault {
+
+/** Per-frame fault probabilities; the remainder delivers cleanly. */
+struct TransportFaultProfile
+{
+    /** Connection dies before the frame leaves (frame lost). */
+    double p_kill = 0.0;
+    /** A prefix is delivered, then the connection dies. */
+    double p_partial = 0.0;
+    /** Frame is held, delivered in order on the next send/flush. */
+    double p_delay = 0.0;
+};
+
+class FaultyTransport : public net::Transport
+{
+  public:
+    /**
+     * @param inner borrowed delivery transport; must outlive the
+     *        wrapper (or be replaced via rebind() first)
+     * @param seed fate stream seed
+     * @param profile fault probabilities (disarmed until arm(true))
+     */
+    FaultyTransport(net::Transport *inner, std::uint64_t seed,
+                    const TransportFaultProfile &profile = {});
+
+    /**
+     * Enable/disable fault draws. While disarmed every send delivers
+     * (after flushing any held frame) and no Rng draw happens — the
+     * driver arms only the phases whose faults it is prepared to
+     * recover (e.g. mutation sends but not post-settle reads).
+     */
+    void arm(bool on) { armed_ = on; }
+
+    /** True once a kill/partial fate severed the connection. */
+    bool dead() const { return dead_; }
+
+    /**
+     * Revive onto a fresh inner transport after the driver
+     * reconnected (the old connection object is the caller's to
+     * destroy). Clears the dead state; the fate stream continues.
+     */
+    void rebind(net::Transport *fresh);
+
+    /** Deliver any held (delayed) frame. No-op when dead or empty. */
+    api::Status flushDelayed();
+
+    api::Status send(const std::uint8_t *data, std::size_t n) override;
+    api::Status receiveSome(std::vector<std::uint8_t> &buf) override;
+    api::Status receiveSome(std::vector<std::uint8_t> &buf,
+                            int timeout_ms) override;
+
+    // Fate counters (bench/test reporting).
+    std::uint64_t framesDelivered() const { return delivered_; }
+    std::uint64_t framesDelayed() const { return delayed_count_; }
+    std::uint64_t framesDropped() const { return dropped_; }
+    std::uint64_t partialWrites() const { return partials_; }
+
+  private:
+    api::Status deadStatus() const;
+
+    net::Transport *inner_;
+    Rng rng_;
+    TransportFaultProfile profile_;
+    bool armed_ = false;
+    bool dead_ = false;
+    /** Held frame bytes, delivered in order before newer traffic. */
+    std::vector<std::uint8_t> held_;
+    std::uint64_t held_frames_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t delayed_count_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t partials_ = 0;
+};
+
+} // namespace ecov::fault
+
+#endif // ECOV_FAULT_FAULTY_TRANSPORT_H

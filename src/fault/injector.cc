@@ -1,0 +1,25 @@
+#include "fault/injector.h"
+
+namespace ecov::fault {
+
+FaultInjector::FaultInjector(core::Ecovisor *eco, FaultSchedule schedule)
+    : eco_(eco), schedule_(std::move(schedule))
+{
+    // Resolve the schedule at the tick's start time: the fault set is
+    // a pure function of the schedule and t, so replaying the same
+    // schedule reproduces every degraded tick bit-for-bit.
+    eco_->setFaultHook([this](TimeS start_s, TimeS) {
+        core::EnergyFaults f = schedule_.energyAt(start_s);
+        if (f.any())
+            ++armed_ticks_;
+        eco_->setEnergyFaults(f);
+    });
+}
+
+FaultInjector::~FaultInjector()
+{
+    eco_->setFaultHook(nullptr);
+    eco_->setEnergyFaults(core::EnergyFaults{});
+}
+
+} // namespace ecov::fault

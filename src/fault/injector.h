@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Binds a FaultSchedule to an ecovisor (docs/FAULTS.md).
+ *
+ * The injector owns the ecovisor's fault hook for its lifetime: at
+ * every tick boundary — immediately before the transport commit
+ * point — it folds the schedule's active events into the tick's
+ * core::EnergyFaults and arms the ecovisor with them. Destruction
+ * uninstalls the hook and clears the fault set, so an injector going
+ * out of scope restores the healthy system.
+ */
+
+#ifndef ECOV_FAULT_INJECTOR_H
+#define ECOV_FAULT_INJECTOR_H
+
+#include "core/ecovisor.h"
+#include "fault/schedule.h"
+
+namespace ecov::fault {
+
+/**
+ * RAII installer for schedule-driven energy faults. One injector per
+ * ecovisor at a time (it takes the single fault-hook slot, the same
+ * exclusivity rule as ServerCore and the pre-settle hook).
+ */
+class FaultInjector
+{
+  public:
+    /** @param eco borrowed; must outlive the injector */
+    FaultInjector(core::Ecovisor *eco, FaultSchedule schedule);
+
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** The armed schedule. */
+    const FaultSchedule &schedule() const { return schedule_; }
+
+    /** Ticks on which at least one energy fault was active. */
+    std::int64_t armedTicks() const { return armed_ticks_; }
+
+  private:
+    core::Ecovisor *eco_;
+    FaultSchedule schedule_;
+    std::int64_t armed_ticks_ = 0;
+};
+
+} // namespace ecov::fault
+
+#endif // ECOV_FAULT_INJECTOR_H

@@ -1,5 +1,7 @@
 #include "net/client.h"
 
+#include <chrono>
+
 namespace ecov::net {
 
 namespace {
@@ -22,6 +24,10 @@ std::uint32_t
 Client::finishSend(std::uint32_t req_id)
 {
     ++requests_sent_;
+    // Track before transmitting: a frame that dies with the
+    // transport is exactly the one resume() must retransmit.
+    if (track_)
+        unacked_[req_id] = tx_;
     if (conn_error_.ok()) {
         api::Status st =
             transport_->send(tx_.data(), tx_.size());
@@ -142,13 +148,17 @@ Client::latch(api::Status status)
 }
 
 api::Status
-Client::pump()
+Client::pump(int timeout_ms)
 {
     if (!conn_error_.ok())
         return conn_error_;
     rx_scratch_.clear();
-    api::Status st = transport_->receiveSome(rx_scratch_);
+    api::Status st = transport_->receiveSome(rx_scratch_, timeout_ms);
     if (!st.ok()) {
+        // A spent receive budget is transient: the reply may still
+        // arrive, so the connection must not latch.
+        if (st.code() == api::ErrorCode::DeadlineExceeded)
+            return st;
         latch(st);
         return conn_error_;
     }
@@ -187,6 +197,7 @@ Client::pump()
                         reply.head.message));
                 return conn_error_;
             }
+            unacked_.erase(f.request_id);
             replies_[f.request_id] = std::move(reply);
             break;
           }
@@ -203,6 +214,12 @@ Client::replyReady(std::uint32_t request_id) const
 api::Status
 Client::take(std::uint32_t request_id, Reply *out)
 {
+    using Clock = std::chrono::steady_clock;
+    const bool limited = call_timeout_ms_ > 0;
+    const Clock::time_point deadline =
+        limited ? Clock::now() +
+                      std::chrono::milliseconds(call_timeout_ms_)
+                : Clock::time_point();
     for (;;) {
         auto it = replies_.find(request_id);
         if (it != replies_.end()) {
@@ -212,7 +229,19 @@ Client::take(std::uint32_t request_id, Reply *out)
         }
         if (!conn_error_.ok())
             return conn_error_;
-        api::Status st = pump();
+        int budget_ms = 0;
+        if (limited) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+            if (left <= 0)
+                return api::Status::error(
+                    api::ErrorCode::DeadlineExceeded,
+                    "call deadline elapsed awaiting the reply");
+            budget_ms = static_cast<int>(left);
+        }
+        api::Status st = pump(budget_ms);
         if (!st.ok())
             return st;
     }
@@ -298,6 +327,101 @@ Client::awaitSnapshot(std::uint32_t request_id)
         return api::Status::error(api::ErrorCode::Unavailable,
                                   "malformed snapshot response");
     return snap;
+}
+
+// ----------------------------------------------------------------------
+// Session leases (docs/FAULTS.md).
+// ----------------------------------------------------------------------
+
+api::Status
+Client::beginSession()
+{
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeSessionInfo(tx_, req);
+    finishSend(req);
+    Reply r;
+    api::Status st = take(req, &r);
+    if (!st.ok())
+        return st;
+    if (r.head.code != api::ErrorCode::Ok)
+        return api::Status::error(r.head.code,
+                                  std::move(r.head.message));
+    if (r.opcode !=
+        (static_cast<std::uint8_t>(Opcode::SessionInfo) |
+         kResponseBit))
+        return opcodeMismatch();
+    if (!decodeSessionInfoResult(r.result.data(), r.result.size(), 0,
+                                 &token_, &lease_ticks_))
+        return api::Status::error(api::ErrorCode::Unavailable,
+                                  "malformed session_info response");
+    track_ = lease_ticks_ > 0;
+    return api::Status::okStatus();
+}
+
+void
+Client::bindTransport(Transport *transport)
+{
+    transport_ = transport;
+    conn_error_ = api::Status::okStatus();
+    decoder_.reset();
+    rx_scratch_.clear();
+}
+
+api::Status
+Client::resume()
+{
+    if (token_ == 0)
+        return api::Status::error(api::ErrorCode::InvalidArgument,
+                                  "no leased session to resume "
+                                  "(beginSession first)");
+    if (!conn_error_.ok())
+        return conn_error_;
+
+    // Resume must be the first frame on the fresh stream; requests
+    // queued while disconnected were tracked but never transmitted,
+    // so nothing has raced ahead of us here.
+    const std::uint32_t req = next_req_++;
+    tx_.clear();
+    encodeResume(tx_, req, token_);
+    api::Status st = transport_->send(tx_.data(), tx_.size());
+    if (!st.ok()) {
+        latch(std::move(st));
+        return conn_error_;
+    }
+    Reply r;
+    st = take(req, &r);
+    if (!st.ok())
+        return st;
+    if (r.head.code != api::ErrorCode::Ok)
+        return api::Status::error(r.head.code,
+                                  std::move(r.head.message));
+    if (r.opcode != (static_cast<std::uint8_t>(Opcode::Resume) |
+                     kResponseBit))
+        return opcodeMismatch();
+
+    // Retransmit everything unacknowledged in request-id order. The
+    // server's dedup window replays what already committed and
+    // swallows what is still queued — each mutation lands exactly
+    // once regardless of where the old connection died.
+    for (const auto &[id, frame] : unacked_) {
+        (void)id;
+        st = transport_->send(frame.data(), frame.size());
+        if (!st.ok()) {
+            latch(std::move(st));
+            return conn_error_;
+        }
+    }
+    return api::Status::okStatus();
+}
+
+void
+Client::abandonSession()
+{
+    unacked_.clear();
+    token_ = 0;
+    lease_ticks_ = 0;
+    track_ = false;
 }
 
 // ----------------------------------------------------------------------

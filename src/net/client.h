@@ -21,6 +21,21 @@
  * on any other connection. That is the isolation property — there is
  * no global handle a tenant could forge.
  *
+ * Reconnect-and-resume (docs/FAULTS.md): beginSession() asks the
+ * server for this connection's resume token and lease length. While a
+ * lease is active the client keeps every request it has sent but not
+ * yet seen answered. After the transport dies, bindTransport() swaps
+ * in a fresh connection and resume() re-binds the server-side session
+ * by token, then retransmits the unacknowledged requests in request-id
+ * order — the server's dedup window makes the retries commit exactly
+ * once. If resume() is refused (lease expired, server restarted), the
+ * caller abandons the session and re-registers from scratch.
+ *
+ * Deadlines: setCallTimeout() bounds every blocking await. A call
+ * that exhausts its budget returns DeadlineExceeded without latching
+ * a connection error — the reply may still arrive later and can be
+ * awaited again.
+ *
  * The client is single-threaded like the rest of the tenant surface;
  * one Client per Transport per thread.
  */
@@ -121,6 +136,58 @@ class Client
     /** True when the response is already buffered (non-blocking). */
     bool replyReady(std::uint32_t request_id) const;
 
+    // ------------------------------------------------------------------
+    // Deadlines and session leases.
+    // ------------------------------------------------------------------
+
+    /**
+     * Bound every subsequent blocking await: when no reply arrives
+     * within `ms` milliseconds the await returns DeadlineExceeded
+     * (transient — the connection is not latched and the reply can
+     * still be awaited again). 0 (default) blocks forever.
+     */
+    void setCallTimeout(int ms) { call_timeout_ms_ = ms; }
+    int callTimeout() const { return call_timeout_ms_; }
+
+    /**
+     * Fetch this connection's resume token and lease length from the
+     * server (Opcode::SessionInfo). When the server runs with leases
+     * enabled this also arms client-side tracking of unacknowledged
+     * requests for retransmission after resume().
+     */
+    api::Status beginSession();
+
+    /** Resume token from beginSession(); 0 when none / disabled. */
+    std::uint64_t sessionToken() const { return token_; }
+
+    /** Server lease length from beginSession(); 0 when disabled. */
+    std::uint32_t leaseTicks() const { return lease_ticks_; }
+
+    /**
+     * Swap in a fresh transport after the old one died: clears the
+     * latched connection error and resets framing state. Buffered
+     * replies and unacknowledged-request tracking survive — follow
+     * with resume() to re-bind the server-side session.
+     */
+    void bindTransport(Transport *transport);
+
+    /**
+     * Re-bind the leased server-side session over a fresh transport:
+     * sends Opcode::Resume with the stored token (first frame on the
+     * new stream, as the server requires), and on acceptance
+     * retransmits every unacknowledged request in request-id order.
+     * A non-ok return (expired lease, restarted server) leaves the
+     * connection usable — abandonSession() and re-register.
+     */
+    api::Status resume();
+
+    /** Drop the session lease state (token, tracked requests). */
+    void abandonSession();
+
+    /** Requests sent but not yet seen answered (0 when tracking is
+     *  off). */
+    std::size_t unackedCount() const { return unacked_.size(); }
+
     /**
      * Latched connection-fatal error (transport failure, server
      * ProtocolError, malformed response); Ok while healthy. Once
@@ -139,13 +206,16 @@ class Client
         std::vector<std::uint8_t> result; ///< fields after the status
     };
 
-    /** Transmit tx_ and count the request. */
+    /** Transmit tx_ and count (and possibly track) the request. */
     std::uint32_t finishSend(std::uint32_t req_id);
 
-    /** One blocking receive; parses every complete frame. */
-    api::Status pump();
+    /** One receive; parses every complete frame. `timeout_ms <= 0`
+     *  blocks forever; a positive budget may return a transient
+     *  DeadlineExceeded (not latched). */
+    api::Status pump(int timeout_ms);
 
-    /** Block until request_id's reply is buffered; pops it. */
+    /** Block (up to the call timeout) until request_id's reply is
+     *  buffered; pops it. */
     api::Status take(std::uint32_t request_id, Reply *out);
 
     void latch(api::Status status);
@@ -156,8 +226,15 @@ class Client
     std::vector<std::uint8_t> rx_scratch_;
     FrameDecoder decoder_;
     std::map<std::uint32_t, Reply> replies_;
+    /** Request id -> encoded frame, kept until the reply is seen;
+     *  retransmitted by resume(). Only while tracking is armed. */
+    std::map<std::uint32_t, std::vector<std::uint8_t>> unacked_;
     std::uint32_t next_req_ = 1;
     std::uint64_t requests_sent_ = 0;
+    int call_timeout_ms_ = 0;
+    std::uint64_t token_ = 0;
+    std::uint32_t lease_ticks_ = 0;
+    bool track_ = false;
     api::Status conn_error_;
 };
 

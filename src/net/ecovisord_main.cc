@@ -10,7 +10,8 @@
  * (connection id, request id) order.
  *
  *   ecovisord [--port=N] [--nodes=N] [--cores=N] [--tick=SECONDS]
- *             [--tick-ms=MS] [--max-ticks=N] [--seed=N] [--quiet]
+ *             [--tick-ms=MS] [--max-ticks=N] [--seed=N]
+ *             [--lease-ticks=N] [--quiet]
  *
  *   --port      TCP port on 127.0.0.1; 0 (default) lets the OS pick.
  *   --nodes     cluster size (default 16)
@@ -20,6 +21,10 @@
  *               step as fast as the loop spins)
  *   --max-ticks stop after N ticks; 0 (default) = run until SIGTERM
  *   --seed      trace seed for the synthetic carbon/solar day
+ *   --lease-ticks  session lease length in ticks: a disconnected
+ *               tenant's namespace survives this many ticks awaiting
+ *               reconnect-and-resume (docs/FAULTS.md); 0 (default)
+ *               revokes on disconnect, the pre-lease behaviour
  *
  * SIGINT/SIGTERM drain cleanly: queued requests are answered
  * Unavailable, outboxes flush, and the process exits 0 — the CI smoke
@@ -70,6 +75,7 @@ main(int argc, char **argv)
 
     long long port = 0, nodes = 16, cores = 8, tick_s = 60;
     long long tick_ms = 100, max_ticks = 0, seed = 7;
+    long long lease_ticks = 0;
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -79,7 +85,8 @@ main(int argc, char **argv)
             parseFlag(a, "--tick", &tick_s) ||
             parseFlag(a, "--tick-ms", &tick_ms) ||
             parseFlag(a, "--max-ticks", &max_ticks) ||
-            parseFlag(a, "--seed", &seed))
+            parseFlag(a, "--seed", &seed) ||
+            parseFlag(a, "--lease-ticks", &lease_ticks))
             continue;
         if (std::strcmp(a, "--quiet") == 0) {
             quiet = true;
@@ -89,7 +96,8 @@ main(int argc, char **argv)
         return 64;
     }
     if (port < 0 || port > 65535 || nodes < 1 || cores < 1 ||
-        tick_s < 1 || tick_ms < 0 || max_ticks < 0) {
+        tick_s < 1 || tick_ms < 0 || max_ticks < 0 ||
+        lease_ticks < 0 || lease_ticks > 1'000'000) {
         std::fprintf(stderr, "ecovisord: argument out of range\n");
         return 64;
     }
@@ -116,7 +124,9 @@ main(int argc, char **argv)
     sim::Simulation simul(static_cast<TimeS>(tick_s));
     eco.attach(simul);
 
-    net::ServerCore server(&eco);
+    net::ServerCoreOptions core_opts;
+    core_opts.lease_ticks = static_cast<std::uint32_t>(lease_ticks);
+    net::ServerCore server(&eco, core_opts);
     net::TcpServerOptions tcp_opts;
     tcp_opts.port = static_cast<std::uint16_t>(port);
     auto tcp = net::TcpServer::create(&server, tcp_opts);
@@ -178,13 +188,18 @@ main(int argc, char **argv)
     if (!quiet) {
         const net::ServerStats &st = server.stats();
         std::printf("ecovisord: %lld ticks, %llu frames, %llu "
-                    "committed, %llu rejected, exiting cleanly\n",
+                    "committed, %llu rejected, %llu resumed, %llu "
+                    "leases expired, exiting cleanly\n",
                     ticks,
                     static_cast<unsigned long long>(st.frames_decoded),
                     static_cast<unsigned long long>(
                         st.coalesced_committed),
                     static_cast<unsigned long long>(
-                        st.admission_rejects));
+                        st.admission_rejects),
+                    static_cast<unsigned long long>(
+                        st.leases_resumed),
+                    static_cast<unsigned long long>(
+                        st.leases_expired));
     }
     return 0;
 }

@@ -29,6 +29,10 @@ opcodeName(Opcode op)
         return "get_snapshot";
       case Opcode::SetDemand:
         return "set_demand";
+      case Opcode::Resume:
+        return "resume";
+      case Opcode::SessionInfo:
+        return "session_info";
       case Opcode::ProtocolError:
         return "protocol_error";
     }
@@ -49,6 +53,8 @@ validOpcode(std::uint8_t raw)
       case Opcode::SetMaxDischarge:
       case Opcode::GetSnapshot:
       case Opcode::SetDemand:
+      case Opcode::Resume:
+      case Opcode::SessionInfo:
         return true;
       case Opcode::ProtocolError:
         return false; // server-initiated only, never a request
@@ -71,8 +77,10 @@ isCoalesced(Opcode op)
         return true;
       case Opcode::Ping:
       case Opcode::GetSnapshot:
+      case Opcode::Resume:
+      case Opcode::SessionInfo:
       case Opcode::ProtocolError:
-        return false; // read-only: answered at arrival
+        return false; // session-scoped / read-only: answered at arrival
     }
     return false;
 }
@@ -104,6 +112,8 @@ wireErrorCode(api::ErrorCode code)
         return 9;
       case api::ErrorCode::Unavailable:
         return 10;
+      case api::ErrorCode::DeadlineExceeded:
+        return 11;
     }
     return 1; // unknown code degrades to invalid_argument
 }
@@ -144,6 +154,9 @@ errorCodeFromWire(std::uint16_t wire, api::ErrorCode *out)
         return true;
       case 10:
         *out = api::ErrorCode::Unavailable;
+        return true;
+      case 11:
+        *out = api::ErrorCode::DeadlineExceeded;
         return true;
       default:
         return false;
@@ -296,6 +309,35 @@ decodeCapBatch(const std::uint8_t *payload, std::size_t len,
     return r.done();
 }
 
+void
+encodeResume(std::vector<std::uint8_t> &out, std::uint32_t request_id,
+             std::uint64_t token)
+{
+    const std::size_t off = beginFrame(
+        out, static_cast<std::uint8_t>(Opcode::Resume), request_id);
+    WireWriter w(&out);
+    w.u64(token);
+    endFrame(out, off);
+}
+
+bool
+decodeResume(const std::uint8_t *payload, std::size_t len,
+             std::uint64_t *token)
+{
+    WireReader r(payload, len);
+    return r.u64(token) && r.done();
+}
+
+void
+encodeSessionInfo(std::vector<std::uint8_t> &out,
+                  std::uint32_t request_id)
+{
+    const std::size_t off = beginFrame(
+        out, static_cast<std::uint8_t>(Opcode::SessionInfo),
+        request_id);
+    endFrame(out, off);
+}
+
 namespace {
 
 std::size_t
@@ -343,6 +385,10 @@ encodeSnapshotResponse(std::vector<std::uint8_t> &out,
     w.f64(snap.grid_carbon_g_per_kwh);
     w.f64(snap.battery_discharge_w);
     w.f64(snap.battery_charge_level_wh);
+    // Flags byte (added with the fault plane): bit0 = stale, i.e. the
+    // readings are last-settled values served through a sensor
+    // blackout. Remaining bits are reserved and must be zero.
+    w.u8(snap.stale ? 1 : 0);
     endFrame(out, off);
 }
 
@@ -401,10 +447,43 @@ decodeSnapshotResult(const std::uint8_t *payload, std::size_t len,
     if (offset > len)
         return false;
     WireReader r(payload + offset, len - offset);
-    return r.f64(&snap->solar_w) && r.f64(&snap->grid_w) &&
-           r.f64(&snap->grid_carbon_g_per_kwh) &&
-           r.f64(&snap->battery_discharge_w) &&
-           r.f64(&snap->battery_charge_level_wh) && r.done();
+    std::uint8_t flags = 0;
+    if (!(r.f64(&snap->solar_w) && r.f64(&snap->grid_w) &&
+          r.f64(&snap->grid_carbon_g_per_kwh) &&
+          r.f64(&snap->battery_discharge_w) &&
+          r.f64(&snap->battery_charge_level_wh) && r.u8(&flags) &&
+          r.done()))
+        return false;
+    if (flags > 1)
+        return false; // reserved flag bits must be zero
+    snap->stale = (flags & 1) != 0;
+    return true;
+}
+
+bool
+decodeSessionInfoResult(const std::uint8_t *payload, std::size_t len,
+                        std::size_t offset, std::uint64_t *token,
+                        std::uint32_t *lease_ticks)
+{
+    if (offset > len)
+        return false;
+    WireReader r(payload + offset, len - offset);
+    return r.u64(token) && r.u32(lease_ticks) && r.done();
+}
+
+void
+encodeSessionInfoResponse(std::vector<std::uint8_t> &out,
+                          std::uint32_t request_id,
+                          std::uint64_t token,
+                          std::uint32_t lease_ticks)
+{
+    const std::size_t off =
+        beginResponse(out, Opcode::SessionInfo, request_id);
+    WireWriter w(&out);
+    w.u16(0);
+    w.u64(token);
+    w.u32(lease_ticks);
+    endFrame(out, off);
 }
 
 } // namespace ecov::net

@@ -41,6 +41,14 @@ enum class Opcode : std::uint8_t
     SetMaxDischarge = 0x08,  ///< Ecovisor::setBatteryMaxDischarge
     GetSnapshot = 0x09,      ///< Ecovisor::getEnergySnapshot
     SetDemand = 0x0A,        ///< Cluster::setDemand (own container)
+    /** Re-bind a leased session after reconnect. Must be the first
+     *  frame on a fresh connection; carries the u64 resume token
+     *  handed out by SessionInfo (docs/ECOVISORD.md "Session
+     *  leases"). */
+    Resume = 0x0B,
+    /** Query the connection's resume token and lease length in
+     *  ticks (0 when the server runs without leases). */
+    SessionInfo = 0x0C,
     /** Server-initiated: sent with request id 0 just before the
      *  server closes a connection that broke framing. */
     ProtocolError = 0x7F,
@@ -131,6 +139,16 @@ void encodeCapBatch(std::vector<std::uint8_t> &out,
 bool decodeCapBatch(const std::uint8_t *payload, std::size_t len,
                     std::vector<CapEntry> *entries);
 
+/** Resume: the u64 resume token from SessionInfo. */
+void encodeResume(std::vector<std::uint8_t> &out,
+                  std::uint32_t request_id, std::uint64_t token);
+bool decodeResume(const std::uint8_t *payload, std::size_t len,
+                  std::uint64_t *token);
+
+/** SessionInfo: no payload. */
+void encodeSessionInfo(std::vector<std::uint8_t> &out,
+                       std::uint32_t request_id);
+
 // ----------------------------------------------------------------------
 // Response payloads.
 // ----------------------------------------------------------------------
@@ -149,6 +167,11 @@ void encodeSnapshotResponse(std::vector<std::uint8_t> &out,
 void encodeErrorResponse(std::vector<std::uint8_t> &out, Opcode op,
                          std::uint32_t request_id,
                          const api::Status &status);
+/** SessionInfo result: u64 resume token + u32 lease ticks. */
+void encodeSessionInfoResponse(std::vector<std::uint8_t> &out,
+                               std::uint32_t request_id,
+                               std::uint64_t token,
+                               std::uint32_t lease_ticks);
 
 /** Decoded common prefix of any response payload. */
 struct ResponseHead
@@ -170,6 +193,10 @@ bool decodeIdResult(const std::uint8_t *payload, std::size_t len,
 bool decodeSnapshotResult(const std::uint8_t *payload, std::size_t len,
                           std::size_t offset,
                           api::EnergySnapshot *snap);
+bool decodeSessionInfoResult(const std::uint8_t *payload,
+                             std::size_t len, std::size_t offset,
+                             std::uint64_t *token,
+                             std::uint32_t *lease_ticks);
 
 } // namespace ecov::net
 

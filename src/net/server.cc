@@ -15,6 +15,22 @@ err(api::ErrorCode code, const char *msg)
     return api::Status::error(code, msg);
 }
 
+/**
+ * Deterministic token derivation (splitmix64 finalizer over the
+ * configured seed and the session id). Reproducible for tests, yet
+ * 64 bits wide on the wire — a remote peer cannot enumerate it
+ * within a lease window.
+ */
+std::uint64_t
+mixToken(std::uint64_t seed, std::uint64_t sid)
+{
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (sid + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    z ^= z >> 31;
+    return z ? z : 1; // 0 means "no token"
+}
+
 } // namespace
 
 ServerCore::ServerCore(core::Ecovisor *eco, ServerCoreOptions options)
@@ -31,28 +47,45 @@ ServerCore::~ServerCore()
     eco_->setPreSettleHook(nullptr);
 }
 
+SessionId
+ServerCore::newSession(ConnId bound_to)
+{
+    const SessionId sid = next_session_++;
+    Session &s = sessions_[sid];
+    s.bound = bound_to;
+    if (options_.lease_ticks > 0) {
+        std::uint64_t token = mixToken(options_.token_seed, sid);
+        while (tokens_.count(token) != 0)
+            ++token; // astronomically rare; keep tokens unique
+        s.token = token;
+        tokens_[token] = sid;
+    }
+    return sid;
+}
+
 ConnId
 ServerCore::openConnection()
 {
     const ConnId conn = next_conn_++;
-    Session &s = sessions_[conn];
-    s.decoder = FrameDecoder(options_.max_payload_bytes);
+    Conn &c = conns_[conn];
+    c.decoder = FrameDecoder(options_.max_payload_bytes);
+    c.session = newSession(conn);
     return conn;
 }
 
 void
-ServerCore::closeConnection(ConnId conn)
+ServerCore::destroySession(SessionId sid)
 {
-    auto it = sessions_.find(conn);
+    auto it = sessions_.find(sid);
     if (it == sessions_.end())
         return;
 
-    // Queued requests die with the peer: no one is left to read the
-    // responses, and committing them would let a disconnected tenant
+    // Queued requests die with the session: no one is left to read
+    // the responses, and committing them would let a revoked tenant
     // keep mutating the sim.
     pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
-                                  [conn](const PendingOp &op) {
-                                      return op.conn == conn;
+                                  [sid](const PendingOp &op) {
+                                      return op.session == sid;
                                   }),
                    pending_.end());
 
@@ -65,53 +98,94 @@ ServerCore::closeConnection(ConnId conn)
         if (const cop::Container *c = cluster.find(h.ref()))
             cluster.destroyContainer(c->id);
 
+    if (it->second.token != 0)
+        tokens_.erase(it->second.token);
     sessions_.erase(it);
+}
+
+void
+ServerCore::closeConnection(ConnId conn)
+{
+    auto it = conns_.find(conn);
+    if (it == conns_.end())
+        return;
+    const SessionId sid = it->second.session;
+    const bool poisoned = it->second.poisoned;
+    conns_.erase(it);
+
+    auto sit = sessions_.find(sid);
+    if (sit == sessions_.end())
+        return;
+
+    // Lease-ineligible closes revoke immediately: leases disabled,
+    // server draining (nothing to resume into), or the peer broke
+    // protocol (its fault, not the network's).
+    if (options_.lease_ticks == 0 || draining_ || poisoned) {
+        destroySession(sid);
+        return;
+    }
+
+    // Detach: the session survives `lease_ticks` settlements awaiting
+    // Resume. Undelivered output is gone with the connection — the
+    // client retransmits what it never saw acknowledged, and the
+    // dedup window replays anything that already committed.
+    Session &s = sit->second;
+    s.bound = 0;
+    s.lease_left = options_.lease_ticks;
+    s.outbox.clear();
+    ++detached_;
+    ++stats_.leases_started;
 }
 
 bool
 ServerCore::connectionOpen(ConnId conn) const
 {
-    return sessions_.count(conn) != 0;
+    return conns_.count(conn) != 0;
 }
 
 std::vector<std::uint8_t> &
 ServerCore::outbox(ConnId conn)
 {
-    auto it = sessions_.find(conn);
-    if (it == sessions_.end())
+    auto it = conns_.find(conn);
+    if (it == conns_.end())
         fatal("ServerCore::outbox: unknown connection");
-    return it->second.outbox;
+    auto sit = sessions_.find(it->second.session);
+    if (sit == sessions_.end())
+        fatal("ServerCore::outbox: connection without session");
+    return sit->second.outbox;
 }
 
 bool
 ServerCore::onBytes(ConnId conn, const std::uint8_t *data,
                     std::size_t n)
 {
-    auto it = sessions_.find(conn);
-    if (it == sessions_.end())
+    auto it = conns_.find(conn);
+    if (it == conns_.end())
         fatal("ServerCore::onBytes: unknown connection");
-    Session &s = it->second;
+    Conn &c = it->second;
 
-    s.decoder.feed(data, n);
+    c.decoder.feed(data, n);
     for (;;) {
         Frame f;
-        switch (s.decoder.next(&f)) {
+        switch (c.decoder.next(&f)) {
           case DecodeStatus::NeedMore:
             return true;
           case DecodeStatus::Error:
             ++stats_.protocol_errors;
-            encodeErrorResponse(s.outbox, Opcode::ProtocolError, 0,
+            c.poisoned = true;
+            encodeErrorResponse(outbox(conn), Opcode::ProtocolError, 0,
                                 err(api::ErrorCode::InvalidArgument,
-                                    s.decoder.error().c_str()));
+                                    c.decoder.error().c_str()));
             return false;
           case DecodeStatus::Frame:
             ++stats_.frames_decoded;
-            if (!handleFrame(conn, s, f)) {
+            if (!handleFrame(conn, c, f)) {
                 ++stats_.protocol_errors;
+                c.poisoned = true;
                 encodeErrorResponse(
-                    s.outbox, Opcode::ProtocolError, 0,
+                    outbox(conn), Opcode::ProtocolError, 0,
                     err(api::ErrorCode::InvalidArgument,
-                        "unknown request opcode"));
+                        "unknown request opcode or resume misuse"));
                 return false;
             }
             break;
@@ -120,7 +194,7 @@ ServerCore::onBytes(ConnId conn, const std::uint8_t *data,
 }
 
 bool
-ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
+ServerCore::handleFrame(ConnId conn, Conn &c, const Frame &f)
 {
     // An opcode this build does not serve (including a response
     // opcode echoed back at us) means the peer is not speaking this
@@ -129,8 +203,16 @@ ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
         return false;
     const auto op = static_cast<Opcode>(f.opcode);
 
+    const bool virgin = c.virgin;
+    c.virgin = false;
+
+    auto sit = sessions_.find(c.session);
+    if (sit == sessions_.end())
+        fatal("ServerCore::handleFrame: connection without session");
+    Session *s = &sit->second;
+
     if (draining_) {
-        encodeErrorResponse(s.outbox, op, f.request_id,
+        encodeErrorResponse(s->outbox, op, f.request_id,
                             err(api::ErrorCode::Unavailable,
                                 "server draining"));
         return true;
@@ -140,7 +222,7 @@ ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
     // the frame boundary is intact, so the stream stays in sync and
     // the connection survives.
     const auto bad_payload = [&] {
-        encodeErrorResponse(s.outbox, op, f.request_id,
+        encodeErrorResponse(s->outbox, op, f.request_id,
                             err(api::ErrorCode::InvalidArgument,
                                 "malformed request payload"));
         return true;
@@ -151,7 +233,61 @@ ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
         if (f.payload_len != 0)
             return bad_payload();
         ++stats_.immediate_replies;
-        encodeOkResponse(s.outbox, op, f.request_id);
+        encodeOkResponse(s->outbox, op, f.request_id);
+        return true;
+      }
+      case Opcode::SessionInfo: {
+        if (f.payload_len != 0)
+            return bad_payload();
+        ++stats_.immediate_replies;
+        encodeSessionInfoResponse(s->outbox, f.request_id, s->token,
+                                  options_.lease_ticks);
+        return true;
+      }
+      case Opcode::Resume: {
+        std::uint64_t token = 0;
+        if (!decodeResume(f.payload, f.payload_len, &token))
+            return bad_payload();
+        // Resume anywhere but the head of a fresh stream means the
+        // peer is confused about its own state: connection-fatal.
+        if (!virgin)
+            return false;
+        ++stats_.immediate_replies;
+        if (options_.lease_ticks == 0) {
+            encodeErrorResponse(s->outbox, op, f.request_id,
+                                err(api::ErrorCode::Unavailable,
+                                    "session leases disabled"));
+            return true;
+        }
+        auto tit = tokens_.find(token);
+        if (tit == tokens_.end()) {
+            encodeErrorResponse(s->outbox, op, f.request_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "unknown or expired resume "
+                                    "token"));
+            return true;
+        }
+        Session &target = sessions_.at(tit->second);
+        if (target.bound != 0) {
+            // Still bound to a live connection: either a token leak
+            // or a client racing itself. Refuse; the holder keeps it.
+            encodeErrorResponse(s->outbox, op, f.request_id,
+                                err(api::ErrorCode::InvalidHandle,
+                                    "session still bound to a "
+                                    "connection"));
+            return true;
+        }
+        // Re-bind: discard this connection's fresh (virgin, hence
+        // empty) session and attach the leased one in its place.
+        const SessionId fresh = c.session;
+        const SessionId resumed = tit->second;
+        destroySession(fresh);
+        c.session = resumed;
+        target.bound = conn;
+        target.lease_left = 0;
+        --detached_;
+        ++stats_.leases_resumed;
+        encodeOkResponse(target.outbox, op, f.request_id);
         return true;
       }
       case Opcode::GetSnapshot: {
@@ -159,18 +295,18 @@ ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
         if (!decodeIdOnly(f.payload, f.payload_len, &id))
             return bad_payload();
         ++stats_.immediate_replies;
-        if (id >= s.apps.size()) {
-            encodeErrorResponse(s.outbox, op, f.request_id,
+        if (id >= s->apps.size()) {
+            encodeErrorResponse(s->outbox, op, f.request_id,
                                 err(api::ErrorCode::InvalidHandle,
                                     "unknown local app id"));
             return true;
         }
-        auto snap = eco_->getEnergySnapshot(s.apps[id]);
+        auto snap = eco_->getEnergySnapshot(s->apps[id]);
         if (!snap.ok())
-            encodeErrorResponse(s.outbox, op, f.request_id,
+            encodeErrorResponse(s->outbox, op, f.request_id,
                                 snap.status());
         else
-            encodeSnapshotResponse(s.outbox, f.request_id,
+            encodeSnapshotResponse(s->outbox, f.request_id,
                                    snap.value());
         return true;
       }
@@ -178,30 +314,30 @@ ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
         PendingOp p;
         if (!decodeRegisterApp(f.payload, f.payload_len, &p.reg))
             return bad_payload();
-        p.conn = conn;
+        p.session = c.session;
         p.req_id = f.request_id;
         p.op = op;
-        admit(conn, s, std::move(p));
+        admitDeduped(*s, std::move(p));
         return true;
       }
       case Opcode::ApplyCapBatch: {
         PendingOp p;
         if (!decodeCapBatch(f.payload, f.payload_len, &p.caps))
             return bad_payload();
-        p.conn = conn;
+        p.session = c.session;
         p.req_id = f.request_id;
         p.op = op;
-        admit(conn, s, std::move(p));
+        admitDeduped(*s, std::move(p));
         return true;
       }
       case Opcode::DestroyContainer: {
         PendingOp p;
         if (!decodeIdOnly(f.payload, f.payload_len, &p.id))
             return bad_payload();
-        p.conn = conn;
+        p.session = c.session;
         p.req_id = f.request_id;
         p.op = op;
-        admit(conn, s, std::move(p));
+        admitDeduped(*s, std::move(p));
         return true;
       }
       case Opcode::SpawnContainer:
@@ -213,12 +349,12 @@ ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
         if (!decodeIdValue(f.payload, f.payload_len, &req))
             return bad_payload();
         PendingOp p;
-        p.conn = conn;
+        p.session = c.session;
         p.req_id = f.request_id;
         p.op = op;
         p.id = req.id;
         p.value = req.value;
-        admit(conn, s, std::move(p));
+        admitDeduped(*s, std::move(p));
         return true;
       }
       case Opcode::ProtocolError:
@@ -228,16 +364,39 @@ ServerCore::handleFrame(ConnId conn, Session &s, const Frame &f)
 }
 
 void
-ServerCore::admit(ConnId conn, Session &s, PendingOp &&op)
+ServerCore::admitDeduped(Session &s, PendingOp &&op)
 {
-    (void)conn;
+    if (options_.lease_ticks > 0) {
+        // Exactly-once under retransmit: an id that already committed
+        // replays its stored response verbatim; one still queued is
+        // swallowed (the commit will answer it).
+        auto done = s.done.find(op.req_id);
+        if (done != s.done.end()) {
+            ++stats_.duplicates_replayed;
+            s.outbox.insert(s.outbox.end(), done->second.begin(),
+                            done->second.end());
+            return;
+        }
+        if (s.queued.count(op.req_id) != 0)
+            return;
+        const std::uint32_t req_id = op.req_id;
+        if (admit(s, std::move(op)))
+            s.queued.insert(req_id);
+        return;
+    }
+    admit(s, std::move(op));
+}
+
+bool
+ServerCore::admit(Session &s, PendingOp &&op)
+{
     if (s.inflight >= options_.max_inflight_per_conn) {
         ++stats_.admission_rejects;
         encodeErrorResponse(s.outbox, op.op, op.req_id,
                             err(api::ErrorCode::ResourceExhausted,
                                 "per-connection inflight budget "
                                 "exceeded"));
-        return;
+        return false;
     }
     if (pending_.size() >= options_.max_pending_total) {
         ++stats_.admission_rejects;
@@ -245,10 +404,23 @@ ServerCore::admit(ConnId conn, Session &s, PendingOp &&op)
                             err(api::ErrorCode::ResourceExhausted,
                                 "global request queue budget "
                                 "exceeded"));
-        return;
+        return false;
     }
     ++s.inflight;
     pending_.push_back(std::move(op));
+    return true;
+}
+
+void
+ServerCore::recordDone(Session &s, std::uint32_t req_id,
+                       const std::uint8_t *bytes, std::size_t n)
+{
+    s.done[req_id].assign(bytes, bytes + n);
+    s.done_order.push_back(req_id);
+    while (s.done_order.size() > options_.dedup_window) {
+        s.done.erase(s.done_order.front());
+        s.done_order.pop_front();
+    }
 }
 
 void
@@ -256,30 +428,67 @@ ServerCore::commitCoalesced(TimeS start_s, TimeS dt_s)
 {
     (void)start_s;
     (void)dt_s;
-    if (pending_.empty())
-        return;
+    if (!pending_.empty()) {
+        // Canonical order: (session id, request id). Session ids are
+        // assigned in open order and survive reconnects, and request
+        // ids are client-chosen, so for any fixed logical schedule
+        // this order — and therefore every downstream settled value —
+        // is independent of how the requests' bytes interleaved in
+        // flight, or of how many times the connection dropped.
+        std::stable_sort(pending_.begin(), pending_.end(),
+                         [](const PendingOp &a, const PendingOp &b) {
+                             if (a.session != b.session)
+                                 return a.session < b.session;
+                             return a.req_id < b.req_id;
+                         });
 
-    // Canonical order: (connection id, request id). Connection ids
-    // are assigned in open order and request ids are client-chosen,
-    // so for any fixed logical schedule this order — and therefore
-    // every downstream settled value — is independent of how the
-    // requests' bytes interleaved in flight.
-    std::stable_sort(pending_.begin(), pending_.end(),
-                     [](const PendingOp &a, const PendingOp &b) {
-                         if (a.conn != b.conn)
-                             return a.conn < b.conn;
-                         return a.req_id < b.req_id;
-                     });
-
-    for (const PendingOp &op : pending_) {
-        auto it = sessions_.find(op.conn);
-        if (it == sessions_.end())
-            continue; // connection closed while queued
-        apply(op, it->second);
-        --it->second.inflight;
-        ++stats_.coalesced_committed;
+        for (const PendingOp &op : pending_) {
+            auto it = sessions_.find(op.session);
+            if (it == sessions_.end())
+                continue; // session revoked while queued
+            Session &s = it->second;
+            const std::size_t before = s.outbox.size();
+            apply(op, s);
+            --s.inflight;
+            ++stats_.coalesced_committed;
+            if (options_.lease_ticks > 0) {
+                s.queued.erase(op.req_id);
+                recordDone(s, op.req_id, s.outbox.data() + before,
+                           s.outbox.size() - before);
+                // A detached session has no stream to deliver on;
+                // the stored copy is replayed when the client
+                // retransmits after Resume.
+                if (s.bound == 0)
+                    s.outbox.resize(before);
+            }
+        }
+        pending_.clear();
     }
-    pending_.clear();
+
+    tickLeases();
+}
+
+void
+ServerCore::tickLeases()
+{
+    if (detached_ == 0)
+        return;
+    std::vector<SessionId> expired;
+    for (auto &[sid, s] : sessions_) {
+        if (s.bound != 0)
+            continue;
+        if (s.lease_left > 0)
+            --s.lease_left;
+        if (s.lease_left == 0)
+            expired.push_back(sid);
+    }
+    // std::map iteration is id-ordered, so expiry revocation is
+    // deterministic across runs and thread counts.
+    for (SessionId sid : expired) {
+        destroySession(sid);
+        --detached_;
+        ++stats_.leases_expired;
+    }
 }
 
 const api::ContainerHandle *
@@ -446,6 +655,8 @@ ServerCore::apply(const PendingOp &op, Session &s)
       }
       case Opcode::Ping:
       case Opcode::GetSnapshot:
+      case Opcode::Resume:
+      case Opcode::SessionInfo:
       case Opcode::ProtocolError:
         break; // never queued
     }
@@ -460,20 +671,35 @@ ServerCore::beginDrain()
     draining_ = true;
     std::stable_sort(pending_.begin(), pending_.end(),
                      [](const PendingOp &a, const PendingOp &b) {
-                         if (a.conn != b.conn)
-                             return a.conn < b.conn;
+                         if (a.session != b.session)
+                             return a.session < b.session;
                          return a.req_id < b.req_id;
                      });
     for (const PendingOp &op : pending_) {
-        auto it = sessions_.find(op.conn);
+        auto it = sessions_.find(op.session);
         if (it == sessions_.end())
             continue;
         encodeErrorResponse(it->second.outbox, op.op, op.req_id,
                             err(api::ErrorCode::Unavailable,
                                 "server draining"));
         --it->second.inflight;
+        it->second.queued.erase(op.req_id);
     }
     pending_.clear();
+
+    // No one can resume into a server that is going away: revoke
+    // every detached session now, in id order.
+    if (detached_ != 0) {
+        std::vector<SessionId> orphans;
+        for (const auto &[sid, s] : sessions_)
+            if (s.bound == 0)
+                orphans.push_back(sid);
+        for (SessionId sid : orphans) {
+            destroySession(sid);
+            --detached_;
+            ++stats_.leases_expired;
+        }
+    }
 }
 
 } // namespace ecov::net

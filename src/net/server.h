@@ -7,28 +7,46 @@
  * in-process tests/benches, socket.h for the TCP daemon) feeds it
  * received bytes per connection and drains per-connection outboxes.
  * That split keeps the interesting logic — handle namespaces,
- * per-tick coalescing, admission control — deterministic and testable
- * without a kernel socket in sight.
+ * per-tick coalescing, admission control, session leases —
+ * deterministic and testable without a kernel socket in sight.
+ *
+ * Connections vs sessions: a *connection* is one transport byte
+ * stream; a *session* is a tenant's handle namespace (apps,
+ * containers, queued requests, response history). With leases
+ * disabled (the default) the two are one-to-one and disconnect
+ * destroys the session immediately. With `lease_ticks > 0`,
+ * disconnect merely *detaches* the session: it survives for up to
+ * `lease_ticks` tick settlements, and a reconnecting client can
+ * re-bind it by presenting the session's resume token (Opcode::Resume
+ * as the first frame on the fresh connection). Only when the lease
+ * expires does the existing revocation path run — the session's
+ * containers are destroyed in local-id order, bumping COP slot
+ * generations so every leaked capability goes stale.
  *
  * Per-connection handle namespaces: requests address apps and
  * containers by *local ids*, dense indices into the issuing
- * connection's own tables, mapped server-side to api::AppHandle /
+ * session's own tables, mapped server-side to api::AppHandle /
  * api::ContainerHandle. A connection can therefore never name another
- * tenant's state — isolation is structural, not checked. Disconnect
- * destroys the connection's live containers, which bumps the COP
- * slot generations; any capability that leaked elsewhere is thereby
- * revoked (every later use reports UnknownContainer).
+ * tenant's state — isolation is structural, not checked.
  *
  * Coalescing: mutating requests are not applied at arrival. They are
  * queued and committed in one batch at the next tick settlement via
- * Ecovisor::setPreSettleHook, sorted canonically by (connection id,
+ * Ecovisor::setPreSettleHook, sorted canonically by (session id,
  * request id). The settled simulation is therefore bit-identical
  * regardless of how request arrivals interleaved on the network — the
  * docs/ARCHITECTURE.md determinism contract extended across the wire.
- * Read-only requests (Ping, GetSnapshot) answer immediately: they
- * observe state, never change it.
+ * Read-only requests (Ping, GetSnapshot, SessionInfo) answer
+ * immediately: they observe state, never change it.
  *
- * Admission control: a bounded per-connection inflight count plus a
+ * Exactly-once mutations under retry: when leases are enabled each
+ * session keeps a bounded request-id dedup window. A retransmitted
+ * mutation whose original already committed gets the *stored*
+ * response bytes replayed verbatim; one still queued is swallowed
+ * (its reply arrives at commit). A client that retransmits everything
+ * unacknowledged after a reconnect therefore commits each mutation
+ * exactly once, in canonical order (docs/FAULTS.md).
+ *
+ * Admission control: a bounded per-session inflight count plus a
  * global queue budget. Requests over either bound are answered
  * ResourceExhausted on the spot — the tick loop never stalls, and a
  * hostile tenant cannot grow server memory without bound. beginDrain()
@@ -39,7 +57,9 @@
 #define ECOV_NET_SERVER_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -54,15 +74,31 @@ namespace ecov::net {
 /** Connection identifier: monotonically assigned, never reused. */
 using ConnId = std::uint32_t;
 
-/** Admission-control and framing bounds. */
+/** Session identifier: monotonically assigned, never reused. */
+using SessionId = std::uint32_t;
+
+/** Admission-control, framing, and lease bounds. */
 struct ServerCoreOptions
 {
-    /** Coalesced requests one connection may have awaiting commit. */
+    /** Coalesced requests one session may have awaiting commit. */
     std::uint32_t max_inflight_per_conn = 128;
-    /** Coalesced requests queued across all connections. */
+    /** Coalesced requests queued across all sessions. */
     std::uint32_t max_pending_total = 65536;
     /** Per-frame payload bound handed to each FrameDecoder. */
     std::uint32_t max_payload_bytes = kMaxPayloadBytes;
+    /**
+     * Ticks a disconnected session survives awaiting Resume before
+     * its containers are revoked. 0 (default) disables leases:
+     * disconnect revokes immediately, exactly the pre-lease
+     * behaviour, and no token/dedup state is kept at all.
+     */
+    std::uint32_t lease_ticks = 0;
+    /** Committed responses remembered per session for duplicate
+     *  replay (ignored when leases are disabled). */
+    std::uint32_t dedup_window = 1024;
+    /** Seed for deterministic resume-token derivation. Tokens are
+     *  unguessably wide on the wire but reproducible in tests. */
+    std::uint64_t token_seed = 0xEC0F'5EA5'0000'0001ull;
 };
 
 /** Running totals (bench/smoke visibility; all monotonic). */
@@ -73,6 +109,10 @@ struct ServerStats
     std::uint64_t coalesced_committed = 0;
     std::uint64_t admission_rejects = 0;
     std::uint64_t protocol_errors = 0;
+    std::uint64_t leases_started = 0;     ///< disconnects that detached
+    std::uint64_t leases_resumed = 0;     ///< successful Resume binds
+    std::uint64_t leases_expired = 0;     ///< leases that revoked
+    std::uint64_t duplicates_replayed = 0; ///< dedup-window replays
 };
 
 class ServerCore
@@ -90,13 +130,19 @@ class ServerCore
     ServerCore(const ServerCore &) = delete;
     ServerCore &operator=(const ServerCore &) = delete;
 
-    /** Open a connection; ids are assigned in call order. */
+    /** Open a connection (with a fresh session); ids are assigned in
+     *  call order. */
     ConnId openConnection();
 
     /**
-     * Close a connection: its queued requests are dropped (the peer
-     * is gone), and its live containers are destroyed in local-id
-     * order — the generation-counter revocation path.
+     * Close a connection. With leases disabled — or for a draining
+     * server or a connection that broke protocol — the session dies
+     * with it: queued requests are dropped and its live containers
+     * are destroyed in local-id order (the generation-counter
+     * revocation path). With leases enabled the session detaches
+     * instead and survives `lease_ticks` settlements awaiting Resume;
+     * its queued mutations still commit (exactly once) while
+     * detached.
      */
     void closeConnection(ConnId conn);
 
@@ -116,16 +162,23 @@ class ServerCore
     std::vector<std::uint8_t> &outbox(ConnId conn);
 
     /**
-     * Apply every queued mutating request in canonical (connection
-     * id, request id) order. Installed as the ecovisor's pre-settle
-     * hook, so it runs exactly once per tick at the commit point;
-     * callable directly by tests.
+     * Apply every queued mutating request in canonical (session id,
+     * request id) order, then age detached sessions' leases (expiry
+     * runs revocation). Installed as the ecovisor's pre-settle hook,
+     * so it runs exactly once per tick at the commit point; callable
+     * directly by tests.
      */
     void commitCoalesced(TimeS start_s, TimeS dt_s);
+
+    /** Age detached sessions by one tick; called by the pre-settle
+     *  hook after the commit. Public for tests. */
+    void tickLeases();
 
     /**
      * Enter shutdown drain: everything queued is answered Unavailable
      * (canonical order), as is every request that arrives afterwards.
+     * Detached sessions are revoked immediately — no one can resume
+     * into a server that is going away.
      */
     void beginDrain();
 
@@ -136,7 +189,13 @@ class ServerCore
     std::size_t pendingCount() const { return pending_.size(); }
 
     /** Open-connection count. */
-    std::size_t connectionCount() const { return sessions_.size(); }
+    std::size_t connectionCount() const { return conns_.size(); }
+
+    /** Live sessions (bound + detached). */
+    std::size_t sessionCount() const { return sessions_.size(); }
+
+    /** Sessions currently disconnected but within their lease. */
+    std::size_t detachedSessionCount() const { return detached_; }
 
     const ServerStats &stats() const { return stats_; }
 
@@ -144,7 +203,20 @@ class ServerCore
     core::Ecovisor &ecovisor() { return *eco_; }
 
   private:
-    /** One tenant connection's namespace and buffers. */
+    /** One transport byte stream. */
+    struct Conn
+    {
+        FrameDecoder decoder;
+        SessionId session = 0;
+        /** True until the first frame is processed; Resume is only
+         *  legal on a virgin connection. */
+        bool virgin = true;
+        /** Set when the stream broke framing: close must revoke, not
+         *  lease — the peer is faulty, not the network. */
+        bool poisoned = false;
+    };
+
+    /** One tenant's namespace, buffers, and lease/dedup state. */
     struct Session
     {
         /** Local app id -> handle; grows only. */
@@ -153,14 +225,27 @@ class ServerCore
          *  in place (generation mismatch), ids are never reused. */
         std::vector<api::ContainerHandle> containers;
         std::vector<std::uint8_t> outbox;
-        FrameDecoder decoder;
         std::uint32_t inflight = 0;
+        /** Connection currently bound to this session; 0 = detached. */
+        ConnId bound = 0;
+        /** Remaining lease ticks while detached; unused when bound. */
+        std::uint32_t lease_left = 0;
+        /** Resume token (0 when leases are disabled). */
+        std::uint64_t token = 0;
+        /** Committed request id -> stored response bytes (replayed
+         *  verbatim on duplicate receipt). */
+        std::map<std::uint32_t, std::vector<std::uint8_t>> done;
+        /** Commit order of `done` entries, for window trimming. */
+        std::deque<std::uint32_t> done_order;
+        /** Request ids queued but not yet committed (duplicates of
+         *  these are swallowed; the commit produces the reply). */
+        std::set<std::uint32_t> queued;
     };
 
     /** A mutating request parked until the next commit point. */
     struct PendingOp
     {
-        ConnId conn = 0;
+        SessionId session = 0;
         std::uint32_t req_id = 0;
         Opcode op = Opcode::Ping;
         std::uint32_t id = 0; ///< local app/container id operand
@@ -170,13 +255,30 @@ class ServerCore
     };
 
     /** Process one decoded frame; false latches a protocol error. */
-    bool handleFrame(ConnId conn, Session &s, const Frame &f);
+    bool handleFrame(ConnId conn, Conn &c, const Frame &f);
 
-    /** Queue a mutating request, or reject it at admission. */
-    void admit(ConnId conn, Session &s, PendingOp &&op);
+    /** Dedup-window front door for mutating requests: replay or
+     *  swallow duplicates, otherwise admit. */
+    void admitDeduped(Session &s, PendingOp &&op);
+
+    /** Queue a mutating request, or reject it at admission; true
+     *  when the op was queued. */
+    bool admit(Session &s, PendingOp &&op);
 
     /** Apply one queued request against the v2 surface. */
     void apply(const PendingOp &op, Session &s);
+
+    /** Record a committed response for duplicate replay, trimming
+     *  the window. */
+    void recordDone(Session &s, std::uint32_t req_id,
+                    const std::uint8_t *bytes, std::size_t n);
+
+    /** Destroy a session: drop queued ops, revoke containers in
+     *  local-id order, erase token and table entry. */
+    void destroySession(SessionId sid);
+
+    /** Create a fresh session (with token when leases are on). */
+    SessionId newSession(ConnId bound_to);
 
     /** Resolve a session-local container id (nullptr = bad id). */
     const api::ContainerHandle *localContainer(const Session &s,
@@ -184,9 +286,14 @@ class ServerCore
 
     core::Ecovisor *eco_;
     ServerCoreOptions options_;
-    std::map<ConnId, Session> sessions_;
+    std::map<ConnId, Conn> conns_;
+    std::map<SessionId, Session> sessions_;
+    /** Resume token -> session (leases enabled only). */
+    std::map<std::uint64_t, SessionId> tokens_;
     std::vector<PendingOp> pending_;
     ConnId next_conn_ = 1;
+    SessionId next_session_ = 1;
+    std::size_t detached_ = 0;
     bool draining_ = false;
     ServerStats stats_;
 };

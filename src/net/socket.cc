@@ -104,6 +104,30 @@ SocketTransport::receiveSome(std::vector<std::uint8_t> &buf)
     }
 }
 
+api::Status
+SocketTransport::receiveSome(std::vector<std::uint8_t> &buf,
+                             int timeout_ms)
+{
+    if (timeout_ms <= 0)
+        return receiveSome(buf);
+    pollfd pfd{fd_, POLLIN, 0};
+    for (;;) {
+        const int n = ::poll(&pfd, 1, timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue; // imprecise: the budget restarts, but a
+                          // signal storm is not a protocol concern
+            return sysError("poll");
+        }
+        if (n == 0)
+            return api::Status::error(
+                api::ErrorCode::DeadlineExceeded,
+                "receive deadline elapsed");
+        // Readable (or HUP/ERR, which recv() will report): one recv.
+        return receiveSome(buf);
+    }
+}
+
 // ----------------------------------------------------------------------
 // TcpServer.
 // ----------------------------------------------------------------------
@@ -230,7 +254,8 @@ TcpServer::poll(int timeout_ms)
                 break;
             }
         }
-        flushOutbox(fd, conn);
+        if (!flushOutbox(fd, conn))
+            dead = true; // write-side peer death, not backpressure
         if (dead)
             to_drop.push_back(fd);
     }
@@ -239,24 +264,34 @@ TcpServer::poll(int timeout_ms)
     return true;
 }
 
-void
+bool
 TcpServer::flushOutbox(int fd, ConnId conn)
 {
     if (!core_->connectionOpen(conn))
-        return;
+        return true;
     std::vector<std::uint8_t> &out = core_->outbox(conn);
     std::size_t off = 0;
+    bool alive = true;
     while (off < out.size()) {
         const ssize_t w = ::send(fd, out.data() + off,
                                  out.size() - off, MSG_NOSIGNAL);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
-            break; // EAGAIN or a dead peer: retry next poll / drop
+            // Backpressure and peer death are different conditions:
+            // a full socket buffer means retry next poll; any other
+            // errno (EPIPE, ECONNRESET, ...) means the peer is gone
+            // and the caller must drop the connection — which, under
+            // leases, is what starts the session's lease clock
+            // deterministically instead of leaving a zombie stream.
+            if (errno != EAGAIN && errno != EWOULDBLOCK)
+                alive = false;
+            break;
         }
         off += static_cast<std::size_t>(w);
     }
     out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(off));
+    return alive;
 }
 
 void

@@ -42,6 +42,10 @@ class SocketTransport : public Transport
 
     api::Status send(const std::uint8_t *data, std::size_t n) override;
     api::Status receiveSome(std::vector<std::uint8_t> &buf) override;
+    /** Timed receive: poll(2) up to timeout_ms, DeadlineExceeded when
+     *  nothing arrives (timeout_ms <= 0 blocks forever). */
+    api::Status receiveSome(std::vector<std::uint8_t> &buf,
+                            int timeout_ms) override;
 
   private:
     explicit SocketTransport(int fd) : fd_(fd) {}
@@ -91,8 +95,10 @@ class TcpServer
         : core_(core), listen_fd_(listen_fd), port_(port)
     {}
 
-    /** Write as much pending output as the socket accepts. */
-    void flushOutbox(int fd, ConnId conn);
+    /** Write as much pending output as the socket accepts. False
+     *  when the write side reports the peer dead (not backpressure):
+     *  the caller must drop the connection. */
+    bool flushOutbox(int fd, ConnId conn);
 
     /** Close one connection (socket + core namespace). */
     void drop(int fd);

@@ -35,6 +35,22 @@ class Transport
      * loopback, when no data can ever arrive without driver action).
      */
     virtual api::Status receiveSome(std::vector<std::uint8_t> &buf) = 0;
+
+    /**
+     * Deadline-aware receive: like receiveSome(buf), but return
+     * DeadlineExceeded if no byte arrives within timeout_ms
+     * (timeout_ms <= 0 blocks forever). Transports that cannot wait
+     * with a bound — the loopback never blocks at all — fall back to
+     * the blocking form; SocketTransport polls the socket. The
+     * client's per-call deadline (Client::setCallTimeout) rides on
+     * this entry point.
+     */
+    virtual api::Status
+    receiveSome(std::vector<std::uint8_t> &buf, int timeout_ms)
+    {
+        (void)timeout_ms;
+        return receiveSome(buf);
+    }
 };
 
 } // namespace ecov::net

@@ -1,6 +1,6 @@
 /**
  * @file
- * Scenario-registry tests: all 20 scenarios register with sane
+ * Scenario-registry tests: all 21 scenarios register with sane
  * metadata, lookup works, and running a scenario through the harness
  * produces metrics, tick counts, and a well-formed JSON report.
  */
@@ -16,10 +16,10 @@
 namespace ecov::bench {
 namespace {
 
-TEST(ScenarioRegistryTest, AllTwentyScenariosRegistered)
+TEST(ScenarioRegistryTest, AllScenariosRegistered)
 {
     const auto &registry = ScenarioRegistry::instance();
-    EXPECT_EQ(registry.size(), 20u);
+    EXPECT_EQ(registry.size(), 21u);
 
     const char *expected[] = {
         "ablation_carbon_arbitrage", "ablation_excess_solar",
@@ -30,8 +30,9 @@ TEST(ScenarioRegistryTest, AllTwentyScenariosRegistered)
         "fig09_battery_multitenancy","fig10_solar_caps",
         "fig11_stragglers",          "micro_api_overhead",
         "micro_cop_overhead",        "micro_telemetry_overhead",
-        "scale_long_horizon",        "scale_many_tenants",
-        "scale_many_tenants_telemetry", "scale_rpc",
+        "scale_chaos",               "scale_long_horizon",
+        "scale_many_tenants",        "scale_many_tenants_telemetry",
+        "scale_rpc",
     };
     for (const char *name : expected)
         EXPECT_NE(registry.find(name), nullptr) << name;

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Session leases (docs/FAULTS.md, docs/ECOVISORD.md): detach on
+ * disconnect, TTL expiry revocation, reconnect-and-resume, the
+ * request-id dedup window's exactly-once guarantee, and the Resume
+ * opcode's first-frame rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rig.h"
+#include "net/client.h"
+#include "net/loopback.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace ecov::net {
+namespace {
+
+using api::ErrorCode;
+using testutil::Rig;
+
+ServerCoreOptions
+leaseOptions(std::uint32_t ticks)
+{
+    ServerCoreOptions o;
+    o.lease_ticks = ticks;
+    return o;
+}
+
+/** Settle one rig tick (runs the server's commit + lease aging). */
+struct Ticker
+{
+    Rig *rig;
+    TimeS t = 0;
+    TimeS dt = 60;
+
+    void
+    tick()
+    {
+        rig->eco.dispatchTickCallbacks(t, dt);
+        rig->eco.settleTick(t, dt);
+        t += dt;
+    }
+};
+
+TEST(SessionLease, DisabledServerHandsOutNoLease)
+{
+    Rig rig;
+    ServerCore core(&rig.eco); // lease_ticks = 0
+    LoopbackTransport transport(&core);
+    Client client(&transport);
+
+    ASSERT_TRUE(client.beginSession().ok());
+    EXPECT_EQ(client.sessionToken(), 0u);
+    EXPECT_EQ(client.leaseTicks(), 0u);
+    // No lease -> no retransmission tracking.
+    client.sendSetDemand(RemoteContainer{0}, 0.5);
+    EXPECT_EQ(client.unackedCount(), 0u);
+}
+
+TEST(SessionLease, DisconnectDetachesAndResumeRebinds)
+{
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(4));
+    Ticker ticker{&rig};
+
+    auto t1 = std::make_unique<LoopbackTransport>(&core);
+    t1->setIdleHandler([&ticker] { ticker.tick(); });
+    Client client(t1.get());
+    ASSERT_TRUE(client.beginSession().ok());
+    EXPECT_NE(client.sessionToken(), 0u);
+    EXPECT_EQ(client.leaseTicks(), 4u);
+
+    const auto app =
+        client.registerApp("lease", testutil::appShare(0.5, 360));
+    ASSERT_TRUE(app.ok());
+    const auto cont = client.spawnContainer(app.value(), 1.0);
+    ASSERT_TRUE(cont.ok());
+
+    // The transport dies; with a lease the session detaches instead
+    // of revoking — the container survives.
+    t1.reset();
+    EXPECT_EQ(core.connectionCount(), 0u);
+    EXPECT_EQ(core.sessionCount(), 1u);
+    EXPECT_EQ(core.detachedSessionCount(), 1u);
+    EXPECT_EQ(core.stats().leases_started, 1u);
+    EXPECT_EQ(rig.cluster.containerCount(), 1);
+
+    // Two of the four lease ticks elapse while disconnected.
+    ticker.tick();
+    ticker.tick();
+    EXPECT_EQ(core.sessionCount(), 1u);
+
+    // Reconnect-and-resume: the same namespace, the same handles.
+    LoopbackTransport t2(&core);
+    t2.setIdleHandler([&ticker] { ticker.tick(); });
+    client.bindTransport(&t2);
+    ASSERT_TRUE(client.resume().ok());
+    EXPECT_EQ(core.detachedSessionCount(), 0u);
+    EXPECT_EQ(core.stats().leases_resumed, 1u);
+    EXPECT_TRUE(client.setDemand(cont.value(), 0.5).ok());
+    // The rebound session is a full citizen: reads work too.
+    EXPECT_TRUE(client.getEnergySnapshot(app.value()).ok());
+}
+
+TEST(SessionLease, ExpiryRunsRevocation)
+{
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(2));
+    Ticker ticker{&rig};
+
+    auto t1 = std::make_unique<LoopbackTransport>(&core);
+    t1->setIdleHandler([&ticker] { ticker.tick(); });
+    Client client(t1.get());
+    ASSERT_TRUE(client.beginSession().ok());
+    const auto app =
+        client.registerApp("exp", testutil::appShare(0.5, 360));
+    ASSERT_TRUE(app.ok());
+    ASSERT_TRUE(client.spawnContainer(app.value(), 1.0).ok());
+
+    // Capture a raw ref the way a leaked capability would.
+    const auto ids = rig.cluster.appContainers("exp");
+    ASSERT_FALSE(ids.empty());
+    const cop::ContainerRef leaked = rig.cluster.refOf(ids.front());
+
+    t1.reset();
+    ticker.tick(); // lease 2 -> 1
+    EXPECT_EQ(core.sessionCount(), 1u);
+    ticker.tick(); // lease 1 -> 0: revoke
+    EXPECT_EQ(core.sessionCount(), 0u);
+    EXPECT_EQ(core.detachedSessionCount(), 0u);
+    EXPECT_EQ(core.stats().leases_expired, 1u);
+    EXPECT_EQ(rig.cluster.containerCount(), 0);
+    EXPECT_EQ(rig.cluster.find(leaked), nullptr);
+
+    // Resuming an expired lease is refused request-scoped: the caller
+    // abandons the session and registers from scratch.
+    LoopbackTransport t2(&core);
+    t2.setIdleHandler([&ticker] { ticker.tick(); });
+    client.bindTransport(&t2);
+    EXPECT_EQ(client.resume().code(), ErrorCode::InvalidHandle);
+    client.abandonSession();
+    EXPECT_EQ(client.sessionToken(), 0u);
+    EXPECT_TRUE(client.ping().ok());
+    EXPECT_TRUE(client.beginSession().ok());
+    EXPECT_TRUE(
+        client.registerApp("exp2", testutil::appShare(0.5, 360)).ok());
+}
+
+TEST(SessionLease, QueuedMutationCommitsOnceAcrossResume)
+{
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(8));
+    Ticker ticker{&rig};
+
+    auto t1 = std::make_unique<LoopbackTransport>(&core);
+    t1->setIdleHandler([&ticker] { ticker.tick(); });
+    Client client(t1.get());
+    ASSERT_TRUE(client.beginSession().ok());
+    const auto app =
+        client.registerApp("once", testutil::appShare(0.5, 360));
+    ASSERT_TRUE(app.ok());
+    const auto cont = client.spawnContainer(app.value(), 1.0);
+    ASSERT_TRUE(cont.ok());
+
+    // A mutation is queued server-side, then the connection dies
+    // before its commit tick. The client never saw the reply, so the
+    // frame stays tracked for retransmission.
+    const std::uint32_t r =
+        client.sendSetDemand(cont.value(), 0.75);
+    EXPECT_GE(client.unackedCount(), 1u);
+    t1.reset();
+
+    // Detached sessions' queued mutations still commit (exactly
+    // once), with the response parked in the dedup window.
+    const auto committed_before = core.stats().coalesced_committed;
+    ticker.tick();
+    EXPECT_EQ(core.stats().coalesced_committed, committed_before + 1);
+
+    // Resume retransmits the unacknowledged frame; the server
+    // recognises the request id and replays the stored response
+    // instead of applying the mutation twice.
+    LoopbackTransport t2(&core);
+    t2.setIdleHandler([&ticker] { ticker.tick(); });
+    client.bindTransport(&t2);
+    ASSERT_TRUE(client.resume().ok());
+    EXPECT_TRUE(client.await(r).ok());
+    EXPECT_EQ(client.unackedCount(), 0u);
+    EXPECT_EQ(core.stats().duplicates_replayed, 1u);
+    EXPECT_EQ(core.stats().coalesced_committed, committed_before + 1);
+    // The demand took effect exactly once.
+    const auto ids = rig.cluster.appContainers("once");
+    ASSERT_EQ(ids.size(), 1u);
+    ticker.tick();
+    EXPECT_GT(rig.cluster.containerPowerW(ids.front()), 0.0);
+}
+
+TEST(SessionLease, DuplicateOfCommittedMutationReplaysVerbatim)
+{
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(8));
+    Ticker ticker{&rig};
+    LoopbackTransport transport(&core);
+    transport.setIdleHandler([&ticker] { ticker.tick(); });
+    Client client(&transport);
+    ASSERT_TRUE(client.beginSession().ok());
+
+    const auto app =
+        client.registerApp("dup", testutil::appShare(0.5, 360));
+    ASSERT_TRUE(app.ok());
+    const auto cont = client.spawnContainer(app.value(), 1.0);
+    ASSERT_TRUE(cont.ok());
+
+    const std::uint32_t r = client.sendSetDemand(cont.value(), 0.5);
+    EXPECT_TRUE(client.await(r).ok());
+
+    // Wire-level retry of the *same* request id: the server answers
+    // from the dedup window without queueing anything.
+    std::vector<std::uint8_t> frame;
+    encodeIdValue(frame, Opcode::SetDemand, r,
+                  IdValueReq{cont.value().id, 0.5});
+    ASSERT_TRUE(transport.send(frame.data(), frame.size()).ok());
+    EXPECT_EQ(core.pendingCount(), 0u);
+    EXPECT_TRUE(client.await(r).ok());
+    EXPECT_EQ(core.stats().duplicates_replayed, 1u);
+
+    // A duplicate of a still-queued request is swallowed: the single
+    // eventual commit produces the one reply.
+    const std::uint32_t r2 = client.sendSetDemand(cont.value(), 0.25);
+    frame.clear();
+    encodeIdValue(frame, Opcode::SetDemand, r2,
+                  IdValueReq{cont.value().id, 0.25});
+    ASSERT_TRUE(transport.send(frame.data(), frame.size()).ok());
+    EXPECT_EQ(core.pendingCount(), 1u);
+    EXPECT_TRUE(client.await(r2).ok());
+    EXPECT_EQ(core.stats().coalesced_committed, 4u);
+}
+
+TEST(SessionLease, ResumeMustBeFirstFrame)
+{
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(4));
+    LoopbackTransport transport(&core);
+    Client client(&transport);
+    ASSERT_TRUE(client.ping().ok()); // connection is no longer virgin
+
+    std::vector<std::uint8_t> frame;
+    encodeResume(frame, 2, 0x1234u);
+    ASSERT_TRUE(transport.send(frame.data(), frame.size()).ok());
+    // Mid-stream Resume is a protocol violation: connection-fatal.
+    EXPECT_EQ(client.ping().code(), ErrorCode::Unavailable);
+    EXPECT_FALSE(core.connectionOpen(transport.connection()));
+    EXPECT_EQ(core.stats().protocol_errors, 1u);
+}
+
+TEST(SessionLease, ResumeRejectionsAreRequestScoped)
+{
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(4));
+
+    // Unknown token: refused, but the fresh connection stays usable
+    // (the client re-registers over it).
+    LoopbackTransport t1(&core);
+    Client c1(&t1);
+    std::vector<std::uint8_t> frame;
+    encodeResume(frame, 1, 0xDEADBEEFu);
+    ASSERT_TRUE(t1.send(frame.data(), frame.size()).ok());
+    EXPECT_EQ(c1.await(1).code(), ErrorCode::InvalidHandle);
+    EXPECT_TRUE(core.connectionOpen(t1.connection()));
+    EXPECT_TRUE(c1.ping().ok());
+
+    // A token whose session is still bound to a live connection
+    // cannot be stolen by a second connection.
+    ASSERT_TRUE(c1.beginSession().ok());
+    const std::uint64_t bound_token = c1.sessionToken();
+    ASSERT_NE(bound_token, 0u);
+    LoopbackTransport t2(&core);
+    Client c2(&t2);
+    frame.clear();
+    encodeResume(frame, 1, bound_token);
+    ASSERT_TRUE(t2.send(frame.data(), frame.size()).ok());
+    EXPECT_EQ(c2.await(1).code(), ErrorCode::InvalidHandle);
+    EXPECT_TRUE(c1.ping().ok()); // the bound session is untouched
+}
+
+TEST(SessionLease, ResumeOnLeaselessServerIsUnavailable)
+{
+    Rig rig;
+    ServerCore core(&rig.eco); // leases disabled
+    LoopbackTransport transport(&core);
+    Client client(&transport);
+
+    std::vector<std::uint8_t> frame;
+    encodeResume(frame, 1, 0x5EA5u);
+    ASSERT_TRUE(transport.send(frame.data(), frame.size()).ok());
+    EXPECT_EQ(client.await(1).code(), ErrorCode::Unavailable);
+}
+
+TEST(SessionLease, DrainRevokesDetachedSessions)
+{
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(16));
+    Ticker ticker{&rig};
+    {
+        LoopbackTransport t(&core);
+        t.setIdleHandler([&ticker] { ticker.tick(); });
+        Client client(&t);
+        ASSERT_TRUE(client.beginSession().ok());
+        const auto app =
+            client.registerApp("dr", testutil::appShare(0.5, 360));
+        ASSERT_TRUE(app.ok());
+        ASSERT_TRUE(client.spawnContainer(app.value(), 1.0).ok());
+    }
+    EXPECT_EQ(core.detachedSessionCount(), 1u);
+    EXPECT_EQ(rig.cluster.containerCount(), 1);
+
+    // No one can resume into a server that is going away: drain
+    // revokes every parked lease immediately.
+    core.beginDrain();
+    EXPECT_EQ(core.sessionCount(), 0u);
+    EXPECT_EQ(core.detachedSessionCount(), 0u);
+    EXPECT_EQ(rig.cluster.containerCount(), 0);
+}
+
+} // namespace
+} // namespace ecov::net

@@ -28,6 +28,7 @@
 #include "api/handle.h"
 #include "api/snapshot.h"
 #include "common/rig.h"
+#include "fault/faulty_transport.h"
 #include "net/client.h"
 #include "net/loopback.h"
 #include "net/server.h"
@@ -269,20 +270,52 @@ runDirect(const std::vector<TickSchedule> &schedule, int threads,
  * The same schedule through kTenants loopback connections, with each
  * tick's sends shuffled across connections (per-connection issue
  * order preserved — that part is the protocol's own sequencing).
+ *
+ * With `fault_seed != 0` the run additionally routes every tenant
+ * through a seeded fault::FaultyTransport and a lease-enabled server:
+ * mutation sends may be dropped, cut mid-frame, or delayed, killing
+ * the connection. The driver then reconnects, resumes the leased
+ * session by token, and the client retransmits what was never
+ * acknowledged — the dedup window makes the retries commit exactly
+ * once, so the settled accounting must STILL be bit-identical to the
+ * clean direct run.
  */
 void
 runRemote(const std::vector<TickSchedule> &schedule, int threads,
-          std::uint64_t shuffle_seed, Trace *out)
+          std::uint64_t shuffle_seed, std::uint64_t fault_seed,
+          Trace *out)
 {
+    const bool faulted = fault_seed != 0;
     testutil::Rig rig(rigOptions(threads));
-    ServerCore core(&rig.eco);
+    ServerCoreOptions core_opts;
+    if (faulted)
+        core_opts.lease_ticks = 8;
+    ServerCore core(&rig.eco, core_opts);
+
+    fault::TransportFaultProfile profile;
+    profile.p_kill = 0.08;
+    profile.p_partial = 0.05;
+    profile.p_delay = 0.15;
+
     std::vector<std::unique_ptr<LoopbackTransport>> transports;
+    std::vector<std::unique_ptr<fault::FaultyTransport>> chaos;
     std::vector<std::unique_ptr<Client>> clients;
     for (int t = 0; t < kTenants; ++t) {
         transports.push_back(
             std::make_unique<LoopbackTransport>(&core));
-        clients.push_back(
-            std::make_unique<Client>(transports.back().get()));
+        if (faulted) {
+            chaos.push_back(std::make_unique<fault::FaultyTransport>(
+                transports.back().get(),
+                fault_seed + static_cast<std::uint64_t>(t), profile));
+            clients.push_back(
+                std::make_unique<Client>(chaos.back().get()));
+            auto st = clients.back()->beginSession();
+            ASSERT_TRUE(st.ok()) << st.message();
+            ASSERT_GT(clients.back()->leaseTicks(), 0u);
+        } else {
+            clients.push_back(
+                std::make_unique<Client>(transports.back().get()));
+        }
     }
 
     Rng shuffle_rng(shuffle_seed);
@@ -305,6 +338,11 @@ runRemote(const std::vector<TickSchedule> &schedule, int threads,
         };
         std::vector<Sent> sent;
         std::vector<std::size_t> cursor(kTenants, 0);
+        // Faults are armed only around the mutation sends — the one
+        // phase whose losses the resume protocol recovers.
+        if (faulted)
+            for (auto &c : chaos)
+                c->arm(true);
         for (int t : arrival) {
             const Op &op = schedule[k].per_tenant[t][cursor[t]++];
             Client &c = *clients[t];
@@ -346,6 +384,34 @@ runRemote(const std::vector<TickSchedule> &schedule, int threads,
             sent.push_back({t, &op, req});
         }
 
+        if (faulted) {
+            for (auto &c : chaos)
+                c->arm(false);
+            // Reconnect-and-resume for every severed tenant, within
+            // the same tick window: the fresh connection presents the
+            // resume token, the server re-binds the leased session,
+            // and the client retransmits its unacknowledged frames in
+            // request-id order.
+            for (int t = 0; t < kTenants; ++t) {
+                if (!chaos[t]->dead())
+                    continue;
+                transports[t] =
+                    std::make_unique<LoopbackTransport>(&core);
+                chaos[t]->rebind(transports[t].get());
+                clients[t]->bindTransport(chaos[t].get());
+                auto st = clients[t]->resume();
+                ASSERT_TRUE(st.ok())
+                    << "tick " << k << " tenant " << t << ": "
+                    << st.message();
+            }
+            // Held (delayed) frames still count as this tick's
+            // arrivals: flush them before the commit point.
+            for (auto &c : chaos) {
+                auto st = c->flushDelayed();
+                ASSERT_TRUE(st.ok()) << st.message();
+            }
+        }
+
         // One tick: the pre-settle hook commits everything queued.
         const TimeS now = static_cast<TimeS>(k) * kDt;
         rig.eco.dispatchTickCallbacks(now, kDt);
@@ -384,6 +450,16 @@ runRemote(const std::vector<TickSchedule> &schedule, int threads,
         }
         trace.push_back(std::move(row));
     }
+
+    if (faulted) {
+        // The leg is vacuous unless the storm actually bit: demand
+        // real connection churn, real resumes, and real duplicate
+        // replays over the run.
+        EXPECT_GT(core.stats().leases_started, 0u);
+        EXPECT_EQ(core.stats().leases_resumed,
+                  core.stats().leases_started);
+        EXPECT_EQ(core.stats().leases_expired, 0u);
+    }
     *out = std::move(trace);
 }
 
@@ -410,6 +486,8 @@ expectIdentical(const Trace &a, const Trace &b, const char *label)
             EXPECT_EQ(x.battery_charge_level_wh,
                       y.battery_charge_level_wh)
                 << label << " tick " << k << " tenant " << t;
+            EXPECT_EQ(x.stale, y.stale)
+                << label << " tick " << k << " tenant " << t;
         }
     }
 }
@@ -425,16 +503,48 @@ TEST(LoopbackEquality, ShuffledRemoteMatchesDirectBitIdentically)
     // Two different arrival shuffles, two thread counts: all must
     // reproduce the direct run exactly.
     Trace remote1;
-    runRemote(schedule, /*threads=*/1, /*shuffle_seed=*/101, &remote1);
+    runRemote(schedule, /*threads=*/1, /*shuffle_seed=*/101,
+              /*fault_seed=*/0, &remote1);
     if (::testing::Test::HasFatalFailure())
         return;
     expectIdentical(direct, remote1, "threads=1");
 
     Trace remote4;
-    runRemote(schedule, /*threads=*/4, /*shuffle_seed=*/202, &remote4);
+    runRemote(schedule, /*threads=*/4, /*shuffle_seed=*/202,
+              /*fault_seed=*/0, &remote4);
     if (::testing::Test::HasFatalFailure())
         return;
     expectIdentical(direct, remote4, "threads=4");
+}
+
+/**
+ * The robustness half of the contract (docs/FAULTS.md): the same
+ * schedule driven through seeded transport faults — dropped frames,
+ * partial writes, delays, connection churn — with session leases,
+ * reconnect-and-resume, and retransmission must STILL settle
+ * bit-identically to the clean direct run, at both thread counts.
+ */
+TEST(LoopbackEquality, FaultedRemoteMatchesDirectBitIdentically)
+{
+    const auto schedule = makeSchedule();
+    Trace direct;
+    runDirect(schedule, /*threads=*/1, &direct);
+    if (::testing::Test::HasFatalFailure())
+        return;
+
+    Trace faulted1;
+    runRemote(schedule, /*threads=*/1, /*shuffle_seed=*/101,
+              /*fault_seed=*/0xFA17ull, &faulted1);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expectIdentical(direct, faulted1, "faulted threads=1");
+
+    Trace faulted4;
+    runRemote(schedule, /*threads=*/4, /*shuffle_seed=*/101,
+              /*fault_seed=*/0xFA17ull, &faulted4);
+    if (::testing::Test::HasFatalFailure())
+        return;
+    expectIdentical(direct, faulted4, "faulted threads=4");
 }
 
 /** A second shuffle of the same tick's sends on the same server state
@@ -444,11 +554,13 @@ TEST(LoopbackEquality, DifferentShufflesAgreeWithEachOther)
 {
     const auto schedule = makeSchedule();
     Trace a;
-    runRemote(schedule, /*threads=*/1, /*shuffle_seed=*/7, &a);
+    runRemote(schedule, /*threads=*/1, /*shuffle_seed=*/7,
+              /*fault_seed=*/0, &a);
     if (::testing::Test::HasFatalFailure())
         return;
     Trace b;
-    runRemote(schedule, /*threads=*/1, /*shuffle_seed=*/900913, &b);
+    runRemote(schedule, /*threads=*/1, /*shuffle_seed=*/900913,
+              /*fault_seed=*/0, &b);
     if (::testing::Test::HasFatalFailure())
         return;
     expectIdentical(a, b, "shuffle-vs-shuffle");

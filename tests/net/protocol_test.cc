@@ -52,6 +52,11 @@ TEST(Protocol, ErrorCodeWireRoundTrip)
     // The new admission/drain codes have the documented stable values.
     EXPECT_EQ(wireErrorCode(ErrorCode::ResourceExhausted), 9);
     EXPECT_EQ(wireErrorCode(ErrorCode::Unavailable), 10);
+    // Deadline expiry (docs/FAULTS.md) rides the same table.
+    EXPECT_EQ(wireErrorCode(ErrorCode::DeadlineExceeded), 11);
+    ErrorCode back = ErrorCode::Ok;
+    ASSERT_TRUE(errorCodeFromWire(11, &back));
+    EXPECT_EQ(back, ErrorCode::DeadlineExceeded);
     ErrorCode out;
     EXPECT_FALSE(errorCodeFromWire(999, &out));
 }
@@ -245,6 +250,87 @@ TEST(Protocol, SnapshotRoundTrip)
               snap.battery_charge_level_wh);
 }
 
+TEST(Protocol, SnapshotStaleFlagRoundTrip)
+{
+    api::EnergySnapshot snap;
+    snap.solar_w = 55.5;
+    snap.stale = true;
+
+    std::vector<std::uint8_t> bytes;
+    encodeSnapshotResponse(bytes, 3, snap);
+    FrameDecoder d;
+    Frame f = frameOf(d, bytes);
+    ResponseHead head;
+    std::size_t consumed = 0;
+    ASSERT_TRUE(decodeResponseHead(f.payload, f.payload_len, &head,
+                                   &consumed));
+    api::EnergySnapshot back;
+    ASSERT_TRUE(decodeSnapshotResult(f.payload, f.payload_len,
+                                     consumed, &back));
+    EXPECT_TRUE(back.stale);
+    EXPECT_EQ(back.solar_w, snap.solar_w);
+
+    // Reserved flag bits must arrive zero: a peer setting them speaks
+    // a newer (or corrupted) dialect we cannot interpret.
+    bytes.back() = 0x02;
+    f = frameOf(d, bytes);
+    ASSERT_TRUE(decodeResponseHead(f.payload, f.payload_len, &head,
+                                   &consumed));
+    EXPECT_FALSE(decodeSnapshotResult(f.payload, f.payload_len,
+                                      consumed, &back));
+}
+
+TEST(Protocol, ResumeRoundTrip)
+{
+    std::vector<std::uint8_t> bytes;
+    encodeResume(bytes, 17, 0xA1B2'C3D4'E5F6'0708ull);
+    FrameDecoder d;
+    Frame f = frameOf(d, bytes);
+    EXPECT_EQ(f.opcode, static_cast<std::uint8_t>(Opcode::Resume));
+    EXPECT_EQ(f.request_id, 17u);
+    std::uint64_t token = 0;
+    ASSERT_TRUE(decodeResume(f.payload, f.payload_len, &token));
+    EXPECT_EQ(token, 0xA1B2'C3D4'E5F6'0708ull);
+
+    // Short and oversized payloads are both malformed.
+    EXPECT_FALSE(decodeResume(f.payload, f.payload_len - 1, &token));
+    std::vector<std::uint8_t> padded(f.payload,
+                                     f.payload + f.payload_len);
+    padded.push_back(0);
+    EXPECT_FALSE(decodeResume(padded.data(), padded.size(), &token));
+}
+
+TEST(Protocol, SessionInfoRoundTrip)
+{
+    std::vector<std::uint8_t> bytes;
+    encodeSessionInfo(bytes, 5);
+    FrameDecoder d;
+    Frame f = frameOf(d, bytes);
+    EXPECT_EQ(f.opcode,
+              static_cast<std::uint8_t>(Opcode::SessionInfo));
+    EXPECT_EQ(f.payload_len, 0u);
+
+    bytes.clear();
+    encodeSessionInfoResponse(bytes, 5, 0xDEAD'5EA5ull, 30);
+    f = frameOf(d, bytes);
+    EXPECT_EQ(f.opcode, static_cast<std::uint8_t>(Opcode::SessionInfo) |
+                            kResponseBit);
+    ResponseHead head;
+    std::size_t consumed = 0;
+    ASSERT_TRUE(decodeResponseHead(f.payload, f.payload_len, &head,
+                                   &consumed));
+    EXPECT_EQ(head.code, ErrorCode::Ok);
+    std::uint64_t token = 0;
+    std::uint32_t lease = 0;
+    ASSERT_TRUE(decodeSessionInfoResult(f.payload, f.payload_len,
+                                        consumed, &token, &lease));
+    EXPECT_EQ(token, 0xDEAD'5EA5ull);
+    EXPECT_EQ(lease, 30u);
+    // Truncated result fields are malformed.
+    EXPECT_FALSE(decodeSessionInfoResult(f.payload, f.payload_len - 1,
+                                         consumed, &token, &lease));
+}
+
 TEST(Protocol, OpcodeClassification)
 {
     EXPECT_TRUE(isCoalesced(Opcode::RegisterApp));
@@ -257,9 +343,17 @@ TEST(Protocol, OpcodeClassification)
     EXPECT_TRUE(isCoalesced(Opcode::SetDemand));
     EXPECT_FALSE(isCoalesced(Opcode::Ping));
     EXPECT_FALSE(isCoalesced(Opcode::GetSnapshot));
+    // Session-scoped opcodes answer at arrival, never at the commit
+    // point — resuming must not wait a tick.
+    EXPECT_FALSE(isCoalesced(Opcode::Resume));
+    EXPECT_FALSE(isCoalesced(Opcode::SessionInfo));
 
     EXPECT_TRUE(
         validOpcode(static_cast<std::uint8_t>(Opcode::Ping)));
+    EXPECT_TRUE(
+        validOpcode(static_cast<std::uint8_t>(Opcode::Resume)));
+    EXPECT_TRUE(
+        validOpcode(static_cast<std::uint8_t>(Opcode::SessionInfo)));
     EXPECT_FALSE(validOpcode(
         static_cast<std::uint8_t>(Opcode::ProtocolError)));
     EXPECT_FALSE(validOpcode(0x00));
