@@ -117,6 +117,9 @@ struct World
     {
         net::ServerCoreOptions o;
         o.lease_ticks = kLeaseTicks;
+        // Benches are a single trust domain: inject a seed so resume
+        // tokens stay deterministic (no runtime entropy in any run).
+        o.token_seed = 0xC4A0'5EED'0000'0001ull;
         return o;
     }
 

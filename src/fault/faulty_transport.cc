@@ -40,6 +40,14 @@ FaultyTransport::flushDelayed()
     if (dead_ || held_.empty())
         return Status::okStatus();
     Status st = inner_->send(held_.data(), held_.size());
+    if (!st.ok()) {
+        // The inner transport failed mid-delivery: the held frames
+        // are gone. Drop-implies-death — sever the connection so the
+        // loss is observable and the client's resume retransmission
+        // recovers the frames (they are still unacknowledged).
+        dead_ = true;
+        dropped_ += held_frames_;
+    }
     held_.clear();
     held_frames_ = 0;
     return st;
@@ -66,10 +74,11 @@ FaultyTransport::send(const std::uint8_t *data, std::size_t n)
             // Deliver held traffic in order, then a prefix of this
             // frame, then die — the server decoder is left mid-frame
             // and the connection's replacement starts clean.
-            flushDelayed();
+            const bool flushed = flushDelayed().ok();
             const auto cut = static_cast<std::size_t>(
                 rng_.uniformInt(1, static_cast<std::int64_t>(n) - 1));
-            inner_->send(data, cut);
+            if (flushed)
+                inner_->send(data, cut);
             dead_ = true;
             partials_ += 1;
             return deadStatus();

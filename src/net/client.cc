@@ -24,6 +24,21 @@ std::uint32_t
 Client::finishSend(std::uint32_t req_id)
 {
     ++requests_sent_;
+    // Never push past the server's replay window: a retry of a
+    // request the window has already evicted cannot be answered and
+    // must not re-commit, so the send is refused locally instead.
+    // The caller's await sees the rejection; pumping replies shrinks
+    // the backlog and unblocks further sends.
+    if (track_ && dedup_window_ > 0 &&
+        unacked_.size() >= dedup_window_) {
+        Reply r;
+        r.head.code = api::ErrorCode::ResourceExhausted;
+        r.head.message =
+            "unacknowledged-request backlog reached the server's "
+            "replay window; pump replies before sending more";
+        replies_[req_id] = std::move(r);
+        return req_id;
+    }
     // Track before transmitting: a frame that dies with the
     // transport is exactly the one resume() must retransmit.
     if (track_)
@@ -351,10 +366,21 @@ Client::beginSession()
         (static_cast<std::uint8_t>(Opcode::SessionInfo) |
          kResponseBit))
         return opcodeMismatch();
+    std::uint16_t version = 0;
     if (!decodeSessionInfoResult(r.result.data(), r.result.size(), 0,
-                                 &token_, &lease_ticks_))
+                                 &version, &token_, &lease_ticks_,
+                                 &dedup_window_))
         return api::Status::error(api::ErrorCode::Unavailable,
                                   "malformed session_info response");
+    // A server more than one revision ahead may have changed payload
+    // layouts we cannot decode; name the mismatch instead of failing
+    // later with a misleading "malformed response".
+    if (version > kPayloadVersion)
+        return api::Status::error(
+            api::ErrorCode::Unavailable,
+            "protocol version mismatch: server speaks v" +
+                std::to_string(version) + ", client speaks v" +
+                std::to_string(kPayloadVersion));
     track_ = lease_ticks_ > 0;
     return api::Status::okStatus();
 }
@@ -421,6 +447,7 @@ Client::abandonSession()
     unacked_.clear();
     token_ = 0;
     lease_ticks_ = 0;
+    dedup_window_ = 0;
     track_ = false;
 }
 

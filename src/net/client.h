@@ -163,6 +163,13 @@ class Client
     /** Server lease length from beginSession(); 0 when disabled. */
     std::uint32_t leaseTicks() const { return lease_ticks_; }
 
+    /** Server dedup-window size from beginSession(); 0 when leases
+     *  are disabled or the server predates the field. While nonzero,
+     *  the client refuses to push more than this many requests
+     *  unacknowledged — a retry from beyond the window could not be
+     *  replayed and would break exactly-once. */
+    std::uint32_t dedupWindow() const { return dedup_window_; }
+
     /**
      * Swap in a fresh transport after the old one died: clears the
      * latched connection error and resets framing state. Buffered
@@ -234,6 +241,7 @@ class Client
     int call_timeout_ms_ = 0;
     std::uint64_t token_ = 0;
     std::uint32_t lease_ticks_ = 0;
+    std::uint32_t dedup_window_ = 0;
     bool track_ = false;
     api::Status conn_error_;
 };

@@ -447,12 +447,20 @@ decodeSnapshotResult(const std::uint8_t *payload, std::size_t len,
     if (offset > len)
         return false;
     WireReader r(payload + offset, len - offset);
-    std::uint8_t flags = 0;
     if (!(r.f64(&snap->solar_w) && r.f64(&snap->grid_w) &&
           r.f64(&snap->grid_carbon_g_per_kwh) &&
           r.f64(&snap->battery_discharge_w) &&
-          r.f64(&snap->battery_charge_level_wh) && r.u8(&flags) &&
-          r.done()))
+          r.f64(&snap->battery_charge_level_wh)))
+        return false;
+    // Version skew tolerance: a v1 peer's payload ends here (no flags
+    // byte); readings from a server that cannot mark staleness are
+    // taken at face value.
+    if (r.done()) {
+        snap->stale = false;
+        return true;
+    }
+    std::uint8_t flags = 0;
+    if (!r.u8(&flags) || !r.done())
         return false;
     if (flags > 1)
         return false; // reserved flag bits must be zero
@@ -462,27 +470,41 @@ decodeSnapshotResult(const std::uint8_t *payload, std::size_t len,
 
 bool
 decodeSessionInfoResult(const std::uint8_t *payload, std::size_t len,
-                        std::size_t offset, std::uint64_t *token,
-                        std::uint32_t *lease_ticks)
+                        std::size_t offset, std::uint16_t *version,
+                        std::uint64_t *token,
+                        std::uint32_t *lease_ticks,
+                        std::uint32_t *dedup_window)
 {
     if (offset > len)
         return false;
     WireReader r(payload + offset, len - offset);
-    return r.u64(token) && r.u32(lease_ticks) && r.done();
+    // A v1 lease grant is exactly token + ticks (12 bytes); the v2
+    // layout leads with a u16 version and appends the dedup window.
+    // The lengths differ, so the two parses cannot be confused.
+    if (r.remaining() == 12) {
+        *version = 1;
+        *dedup_window = 0; // unknown: the client cannot enforce it
+        return r.u64(token) && r.u32(lease_ticks) && r.done();
+    }
+    return r.u16(version) && r.u64(token) && r.u32(lease_ticks) &&
+           r.u32(dedup_window) && r.done();
 }
 
 void
 encodeSessionInfoResponse(std::vector<std::uint8_t> &out,
                           std::uint32_t request_id,
                           std::uint64_t token,
-                          std::uint32_t lease_ticks)
+                          std::uint32_t lease_ticks,
+                          std::uint32_t dedup_window)
 {
     const std::size_t off =
         beginResponse(out, Opcode::SessionInfo, request_id);
     WireWriter w(&out);
     w.u16(0);
+    w.u16(kPayloadVersion);
     w.u64(token);
     w.u32(lease_ticks);
+    w.u32(dedup_window);
     endFrame(out, off);
 }
 

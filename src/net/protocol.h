@@ -56,6 +56,18 @@ enum class Opcode : std::uint8_t
 
 inline constexpr std::uint8_t kResponseBit = 0x80;
 
+/**
+ * Protocol revision advertised in the SessionInfo response. Version 1
+ * was the pre-fault-plane wire (no snapshot flags byte, no lease
+ * grant fields beyond token + ticks); version 2 added the snapshot
+ * staleness flags byte and the dedup-window field of the lease grant.
+ * Decoders accept the previous revision's payloads (a missing flags
+ * byte means "not stale", a short lease grant means "window
+ * unknown"), so a one-revision skew yields degraded metadata, never a
+ * connection-fatal "malformed response".
+ */
+inline constexpr std::uint16_t kPayloadVersion = 2;
+
 /** Human-readable opcode name for logs and tests. */
 const char *opcodeName(Opcode op);
 
@@ -167,11 +179,13 @@ void encodeSnapshotResponse(std::vector<std::uint8_t> &out,
 void encodeErrorResponse(std::vector<std::uint8_t> &out, Opcode op,
                          std::uint32_t request_id,
                          const api::Status &status);
-/** SessionInfo result: u64 resume token + u32 lease ticks. */
+/** SessionInfo result: u16 protocol version + u64 resume token +
+ *  u32 lease ticks + u32 dedup window (0 = leases disabled). */
 void encodeSessionInfoResponse(std::vector<std::uint8_t> &out,
                                std::uint32_t request_id,
                                std::uint64_t token,
-                               std::uint32_t lease_ticks);
+                               std::uint32_t lease_ticks,
+                               std::uint32_t dedup_window);
 
 /** Decoded common prefix of any response payload. */
 struct ResponseHead
@@ -190,13 +204,20 @@ bool decodeResponseHead(const std::uint8_t *payload, std::size_t len,
 
 bool decodeIdResult(const std::uint8_t *payload, std::size_t len,
                     std::size_t offset, std::uint32_t *id);
+/** Accepts both the v2 layout (five f64 + flags byte) and the legacy
+ *  v1 layout without the flags byte (decoded as `stale = false`). */
 bool decodeSnapshotResult(const std::uint8_t *payload, std::size_t len,
                           std::size_t offset,
                           api::EnergySnapshot *snap);
+/** Accepts both the v2 layout (version + token + ticks + window) and
+ *  the legacy v1 layout (token + ticks), reported as `*version = 1`
+ *  with `*dedup_window = 0` (unknown). */
 bool decodeSessionInfoResult(const std::uint8_t *payload,
                              std::size_t len, std::size_t offset,
+                             std::uint16_t *version,
                              std::uint64_t *token,
-                             std::uint32_t *lease_ticks);
+                             std::uint32_t *lease_ticks,
+                             std::uint32_t *dedup_window);
 
 } // namespace ecov::net
 

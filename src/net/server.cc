@@ -1,7 +1,10 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+
+#include <sys/random.h>
 
 #include "util/logging.h"
 
@@ -17,9 +20,10 @@ err(api::ErrorCode code, const char *msg)
 
 /**
  * Deterministic token derivation (splitmix64 finalizer over the
- * configured seed and the session id). Reproducible for tests, yet
- * 64 bits wide on the wire — a remote peer cannot enumerate it
- * within a lease window.
+ * injected seed and the session id) — the test/bench path only.
+ * splitmix64 is invertible and the inputs are guessable, so a token
+ * from this path is NOT a secret; production tokens come from
+ * entropyToken() below.
  */
 std::uint64_t
 mixToken(std::uint64_t seed, std::uint64_t sid)
@@ -29,6 +33,33 @@ mixToken(std::uint64_t seed, std::uint64_t sid)
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     z ^= z >> 31;
     return z ? z : 1; // 0 means "no token"
+}
+
+/**
+ * A resume token is a bearer capability for a tenant's whole
+ * namespace, so it must be unguessable by other tenants: 64 bits of
+ * OS entropy. Token values never influence simulation state (they
+ * are lookup keys only), so this is the one permitted use of real
+ * randomness in the server — determinism of settled state is
+ * untouched.
+ */
+std::uint64_t
+entropyToken()
+{
+    std::uint64_t t = 0;
+    std::size_t got = 0;
+    while (got < sizeof t) {
+        const ssize_t r =
+            ::getrandom(reinterpret_cast<std::uint8_t *>(&t) + got,
+                        sizeof t - got, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("getrandom failed for resume token");
+        }
+        got += static_cast<std::size_t>(r);
+    }
+    return t ? t : 1; // 0 means "no token"
 }
 
 } // namespace
@@ -54,7 +85,10 @@ ServerCore::newSession(ConnId bound_to)
     Session &s = sessions_[sid];
     s.bound = bound_to;
     if (options_.lease_ticks > 0) {
-        std::uint64_t token = mixToken(options_.token_seed, sid);
+        std::uint64_t token =
+            options_.token_seed != 0
+                ? mixToken(options_.token_seed, sid)
+                : entropyToken();
         while (tokens_.count(token) != 0)
             ++token; // astronomically rare; keep tokens unique
         s.token = token;
@@ -112,6 +146,8 @@ ServerCore::closeConnection(ConnId conn)
     const SessionId sid = it->second.session;
     const bool poisoned = it->second.poisoned;
     conns_.erase(it);
+    kicked_.erase(std::remove(kicked_.begin(), kicked_.end(), conn),
+                  kicked_.end());
 
     auto sit = sessions_.find(sid);
     if (sit == sessions_.end())
@@ -143,6 +179,14 @@ ServerCore::connectionOpen(ConnId conn) const
     return conns_.count(conn) != 0;
 }
 
+std::vector<ConnId>
+ServerCore::takeKicked()
+{
+    std::vector<ConnId> out;
+    out.swap(kicked_);
+    return out;
+}
+
 std::vector<std::uint8_t> &
 ServerCore::outbox(ConnId conn)
 {
@@ -163,6 +207,11 @@ ServerCore::onBytes(ConnId conn, const std::uint8_t *data,
     if (it == conns_.end())
         fatal("ServerCore::onBytes: unknown connection");
     Conn &c = it->second;
+
+    // A kicked (or already-errored) connection is served nothing
+    // more; its outbox tail is the notice explaining why.
+    if (c.poisoned)
+        return false;
 
     c.decoder.feed(data, n);
     for (;;) {
@@ -240,8 +289,9 @@ ServerCore::handleFrame(ConnId conn, Conn &c, const Frame &f)
         if (f.payload_len != 0)
             return bad_payload();
         ++stats_.immediate_replies;
-        encodeSessionInfoResponse(s->outbox, f.request_id, s->token,
-                                  options_.lease_ticks);
+        encodeSessionInfoResponse(
+            s->outbox, f.request_id, s->token, options_.lease_ticks,
+            options_.lease_ticks > 0 ? options_.dedup_window : 0);
         return true;
       }
       case Opcode::Resume: {
@@ -268,24 +318,44 @@ ServerCore::handleFrame(ConnId conn, Conn &c, const Frame &f)
             return true;
         }
         Session &target = sessions_.at(tit->second);
-        if (target.bound != 0) {
-            // Still bound to a live connection: either a token leak
-            // or a client racing itself. Refuse; the holder keeps it.
-            encodeErrorResponse(s->outbox, op, f.request_id,
-                                err(api::ErrorCode::InvalidHandle,
-                                    "session still bound to a "
-                                    "connection"));
-            return true;
-        }
-        // Re-bind: discard this connection's fresh (virgin, hence
-        // empty) session and attach the leased one in its place.
         const SessionId fresh = c.session;
         const SessionId resumed = tit->second;
-        destroySession(fresh);
+        if (target.bound != 0) {
+            // Still bound — but the server only notices a dead peer
+            // through read/write errors, so after a silent peer death
+            // (host crash, partition) the old connection looks alive
+            // forever. The token is the session's bearer capability:
+            // its holder wins. Kick the stale connection by handing
+            // it this connection's fresh (virgin, hence empty)
+            // session, queue a kick notice for it, and let the
+            // transport close it (takeKicked()).
+            const ConnId old_conn = target.bound;
+            auto oit = conns_.find(old_conn);
+            if (oit == conns_.end())
+                fatal("ServerCore: bound session without connection");
+            Session &stale = sessions_.at(fresh);
+            oit->second.session = fresh;
+            oit->second.poisoned = true; // close revokes, not leases
+            stale.bound = old_conn;
+            encodeErrorResponse(stale.outbox, Opcode::ProtocolError, 0,
+                                err(api::ErrorCode::Unavailable,
+                                    "session resumed from another "
+                                    "connection"));
+            kicked_.push_back(old_conn);
+            // Undelivered output belonged to the dead stream and may
+            // end mid-frame on the old socket; the retransmit+dedup
+            // path recovers anything lost.
+            target.outbox.clear();
+            ++stats_.resume_takeovers;
+        } else {
+            // Re-bind: discard this connection's fresh session and
+            // attach the leased one in its place.
+            destroySession(fresh);
+            target.lease_left = 0;
+            --detached_;
+        }
         c.session = resumed;
         target.bound = conn;
-        target.lease_left = 0;
-        --detached_;
         ++stats_.leases_resumed;
         encodeOkResponse(target.outbox, op, f.request_id);
         return true;
@@ -379,6 +449,21 @@ ServerCore::admitDeduped(Session &s, PendingOp &&op)
         }
         if (s.queued.count(op.req_id) != 0)
             return;
+        // Request ids are monotone per session, so an id at or below
+        // the committed watermark is a retransmit even when its
+        // stored response has been evicted from the window. It must
+        // NOT re-commit (that would break exactly-once); the original
+        // response is unrecoverable, so say so instead of lying with
+        // a fresh apply.
+        if (op.req_id <= s.committed_max) {
+            ++stats_.duplicates_replayed;
+            encodeErrorResponse(s.outbox, op.op, op.req_id,
+                                err(api::ErrorCode::Unavailable,
+                                    "request already committed; "
+                                    "response evicted from the "
+                                    "replay window"));
+            return;
+        }
         const std::uint32_t req_id = op.req_id;
         if (admit(s, std::move(op)))
             s.queued.insert(req_id);
@@ -453,6 +538,8 @@ ServerCore::commitCoalesced(TimeS start_s, TimeS dt_s)
             ++stats_.coalesced_committed;
             if (options_.lease_ticks > 0) {
                 s.queued.erase(op.req_id);
+                s.committed_max =
+                    std::max(s.committed_max, op.req_id);
                 recordDone(s, op.req_id, s.outbox.data() + before,
                            s.outbox.size() - before);
                 // A detached session has no stream to deliver on;

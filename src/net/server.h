@@ -18,8 +18,13 @@
  * disconnect merely *detaches* the session: it survives for up to
  * `lease_ticks` tick settlements, and a reconnecting client can
  * re-bind it by presenting the session's resume token (Opcode::Resume
- * as the first frame on the fresh connection). Only when the lease
- * expires does the existing revocation path run — the session's
+ * as the first frame on the fresh connection). A valid token also
+ * rebinds a session that still *looks* bound: after a silent peer
+ * death (host crash, partition) no FIN ever reaches the server, so
+ * the token holder — the session's rightful owner, tokens being OS
+ * entropy — forcibly takes the session over and the stale connection
+ * is kicked (the transport learns via takeKicked()). Only when the
+ * lease expires does the existing revocation path run — the session's
  * containers are destroyed in local-id order, bumping COP slot
  * generations so every leaked capability goes stale.
  *
@@ -44,7 +49,11 @@
  * response bytes replayed verbatim; one still queued is swallowed
  * (its reply arrives at commit). A client that retransmits everything
  * unacknowledged after a reconnect therefore commits each mutation
- * exactly once, in canonical order (docs/FAULTS.md).
+ * exactly once, in canonical order (docs/FAULTS.md). The window is
+ * backed by a committed-request-id watermark: a retransmit whose
+ * stored response was already evicted answers Unavailable rather
+ * than re-committing, and the SessionInfo grant advertises the
+ * window size so a well-behaved client never outruns it.
  *
  * Admission control: a bounded per-session inflight count plus a
  * global queue budget. Requests over either bound are answered
@@ -94,11 +103,20 @@ struct ServerCoreOptions
      */
     std::uint32_t lease_ticks = 0;
     /** Committed responses remembered per session for duplicate
-     *  replay (ignored when leases are disabled). */
+     *  replay (ignored when leases are disabled). The window size is
+     *  advertised in the SessionInfo lease grant so clients stop
+     *  sending before they could outrun it. */
     std::uint32_t dedup_window = 1024;
-    /** Seed for deterministic resume-token derivation. Tokens are
-     *  unguessably wide on the wire but reproducible in tests. */
-    std::uint64_t token_seed = 0xEC0F'5EA5'0000'0001ull;
+    /**
+     * 0 (default): resume tokens are drawn from OS entropy
+     * (getrandom), so a token is a real capability — no tenant can
+     * derive another session's token. Tests and benches that need
+     * reproducible tokens inject a nonzero seed here and get the
+     * deterministic splitmix64 derivation instead; that path is for
+     * single-trust-domain harnesses only, since a seeded token
+     * sequence is computable by anyone who knows the seed.
+     */
+    std::uint64_t token_seed = 0;
 };
 
 /** Running totals (bench/smoke visibility; all monotonic). */
@@ -113,6 +131,8 @@ struct ServerStats
     std::uint64_t leases_resumed = 0;     ///< successful Resume binds
     std::uint64_t leases_expired = 0;     ///< leases that revoked
     std::uint64_t duplicates_replayed = 0; ///< dedup-window replays
+    std::uint64_t resume_takeovers = 0;   ///< Resumes that kicked a
+                                          ///< still-bound connection
 };
 
 class ServerCore
@@ -197,6 +217,14 @@ class ServerCore
     /** Sessions currently disconnected but within their lease. */
     std::size_t detachedSessionCount() const { return detached_; }
 
+    /**
+     * Connections forcibly unbound by a Resume takeover since the
+     * last call. Each has a kick notice (ProtocolError frame) as its
+     * outbox tail; the transport should flush and close them. The
+     * internal list is cleared by this call.
+     */
+    std::vector<ConnId> takeKicked();
+
     const ServerStats &stats() const { return stats_; }
 
     /** The supervised ecovisor (tests, daemon wiring). */
@@ -240,6 +268,11 @@ class ServerCore
         /** Request ids queued but not yet committed (duplicates of
          *  these are swallowed; the commit produces the reply). */
         std::set<std::uint32_t> queued;
+        /** Highest request id ever committed. Client request ids are
+         *  monotone per session, so any arriving id at or below this
+         *  watermark is a retransmit — even one already evicted from
+         *  the `done` window, which must never re-commit. */
+        std::uint32_t committed_max = 0;
     };
 
     /** A mutating request parked until the next commit point. */
@@ -291,6 +324,9 @@ class ServerCore
     /** Resume token -> session (leases enabled only). */
     std::map<std::uint64_t, SessionId> tokens_;
     std::vector<PendingOp> pending_;
+    /** Connections unbound by Resume takeover, awaiting transport
+     *  close (drained by takeKicked()). */
+    std::vector<ConnId> kicked_;
     ConnId next_conn_ = 1;
     SessionId next_session_ = 1;
     std::size_t detached_ = 0;

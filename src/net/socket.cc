@@ -261,6 +261,19 @@ TcpServer::poll(int timeout_ms)
     }
     for (int fd : to_drop)
         drop(fd);
+
+    // Connections forcibly unbound by a Resume takeover: flush the
+    // kick notice, then close. The fd may already be gone if the
+    // same poll round also saw it die naturally.
+    for (const ConnId kicked : core_->takeKicked()) {
+        for (const auto &[fd, conn] : conns_) {
+            if (conn != kicked)
+                continue;
+            flushOutbox(fd, conn);
+            drop(fd);
+            break;
+        }
+    }
     return true;
 }
 

@@ -271,19 +271,58 @@ TEST(SessionLease, ResumeRejectionsAreRequestScoped)
     EXPECT_EQ(c1.await(1).code(), ErrorCode::InvalidHandle);
     EXPECT_TRUE(core.connectionOpen(t1.connection()));
     EXPECT_TRUE(c1.ping().ok());
+}
 
-    // A token whose session is still bound to a live connection
-    // cannot be stolen by a second connection.
+TEST(SessionLease, ResumeTakesOverSilentlyDeadBoundConnection)
+{
+    // After a silent peer death (host crash, partition) no FIN ever
+    // reaches the server, so the old connection stays "bound"
+    // indefinitely. The token is the session's bearer capability: a
+    // Resume presenting it forcibly rebinds, and the stale
+    // connection is kicked.
+    Rig rig;
+    ServerCore core(&rig.eco, leaseOptions(8));
+    Ticker ticker{&rig};
+
+    LoopbackTransport t1(&core);
+    t1.setIdleHandler([&ticker] { ticker.tick(); });
+    Client c1(&t1);
     ASSERT_TRUE(c1.beginSession().ok());
-    const std::uint64_t bound_token = c1.sessionToken();
-    ASSERT_NE(bound_token, 0u);
+    const auto app =
+        c1.registerApp("takeover", testutil::appShare(0.5, 360));
+    ASSERT_TRUE(app.ok());
+    const auto cont = c1.spawnContainer(app.value(), 1.0);
+    ASSERT_TRUE(cont.ok());
+    const std::uint64_t token = c1.sessionToken();
+    ASSERT_NE(token, 0u);
+
+    // The network partitions; the peer never sends a FIN, so the
+    // server still believes t1 is a live binding. The client
+    // reconnects over a fresh transport and resumes — the valid
+    // token forcibly rebinds instead of being refused with "session
+    // still bound".
+    const ConnId stale_conn = t1.connection();
     LoopbackTransport t2(&core);
-    Client c2(&t2);
-    frame.clear();
-    encodeResume(frame, 1, bound_token);
-    ASSERT_TRUE(t2.send(frame.data(), frame.size()).ok());
-    EXPECT_EQ(c2.await(1).code(), ErrorCode::InvalidHandle);
-    EXPECT_TRUE(c1.ping().ok()); // the bound session is untouched
+    t2.setIdleHandler([&ticker] { ticker.tick(); });
+    c1.bindTransport(&t2);
+    ASSERT_TRUE(c1.resume().ok());
+    EXPECT_EQ(core.stats().leases_resumed, 1u);
+    EXPECT_EQ(core.stats().resume_takeovers, 1u);
+
+    // The namespace followed the token: the old handles keep working
+    // on the new connection.
+    EXPECT_TRUE(c1.setDemand(cont.value(), 0.5).ok());
+    EXPECT_TRUE(c1.getEnergySnapshot(app.value()).ok());
+
+    // The stale connection was queued for transport-level close,
+    // holds only an empty namespace, and is served nothing more.
+    const auto kicked = core.takeKicked();
+    ASSERT_EQ(kicked.size(), 1u);
+    EXPECT_EQ(kicked.front(), stale_conn);
+    EXPECT_EQ(core.sessionCount(), 2u); // resumed + kicked empty shell
+    core.closeConnection(stale_conn); // what the transport then does
+    EXPECT_EQ(core.sessionCount(), 1u);
+    EXPECT_EQ(rig.cluster.containerCount(), 1);
 }
 
 TEST(SessionLease, ResumeOnLeaselessServerIsUnavailable)
@@ -323,6 +362,113 @@ TEST(SessionLease, DrainRevokesDetachedSessions)
     EXPECT_EQ(core.sessionCount(), 0u);
     EXPECT_EQ(core.detachedSessionCount(), 0u);
     EXPECT_EQ(rig.cluster.containerCount(), 0);
+}
+
+TEST(SessionLease, EvictedDuplicateNeverRecommits)
+{
+    // A retransmit whose stored response was already trimmed from
+    // the dedup window must answer an error, not re-commit: the
+    // committed-request-id watermark keeps exactly-once intact even
+    // past the window.
+    Rig rig;
+    ServerCoreOptions o;
+    o.lease_ticks = 8;
+    o.dedup_window = 1;
+    ServerCore core(&rig.eco, o);
+    Ticker ticker{&rig};
+    LoopbackTransport transport(&core);
+    transport.setIdleHandler([&ticker] { ticker.tick(); });
+    Client client(&transport);
+    ASSERT_TRUE(client.beginSession().ok()); // request id 1
+    const auto app =
+        client.registerApp("evict", testutil::appShare(0.5, 360));
+    ASSERT_TRUE(app.ok()); // request id 2
+    ASSERT_TRUE(client.spawnContainer(app.value(), 1.0).ok()); // id 3
+    // Window of 1: the spawn's response evicted the register's.
+    const auto committed = core.stats().coalesced_committed;
+
+    // Wire-level retransmit of the long-acknowledged RegisterApp.
+    std::vector<std::uint8_t> frame;
+    RegisterAppReq rr;
+    rr.name = "evict";
+    rr.share = testutil::appShare(0.5, 360);
+    encodeRegisterApp(frame, 2, rr);
+    ASSERT_TRUE(transport.send(frame.data(), frame.size()).ok());
+    EXPECT_EQ(core.pendingCount(), 0u); // nothing re-queued
+    EXPECT_EQ(client.await(2).code(), ErrorCode::Unavailable);
+    EXPECT_EQ(core.stats().coalesced_committed, committed);
+    EXPECT_EQ(core.stats().duplicates_replayed, 1u);
+}
+
+TEST(SessionLease, ClientStopsAtAdvertisedDedupWindow)
+{
+    // The lease grant advertises the server's replay window; the
+    // client refuses to push more requests unacknowledged than the
+    // window could replay, so a resume can never retransmit past it.
+    Rig rig;
+    ServerCoreOptions o;
+    o.lease_ticks = 8;
+    o.dedup_window = 3;
+    ServerCore core(&rig.eco, o);
+    Ticker ticker{&rig};
+    LoopbackTransport transport(&core);
+    transport.setIdleHandler([&ticker] { ticker.tick(); });
+    Client client(&transport);
+    ASSERT_TRUE(client.beginSession().ok());
+    EXPECT_EQ(client.dedupWindow(), 3u);
+    const auto app =
+        client.registerApp("window", testutil::appShare(0.5, 360));
+    ASSERT_TRUE(app.ok());
+    const auto cont = client.spawnContainer(app.value(), 1.0);
+    ASSERT_TRUE(cont.ok());
+
+    // Pipeline without pumping: the fourth send would outrun the
+    // window and is refused locally, leaving the backlog intact.
+    const std::uint32_t r1 = client.sendSetDemand(cont.value(), 0.1);
+    const std::uint32_t r2 = client.sendSetDemand(cont.value(), 0.2);
+    const std::uint32_t r3 = client.sendSetDemand(cont.value(), 0.3);
+    EXPECT_EQ(client.unackedCount(), 3u);
+    const std::uint32_t r4 = client.sendSetDemand(cont.value(), 0.4);
+    EXPECT_EQ(client.unackedCount(), 3u);
+    EXPECT_EQ(client.await(r4).code(), ErrorCode::ResourceExhausted);
+
+    // Draining the backlog unblocks further sends.
+    EXPECT_TRUE(client.await(r1).ok());
+    EXPECT_TRUE(client.await(r2).ok());
+    EXPECT_TRUE(client.await(r3).ok());
+    EXPECT_TRUE(client.setDemand(cont.value(), 0.5).ok());
+}
+
+TEST(SessionLease, TokenDerivation)
+{
+    // An injected seed (tests/benches only) reproduces the token
+    // sequence; the default draws from OS entropy, so two servers
+    // never mint the same token.
+    ServerCoreOptions seeded;
+    seeded.lease_ticks = 4;
+    seeded.token_seed = 42;
+
+    Rig r1, r2;
+    ServerCore a(&r1.eco, seeded);
+    ServerCore b(&r2.eco, seeded);
+    LoopbackTransport ta(&a), tb(&b);
+    Client ca(&ta), cb(&tb);
+    ASSERT_TRUE(ca.beginSession().ok());
+    ASSERT_TRUE(cb.beginSession().ok());
+    EXPECT_NE(ca.sessionToken(), 0u);
+    EXPECT_EQ(ca.sessionToken(), cb.sessionToken());
+
+    Rig r3, r4;
+    ServerCore c(&r3.eco, leaseOptions(4));
+    ServerCore d(&r4.eco, leaseOptions(4));
+    LoopbackTransport tc(&c), td(&d);
+    Client cc(&tc), cd(&td);
+    ASSERT_TRUE(cc.beginSession().ok());
+    ASSERT_TRUE(cd.beginSession().ok());
+    EXPECT_NE(cc.sessionToken(), 0u);
+    EXPECT_NE(cc.sessionToken(), cd.sessionToken());
+    // Nor the old fixed-seed sequence anyone could precompute.
+    EXPECT_NE(cc.sessionToken(), ca.sessionToken());
 }
 
 } // namespace

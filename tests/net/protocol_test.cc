@@ -11,6 +11,7 @@
 
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "net/wire.h"
 
 namespace ecov::net {
 namespace {
@@ -280,6 +281,31 @@ TEST(Protocol, SnapshotStaleFlagRoundTrip)
                                       consumed, &back));
 }
 
+TEST(Protocol, SnapshotLegacyLayoutStillDecodes)
+{
+    // A v1 server's snapshot has no flags byte. It must decode with
+    // stale = false, not fail as "malformed snapshot response".
+    std::vector<std::uint8_t> legacy;
+    WireWriter w(&legacy);
+    w.f64(10.0);
+    w.f64(20.0);
+    w.f64(300.0);
+    w.f64(4.0);
+    w.f64(500.0);
+    api::EnergySnapshot back;
+    back.stale = true; // must be overwritten
+    ASSERT_TRUE(decodeSnapshotResult(legacy.data(), legacy.size(), 0,
+                                     &back));
+    EXPECT_FALSE(back.stale);
+    EXPECT_EQ(back.solar_w, 10.0);
+    EXPECT_EQ(back.battery_charge_level_wh, 500.0);
+
+    // Short payloads are still malformed: tolerance is exactly the
+    // two known layouts, nothing in between.
+    EXPECT_FALSE(decodeSnapshotResult(legacy.data(),
+                                      legacy.size() - 1, 0, &back));
+}
+
 TEST(Protocol, ResumeRoundTrip)
 {
     std::vector<std::uint8_t> bytes;
@@ -311,7 +337,7 @@ TEST(Protocol, SessionInfoRoundTrip)
     EXPECT_EQ(f.payload_len, 0u);
 
     bytes.clear();
-    encodeSessionInfoResponse(bytes, 5, 0xDEAD'5EA5ull, 30);
+    encodeSessionInfoResponse(bytes, 5, 0xDEAD'5EA5ull, 30, 1024);
     f = frameOf(d, bytes);
     EXPECT_EQ(f.opcode, static_cast<std::uint8_t>(Opcode::SessionInfo) |
                             kResponseBit);
@@ -320,15 +346,43 @@ TEST(Protocol, SessionInfoRoundTrip)
     ASSERT_TRUE(decodeResponseHead(f.payload, f.payload_len, &head,
                                    &consumed));
     EXPECT_EQ(head.code, ErrorCode::Ok);
+    std::uint16_t version = 0;
     std::uint64_t token = 0;
     std::uint32_t lease = 0;
+    std::uint32_t window = 0;
     ASSERT_TRUE(decodeSessionInfoResult(f.payload, f.payload_len,
-                                        consumed, &token, &lease));
+                                        consumed, &version, &token,
+                                        &lease, &window));
+    EXPECT_EQ(version, kPayloadVersion);
     EXPECT_EQ(token, 0xDEAD'5EA5ull);
     EXPECT_EQ(lease, 30u);
+    EXPECT_EQ(window, 1024u);
     // Truncated result fields are malformed.
     EXPECT_FALSE(decodeSessionInfoResult(f.payload, f.payload_len - 1,
-                                         consumed, &token, &lease));
+                                         consumed, &version, &token,
+                                         &lease, &window));
+}
+
+TEST(Protocol, SessionInfoLegacyLayoutStillDecodes)
+{
+    // A v1 server's lease grant is exactly token + ticks. It must
+    // decode (as version 1, window unknown) rather than fail as
+    // malformed — one-revision skew degrades, never disconnects.
+    std::vector<std::uint8_t> legacy;
+    WireWriter w(&legacy);
+    w.u64(0xFEED'F00Dull);
+    w.u32(12);
+    std::uint16_t version = 0;
+    std::uint64_t token = 0;
+    std::uint32_t lease = 0;
+    std::uint32_t window = 77;
+    ASSERT_TRUE(decodeSessionInfoResult(legacy.data(), legacy.size(),
+                                        0, &version, &token, &lease,
+                                        &window));
+    EXPECT_EQ(version, 1u);
+    EXPECT_EQ(token, 0xFEED'F00Dull);
+    EXPECT_EQ(lease, 12u);
+    EXPECT_EQ(window, 0u);
 }
 
 TEST(Protocol, OpcodeClassification)
