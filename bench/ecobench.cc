@@ -5,7 +5,7 @@
  *   ecobench list [--format=json]
  *   ecobench run <name...|all> [--seed=N] [--horizon=full|short]
  *                [--tick=SECONDS] [--format=human|json] [--out=FILE]
- *                [--figures]
+ *                [--figures] [--selfcheck]
  *   ecobench diff <baseline.json> <current.json> [--tolerance=PCT]
  *                [--perf-tolerance=PCT]
  *
@@ -21,6 +21,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -47,7 +48,7 @@ usage(FILE *to)
         "  ecobench run <name...|all> [--seed=N] "
         "[--horizon=full|short]\n"
         "               [--tick=SECONDS] [--format=human|json]\n"
-        "               [--out=FILE] [--figures]\n"
+        "               [--out=FILE] [--figures] [--selfcheck]\n"
         "  ecobench diff <baseline.json> <current.json> "
         "[--tolerance=PCT]\n"
         "               [--perf-tolerance=PCT]\n"
@@ -61,6 +62,12 @@ usage(FILE *to)
         "  --out=FILE      write the JSON report to FILE (implies "
         "--format=json)\n"
         "  --figures       also print the per-figure tables/series\n"
+        "  --selfcheck     run every selected scenario twice and "
+        "fail\n"
+        "                  (exit 1) unless the domain metrics are "
+        "bit-identical\n"
+        "                  — the determinism contract at "
+        "--tolerance=0\n"
         "\n"
         "diff options:\n"
         "  --tolerance=PCT       max relative drift for domain "
@@ -196,6 +203,7 @@ cmdRun(const std::vector<std::string> &args)
     bool run_all = false;
     bool json = false;
     bool figures = false;
+    bool selfcheck = false;
     bool seed_overridden = false;
     std::uint64_t seed = 0;
     Horizon horizon = Horizon::Full;
@@ -238,6 +246,8 @@ cmdRun(const std::vector<std::string> &args)
             json = true; // a report file is always JSON
         } else if (a == "--figures") {
             figures = true;
+        } else if (a == "--selfcheck") {
+            selfcheck = true;
         } else if (a == "all") {
             run_all = true;
         } else if (!a.empty() && a[0] == '-') {
@@ -308,6 +318,45 @@ cmdRun(const std::vector<std::string> &args)
         if (!json && !figures)
             std::printf("running %s ...\n", s->name.c_str());
         reports.push_back(runScenario(*s, opts));
+        if (!selfcheck)
+            continue;
+        // Same scenario, same options, fresh world: any drift is a
+        // determinism bug, reported at --tolerance=0 (bit equality;
+        // perf metrics are wall-clock and exempt by definition).
+        const ScenarioReport &first = reports.back();
+        ScenarioReport second = runScenario(*s, opts);
+        bool drifted = first.ticks != second.ticks ||
+                       first.outcome.metrics.size() !=
+                           second.outcome.metrics.size();
+        if (!drifted) {
+            for (std::size_t i = 0; i < first.outcome.metrics.size();
+                 ++i) {
+                const auto &a_m = first.outcome.metrics[i];
+                const auto &b_m = second.outcome.metrics[i];
+                std::uint64_t a_bits = 0, b_bits = 0;
+                std::memcpy(&a_bits, &a_m.value, sizeof a_bits);
+                std::memcpy(&b_bits, &b_m.value, sizeof b_bits);
+                if (a_m.name != b_m.name || a_bits != b_bits) {
+                    std::fprintf(stderr,
+                                 "SELFCHECK FAIL: %s: %s = %.17g vs "
+                                 "%.17g across identical runs\n",
+                                 s->name.c_str(), a_m.name.c_str(),
+                                 a_m.value, b_m.value);
+                    drifted = true;
+                }
+            }
+        } else {
+            std::fprintf(stderr,
+                         "SELFCHECK FAIL: %s: run shape differs "
+                         "across identical runs\n",
+                         s->name.c_str());
+        }
+        if (drifted)
+            return 1;
+        if (!json)
+            std::printf("selfcheck %s: bit-identical across two "
+                        "runs\n",
+                        s->name.c_str());
     }
 
     if (json) {

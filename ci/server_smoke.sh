@@ -11,6 +11,14 @@
 #      port, and the client must ride it out (resume against a live
 #      daemon for its self-inflicted drop, re-register against the
 #      restarted one, exit 0). See docs/FAULTS.md.
+#   6. durable kill-and-restart leg: same shape, but both daemon
+#      incarnations share a --state-dir. Sessions now survive the
+#      restart, so the client must report ZERO re-registrations —
+#      every recovery is a resume. See docs/CHECKPOINT.md.
+#   7. digest-match leg: one bounded run split across a SIGKILL +
+#      restart (--state-dir, recovery sized from the "recovered to
+#      tick" banner) must print the same final state digest as an
+#      uninterrupted reference run of the same length.
 #
 # Expects a built tree; pass it as $1 or via ECOV_BUILD_DIR
 # (default: build-ci, matching build_and_test.sh).
@@ -136,6 +144,152 @@ done
 kill -9 "${daemon_pid}" 2>/dev/null
 daemon_pid=""
 
+# 6. Durable kill-and-restart: identical choreography, but with a
+#    shared --state-dir the restarted daemon recovers the session
+#    plane, so the client's resume() succeeds against it and the
+#    re-registration fallback must never fire (docs/CHECKPOINT.md).
+STATE_DIR="$(mktemp -d /tmp/ecovisord_state.XXXXXX)"
+CLOG="$(mktemp /tmp/ecovisord_chaos.XXXXXX.log)"
+"${DAEMON}" --port=0 --tick-ms=20 --lease-ticks=500 \
+    --state-dir="${STATE_DIR}" --fsync=never \
+    --checkpoint-every-ticks=4 >"${LOG}" 2>&1 &
+daemon_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^ecovisord: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "${LOG}")"
+    [[ -n "${port}" ]] && break
+    kill -0 "${daemon_pid}" 2>/dev/null || fail "daemon exited early"
+    sleep 0.05
+done
+[[ -n "${port}" ]] || fail "no listening banner (durable leg)"
+echo "server_smoke: durable daemon up on port ${port} (pid ${daemon_pid})"
+
+"${EXAMPLE}" "${port}" --chaos >"${CLOG}" 2>&1 &
+chaos_pid=$!
+
+# Give the session time to open AND land in a WAL tick before the
+# kill — anything the client saw acknowledged is durable.
+sleep 0.25
+kill -KILL "${daemon_pid}" 2>/dev/null
+wait "${daemon_pid}" 2>/dev/null
+daemon_pid=""
+
+restarted=""
+for _ in $(seq 1 60); do
+    "${DAEMON}" --port="${port}" --tick-ms=20 --lease-ticks=500 \
+        --state-dir="${STATE_DIR}" --fsync=never \
+        --checkpoint-every-ticks=4 >"${LOG}" 2>&1 &
+    daemon_pid=$!
+    sleep 0.1
+    if kill -0 "${daemon_pid}" 2>/dev/null &&
+        grep -q "listening on 127\.0\.0\.1:${port}" "${LOG}"; then
+        restarted=1
+        break
+    fi
+    wait "${daemon_pid}" 2>/dev/null
+    daemon_pid=""
+done
+[[ -n "${restarted}" ]] || fail "could not rebind port ${port} (durable leg)"
+grep -q "^ecovisord: recovered to tick" "${LOG}" \
+    || fail "restarted daemon printed no recovery banner"
+echo "server_smoke: durable daemon restarted on port ${port} (pid ${daemon_pid})"
+
+if ! wait "${chaos_pid}"; then
+    cat "${CLOG}" >&2
+    fail "--chaos client did not survive the durable restart"
+fi
+# The whole point of --state-dir: the restarted daemon still holds the
+# session, so recovery is resume-only. A single re-registration means
+# a lease was lost across the restart.
+grep -q " 0 re-registration(s)" "${CLOG}" || {
+    cat "${CLOG}" >&2
+    fail "chaos client re-registered across a --state-dir restart"
+}
+resumes="$(sed -n 's/^chaos survived: .* \([0-9]*\) resume(s).*$/\1/p' "${CLOG}")"
+[[ -n "${resumes}" && "${resumes}" -ge 1 ]] || {
+    cat "${CLOG}" >&2
+    fail "chaos client reported no resumes (durable leg)"
+}
+echo "server_smoke: durable restart rode out with ${resumes} resume(s), 0 re-registrations"
+
+kill -TERM "${daemon_pid}" 2>/dev/null
+for _ in $(seq 1 100); do
+    kill -0 "${daemon_pid}" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "${daemon_pid}" 2>/dev/null
+daemon_pid=""
+
+# 7. Digest match: a bounded run SIGKILLed mid-flight and finished by
+#    a recovered incarnation must land on the same full-state digest
+#    as an uninterrupted run of the same total length. This is the
+#    daemon-level face of the bit-identical-recovery contract.
+TOTAL_TICKS=200
+REF_DIR="$(mktemp -d /tmp/ecovisord_ref.XXXXXX)"
+SPLIT_DIR="$(mktemp -d /tmp/ecovisord_split.XXXXXX)"
+
+"${DAEMON}" --port=0 --tick-ms=10 --max-ticks="${TOTAL_TICKS}" \
+    --lease-ticks=500 --state-dir="${REF_DIR}" --fsync=never \
+    --checkpoint-every-ticks=16 >"${LOG}" 2>&1
+[[ $? -eq 0 ]] || fail "reference run exited nonzero"
+ref_digest="$(sed -n 's/^ecovisord: state digest \([0-9a-f]*\)$/\1/p' "${LOG}")"
+[[ -n "${ref_digest}" ]] || fail "reference run printed no digest"
+echo "server_smoke: reference digest ${ref_digest} (${TOTAL_TICKS} ticks)"
+
+"${DAEMON}" --port=0 --tick-ms=10 --max-ticks="${TOTAL_TICKS}" \
+    --lease-ticks=500 --state-dir="${SPLIT_DIR}" --fsync=never \
+    --checkpoint-every-ticks=16 >"${LOG}" 2>&1 &
+daemon_pid=$!
+sleep 0.5
+kill -0 "${daemon_pid}" 2>/dev/null \
+    || fail "split run finished before the kill (raise TOTAL_TICKS)"
+kill -KILL "${daemon_pid}" 2>/dev/null
+wait "${daemon_pid}" 2>/dev/null
+daemon_pid=""
+
+# Zero-tick probe: recover, scrape the recovered-to tick, SIGTERM
+# before the (deliberately distant) first tick fires. It exits
+# cleanly at tick R, so the final incarnation below needs exactly
+# TOTAL - R more ticks.
+"${DAEMON}" --port=0 --tick-ms=60000 --state-dir="${SPLIT_DIR}" \
+    --fsync=never --checkpoint-every-ticks=16 --lease-ticks=500 \
+    >"${LOG}" 2>&1 &
+daemon_pid=$!
+recovered=""
+for _ in $(seq 1 100); do
+    recovered="$(sed -n 's/^ecovisord: recovered to tick \([0-9]*\) .*$/\1/p' "${LOG}")"
+    [[ -n "${recovered}" ]] && break
+    kill -0 "${daemon_pid}" 2>/dev/null || break
+    sleep 0.05
+done
+[[ -n "${recovered}" ]] || fail "restarted split run printed no recovery banner"
+kill -TERM "${daemon_pid}" 2>/dev/null
+probe_status=1
+for _ in $(seq 1 100); do
+    if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+        wait "${daemon_pid}"
+        probe_status=$?
+        break
+    fi
+    sleep 0.05
+done
+daemon_pid=""
+[[ ${probe_status} -eq 0 ]] || fail "probe incarnation exited ${probe_status}"
+remaining=$((TOTAL_TICKS - recovered))
+[[ "${remaining}" -gt 0 ]] || fail "split run crashed too late (recovered=${recovered})"
+echo "server_smoke: split run recovered to tick ${recovered}, ${remaining} to go"
+
+"${DAEMON}" --port=0 --tick-ms=10 --max-ticks="${remaining}" \
+    --lease-ticks=500 --state-dir="${SPLIT_DIR}" --fsync=never \
+    --checkpoint-every-ticks=16 >"${LOG}" 2>&1
+[[ $? -eq 0 ]] || fail "recovered split run exited nonzero"
+split_digest="$(sed -n 's/^ecovisord: state digest \([0-9a-f]*\)$/\1/p' "${LOG}")"
+[[ -n "${split_digest}" ]] || fail "split run printed no digest"
+[[ "${split_digest}" == "${ref_digest}" ]] \
+    || fail "digest mismatch: split ${split_digest} != reference ${ref_digest}"
+echo "server_smoke: split-run digest matches reference (${split_digest})"
+
 echo "server_smoke: PASS"
-rm -f "${LOG}"
+rm -f "${LOG}" "${CLOG}"
+rm -rf "${STATE_DIR}" "${REF_DIR}" "${SPLIT_DIR}"
 exit 0

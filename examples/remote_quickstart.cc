@@ -25,7 +25,10 @@
  * daemon that never saw it), abandonSession() and re-registration
  * under an incarnation-suffixed name. Mid-run it also drops its own
  * connection once to force the resume path even against a healthy
- * daemon. Exits 0 only if the full iteration budget completes.
+ * daemon. Reconnects draw on one global backoff budget (capped delay,
+ * jitter deterministic in --seed), so a permanently-dead daemon
+ * exhausts it and the tenant exits nonzero rather than spinning
+ * forever. Exits 0 only if the full iteration budget completes.
  */
 
 #include <cstdio>
@@ -37,6 +40,7 @@
 
 #include "net/client.h"
 #include "net/socket.h"
+#include "util/rng.h"
 
 using namespace ecov;
 
@@ -47,31 +51,78 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <port> [host] [--inject-protocol-error] "
-                 "[--chaos]\n",
+                 "[--chaos] [--seed=N]\n",
                  argv0);
     return 64;
 }
 
-/** Connect with capped exponential backoff; null after ~6 s. */
-std::unique_ptr<net::SocketTransport>
-connectWithBackoff(const std::string &host, std::uint16_t port)
+/**
+ * Reconnect policy for the chaos tenant: capped exponential backoff
+ * with deterministic jitter (pure function of --seed, so two runs of
+ * the chaos leg hammer the daemon at the same instants), and a
+ * *global* attempt budget across the whole run — a permanently-dead
+ * daemon exhausts it and the tenant exits nonzero instead of spinning
+ * forever.
+ */
+class Backoff
 {
-    int delay_ms = 50;
-    for (int attempt = 0; attempt < 12; ++attempt) {
+  public:
+    explicit Backoff(std::uint64_t seed) : rng_(seed) {}
+
+    /** True while attempts remain; sleeps the jittered delay. */
+    bool
+    next()
+    {
+        if (spent_ >= kBudget)
+            return false;
+        ++spent_;
+        // Full jitter on [delay/2, delay): desynchronises competing
+        // tenants without ever exceeding the cap.
+        const double jittered =
+            rng_.uniform(delay_ms_ / 2.0, static_cast<double>(delay_ms_));
+        ::usleep(static_cast<useconds_t>(jittered * 1000.0));
+        delay_ms_ = delay_ms_ * 2 > kMaxDelayMs ? kMaxDelayMs
+                                                : delay_ms_ * 2;
+        return true;
+    }
+
+    /** A healthy call landed: restart the delay ramp (the budget, by
+     *  design, does not refill — it bounds the whole run). */
+    void reset() { delay_ms_ = kBaseDelayMs; }
+
+    int spent() const { return spent_; }
+
+  private:
+    static constexpr int kBudget = 48;      ///< total attempts per run
+    static constexpr int kBaseDelayMs = 25; ///< first retry delay
+    static constexpr int kMaxDelayMs = 800; ///< delay ceiling
+
+    Rng rng_;
+    int delay_ms_ = kBaseDelayMs;
+    int spent_ = 0;
+};
+
+/** Connect, retrying on the shared backoff budget; null when spent. */
+std::unique_ptr<net::SocketTransport>
+connectWithBackoff(const std::string &host, std::uint16_t port,
+                   Backoff &backoff)
+{
+    for (;;) {
         auto t = net::SocketTransport::connect(host, port);
         if (t.ok())
             return std::move(t.value());
-        ::usleep(static_cast<useconds_t>(delay_ms) * 1000);
-        delay_ms = delay_ms < 800 ? delay_ms * 2 : 800;
+        if (!backoff.next())
+            return nullptr; // budget exhausted: daemon presumed dead
     }
-    return nullptr;
 }
 
 /** The chaos tenant: survive anything, finish the loop, exit 0. */
 int
-runChaos(const std::string &host, std::uint16_t port)
+runChaos(const std::string &host, std::uint16_t port,
+         std::uint64_t seed)
 {
-    auto transport = connectWithBackoff(host, port);
+    Backoff backoff(seed);
+    auto transport = connectWithBackoff(host, port, backoff);
     if (!transport) {
         std::fprintf(stderr, "chaos: could not reach daemon\n");
         return 1;
@@ -111,23 +162,27 @@ runChaos(const std::string &host, std::uint16_t port)
     // be mid-restart), then prefer resume() — same handles, unacked
     // mutations retransmitted — and fall back to a fresh enrolment.
     const auto recover = [&]() -> bool {
-        for (int attempt = 0; attempt < 8; ++attempt) {
-            transport = connectWithBackoff(host, port);
+        for (;;) {
+            transport = connectWithBackoff(host, port, backoff);
             if (!transport)
-                return false;
+                return false; // reconnect budget exhausted
             client.bindTransport(transport.get());
             if (client.resume().ok()) {
                 ++resumes;
+                backoff.reset();
                 return true;
             }
             client.abandonSession();
             if (enroll()) {
                 ++reregisters;
+                backoff.reset();
                 return true;
             }
-            // Enrolment raced another daemon death; go around.
+            // Enrolment raced another daemon death; the next connect
+            // draws down the same global budget, so this terminates.
+            if (!backoff.next())
+                return false;
         }
-        return false;
     };
 
     if (!enroll() && !recover()) {
@@ -166,8 +221,10 @@ runChaos(const std::string &host, std::uint16_t port)
     }
 
     std::printf("chaos survived: %d iters, %d resume(s), %d "
-                "re-registration(s), incarnation %d\n",
-                kIters, resumes, reregisters, incarnation - 1);
+                "re-registration(s), incarnation %d, %d backoff "
+                "attempt(s)\n",
+                kIters, resumes, reregisters, incarnation - 1,
+                backoff.spent());
     return 0;
 }
 
@@ -180,12 +237,15 @@ main(int argc, char **argv)
     std::string host = "127.0.0.1";
     bool inject_error = false;
     bool chaos = false;
+    std::uint64_t seed = 1;
     int positional = 0;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--inject-protocol-error") == 0) {
             inject_error = true;
         } else if (std::strcmp(argv[i], "--chaos") == 0) {
             chaos = true;
+        } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+            seed = std::strtoull(argv[i] + 7, nullptr, 10);
         } else if (positional == 0) {
             const long p = std::strtol(argv[i], nullptr, 10);
             if (p <= 0 || p > 65535)
@@ -203,7 +263,7 @@ main(int argc, char **argv)
         return usage(argv[0]);
 
     if (chaos)
-        return runChaos(host, port);
+        return runChaos(host, port, seed);
 
     auto transport = net::SocketTransport::connect(host, port);
     if (!transport.ok()) {

@@ -32,6 +32,8 @@ errorCodeName(ErrorCode code)
         return "unavailable";
       case ErrorCode::DeadlineExceeded:
         return "deadline_exceeded";
+      case ErrorCode::DataLoss:
+        return "data_loss";
     }
     return "?";
 }

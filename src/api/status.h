@@ -46,6 +46,7 @@ enum class ErrorCode
     ResourceExhausted, ///< admission control: queue/inflight budget hit
     Unavailable,      ///< endpoint shutting down / connection gone
     DeadlineExceeded, ///< per-call deadline elapsed before a reply
+    DataLoss,         ///< durable state failed its checksum (ckpt/WAL)
 };
 
 /** Stable identifier string for an ErrorCode ("unknown_app", ...). */

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The checkpoint manager: snapshot cadence, WAL appends, and the
+ * recovery algorithm (docs/CHECKPOINT.md).
+ *
+ * Driving loop contract (ecovisord's tick loop, or a test harness):
+ *
+ *     mgr.recover();                 // once, before the loop
+ *     loop {
+ *         ...process transport frames / stage mutations...
+ *         mgr.beginTick();           // WAL: this tick's inputs
+ *         sim.step();                // commit + settle
+ *         mgr.endTick();             // snapshot every K ticks
+ *     }
+ *
+ * beginTick() makes the tick's inputs durable *before* they are
+ * applied — the write-ahead discipline — so a crash at any byte
+ * offset leaves either (a) a torn tail the next recovery truncates
+ * (the tick never happened, and its ops were never acked as committed)
+ * or (b) a complete record the next recovery replays. Either way the
+ * recovered world is bit-identical to some uninterrupted prefix of
+ * the run, and continues deterministically from there.
+ */
+
+#ifndef ECOV_CKPT_MANAGER_H
+#define ECOV_CKPT_MANAGER_H
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/record_io.h"
+#include "ckpt/snapshot.h"
+
+namespace ecov::ckpt {
+
+/** Durability knobs (ecovisord flags map 1:1 onto these). */
+struct CheckpointOptions
+{
+    std::string dir;                ///< state directory (created)
+    std::int64_t every_ticks = 32;  ///< snapshot cadence; <=0 = never
+    FsyncPolicy fsync = FsyncPolicy::Always;
+};
+
+/**
+ * Binds a World to a state directory. Not thread-safe; call from the
+ * tick loop's thread only (the same thread that steps the simulation).
+ */
+class CheckpointManager
+{
+  public:
+    CheckpointManager(const World &world, CheckpointOptions options);
+
+    /**
+     * Recover from the state directory, then arm the WAL for new
+     * appends. Idempotent inputs: an empty/missing directory is a
+     * fresh start (Ok, zero ticks replayed).
+     *
+     * The algorithm validates **everything** — snapshot checksum and
+     * structure, every WAL record's checksum and structure — before
+     * mutating any world state, so a DataLoss return means the world
+     * is untouched: corruption is never half-applied. A torn WAL (or
+     * snapshot tmp) tail is truncated silently, per record_io.h's
+     * taxonomy.
+     *
+     * Postcondition on Ok: world state equals the uninterrupted run
+     * at tick `recoveredTick()`; every previously-bound session is
+     * detached with a full lease awaiting Resume; a fresh snapshot is
+     * on disk and the WAL is empty; session-event recording is armed.
+     */
+    api::Status recover();
+
+    /**
+     * Append this tick's inputs (drained session events + the
+     * canonical mutation batch) to the WAL. Call immediately before
+     * sim.step().
+     */
+    api::Status beginTick();
+
+    /**
+     * Snapshot every `every_ticks` ticks (tick-count modulo, so the
+     * cadence phase survives recovery). Call immediately after
+     * sim.step().
+     */
+    api::Status endTick();
+
+    /** Force a snapshot now (daemon shutdown path). */
+    api::Status writeSnapshot();
+
+    /** Full-state digest of the bound world, right now. */
+    std::uint64_t digest() const { return snapshotDigest(world_); }
+
+    /** Tick the world stood at when recover() returned. */
+    std::int64_t recoveredTick() const { return recovered_tick_; }
+
+    /** WAL ticks replayed by recover(). */
+    std::int64_t replayedTicks() const { return replayed_ticks_; }
+
+    std::string snapshotPath() const;
+    std::string walPath() const;
+
+  private:
+    World world_;
+    CheckpointOptions options_;
+    RecordWriter wal_;
+    bool recovered_ = false;
+    std::int64_t recovered_tick_ = 0;
+    std::int64_t replayed_ticks_ = 0;
+};
+
+} // namespace ecov::ckpt
+
+#endif // ECOV_CKPT_MANAGER_H

@@ -540,4 +540,117 @@ Cluster::slotSizeBytes()
     return sizeof(Slot);
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint/restore.
+// ---------------------------------------------------------------------
+
+ClusterImage
+Cluster::captureState() const
+{
+    ClusterImage img;
+    img.next_id = next_id_;
+    img.free_slots = free_;
+    img.apps.reserve(apps_.size());
+    for (const AppInfo &info : apps_)
+        img.apps.push_back(info.name);
+    img.slots.reserve(slots_.size());
+    for (const Slot &slot : slots_) {
+        ClusterImage::SlotImage si;
+        si.generation = slot.generation;
+        si.live = slot.live;
+        if (slot.live)
+            si.c = slot.c; // dead rows are residue, not state
+        img.slots.push_back(si);
+    }
+    return img;
+}
+
+void
+Cluster::restoreState(const ClusterImage &image)
+{
+    for (Node &n : nodes_) {
+        n.cores_allocated = 0.0;
+        n.instances = 0;
+    }
+    slots_.assign(image.slots.size(), Slot{});
+    cols_ = HotColumns{};
+    for (std::size_t i = 0; i < image.slots.size(); ++i)
+        cols_.grow();
+    free_ = image.free_slots;
+    apps_.clear();
+    app_index_.clear();
+    for (const std::string &name : image.apps) {
+        AppInfo info;
+        info.name = name;
+        apps_.push_back(std::move(info));
+        app_index_.emplace(apps_.back().name,
+                           static_cast<AppIndex>(apps_.size() - 1));
+    }
+    all_head_ = all_tail_ = -1;
+    live_count_ = 0;
+    next_id_ = image.next_id;
+    id_to_slot_.assign(
+        next_id_ > 1 ? static_cast<std::size_t>(next_id_ - 1) : 0, -1);
+
+    // First pass: rows, columns, coefficients, node accounting.
+    std::vector<std::int32_t> live;
+    for (std::size_t i = 0; i < image.slots.size(); ++i) {
+        const ClusterImage::SlotImage &si = image.slots[i];
+        Slot &slot = slots_[i];
+        slot.generation = si.generation;
+        slot.live = si.live;
+        if (!si.live)
+            continue;
+        if (si.c.id < 1 || si.c.id >= next_id_ || si.c.app < 0 ||
+            static_cast<std::size_t>(si.c.app) >= apps_.size() ||
+            si.c.node < 0 || si.c.node >= nodeCount())
+            fatal("Cluster::restoreState: slot image breaks slab "
+                  "invariants");
+        slot.c = si.c;
+        cols_.demand[i] = si.c.demand;
+        cols_.util_cap[i] = si.c.util_cap;
+        cols_.cores[i] = si.c.cores;
+        cols_.gpu_util[i] = si.c.gpu_util;
+        cols_.node[i] = si.c.node;
+        refreshModelCoefficients(static_cast<std::int32_t>(i));
+        id_to_slot_[static_cast<std::size_t>(si.c.id - 1)] =
+            static_cast<std::int32_t>(i);
+        auto &n = nodes_[static_cast<std::size_t>(si.c.node)];
+        n.cores_allocated += si.c.cores;
+        n.instances += 1;
+        live.push_back(static_cast<std::int32_t>(i));
+    }
+
+    // Second pass: relink both intrusive lists by tail-append in
+    // increasing-id order — exactly the order create() built them in,
+    // so every settle walk sums in the captured run's FP order.
+    std::sort(live.begin(), live.end(),
+              [this](std::int32_t a, std::int32_t b) {
+                  return slots_[static_cast<std::size_t>(a)].c.id <
+                         slots_[static_cast<std::size_t>(b)].c.id;
+              });
+    for (std::int32_t s : live) {
+        const auto si = static_cast<std::size_t>(s);
+        Slot &slot = slots_[si];
+        AppInfo &info = apps_[static_cast<std::size_t>(slot.c.app)];
+        slot.app_prev = info.tail;
+        cols_.app_next[si] = -1;
+        if (info.tail >= 0)
+            cols_.app_next[static_cast<std::size_t>(info.tail)] = s;
+        else
+            info.head = s;
+        info.tail = s;
+        info.count += 1;
+
+        slot.all_prev = all_tail_;
+        cols_.all_next[si] = -1;
+        if (all_tail_ >= 0)
+            cols_.all_next[static_cast<std::size_t>(all_tail_)] = s;
+        else
+            all_head_ = s;
+        all_tail_ = s;
+        live_count_ += 1;
+    }
+}
+
 } // namespace ecov::cop

@@ -163,6 +163,28 @@ struct Node
 };
 
 /**
+ * Value image of the full slab for checkpoint/restore
+ * (docs/CHECKPOINT.md). Node *configuration* is construction input and
+ * deliberately absent — restore targets a cluster built with the same
+ * configs, and recomputes the cached power coefficients from them
+ * (refreshModelCoefficients is a pure function of config, so the
+ * recomputed columns are bit-identical to the captured run's).
+ */
+struct ClusterImage
+{
+    struct SlotImage
+    {
+        Container c; ///< meaningful only when live
+        std::uint32_t generation = 0;
+        bool live = false;
+    };
+    std::vector<SlotImage> slots;       ///< full slab, dead slots too
+    std::vector<std::int32_t> free_slots; ///< verbatim LIFO order
+    std::vector<std::string> apps;      ///< interned names, in order
+    ContainerId next_id = 1;
+};
+
+/**
  * The cluster manager (the COP itself).
  */
 class Cluster
@@ -433,6 +455,24 @@ class Cluster
      * utilisation of both layouts from this.
      */
     static std::size_t slotSizeBytes();
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore (src/ckpt/, docs/CHECKPOINT.md).
+    // ------------------------------------------------------------------
+
+    /** Capture the slab, free-list, interned names and id allocator. */
+    ClusterImage captureState() const;
+
+    /**
+     * Rebuild the full layout from an image: slab + columns + both
+     * intrusive lists (relinked in increasing-id order, which equals
+     * the captured link order), id table, node accounting, free-list
+     * verbatim. Slot-side series caches reset to the never-filled
+     * sentinel — telemetry lazily re-interns. Fatal on a structurally
+     * impossible image (corruption is caught upstream by the record
+     * CRC; this guards internal invariants).
+     */
+    void restoreState(const ClusterImage &image);
 
   private:
     /**

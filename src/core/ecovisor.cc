@@ -958,6 +958,75 @@ Ecovisor::settleTick(TimeS start_s, TimeS dt_s)
     ++settled_ticks_;
 }
 
+// ---------------------------------------------------------------------
+// Checkpoint/restore.
+// ---------------------------------------------------------------------
+
+EcovisorImage
+Ecovisor::captureState() const
+{
+    if (!staged_caps_.empty())
+        fatal("Ecovisor::captureState: staged caps pending (snapshot "
+              "only at a tick boundary)");
+    EcovisorImage img;
+    img.apps.reserve(apps_.size());
+    for (const AppState &st : apps_) {
+        EcovisorImage::AppImage ai;
+        ai.name = st.name;
+        ai.share = st.ves->share();
+        ai.ves = st.ves->captureState();
+        img.apps.push_back(std::move(ai));
+    }
+    img.powercaps.reserve(powercaps_w_.size());
+    for (const auto &[id, cap_w] : powercaps_w_)
+        img.powercaps.emplace_back(id, cap_w);
+    img.emergency_capped = emergency_capped_;
+    img.degraded_ticks = degraded_ticks_;
+    img.slo_violation_ticks = slo_violation_ticks_;
+    img.unserved_wh = unserved_wh_;
+    img.net_metered_wh = net_metered_wh_;
+    img.curtailed_wh = curtailed_wh_;
+    img.last_settled_s = last_settled_s_;
+    img.last_dt_s = last_dt_s_;
+    img.last_site_solar_w = last_site_solar_w_;
+    img.last_intensity = last_intensity_;
+    img.settled_ticks = settled_ticks_;
+    return img;
+}
+
+void
+Ecovisor::restoreState(const EcovisorImage &image)
+{
+    if (!apps_.empty())
+        fatal("Ecovisor::restoreState: apps already registered "
+              "(restore targets a fresh instance)");
+    // settled_ticks_ first: reserveExpected sizes each re-interned
+    // series for the horizon still ahead, not the whole run.
+    settled_ticks_ = image.settled_ticks;
+    for (const EcovisorImage::AppImage &ai : image.apps) {
+        auto r = tryAddApp(ai.name, ai.share);
+        if (!r.ok())
+            fatal("Ecovisor::restoreState: re-registration failed: " +
+                  r.status().message());
+        apps_[static_cast<std::size_t>(r.value().index())]
+            .ves->restoreState(ai.ves);
+    }
+    powercaps_w_.clear();
+    for (const auto &[id, cap_w] : image.powercaps)
+        powercaps_w_.emplace(id, cap_w);
+    emergency_capped_ = image.emergency_capped;
+    degraded_ticks_ = image.degraded_ticks;
+    slo_violation_ticks_ = image.slo_violation_ticks;
+    unserved_wh_ = image.unserved_wh;
+    net_metered_wh_ = image.net_metered_wh;
+    curtailed_wh_ = image.curtailed_wh;
+    last_settled_s_ = image.last_settled_s;
+    last_dt_s_ = image.last_dt_s;
+    last_site_solar_w_ = image.last_site_solar_w;
+    last_intensity_ = image.last_intensity;
+    now_hint_s_ = image.last_settled_s;
+}
+
 double
 Ecovisor::aggregateBatteryWh() const
 {

@@ -130,6 +130,39 @@ struct EcovisorOptions
 };
 
 /**
+ * Value image of the ecovisor's runtime state for checkpoint/restore
+ * (src/ckpt/, docs/CHECKPOINT.md). Captured only at a tick boundary —
+ * staged cap batches are committed at settlement, so the staged set is
+ * empty by construction and not part of the image. Telemetry history
+ * and registered callbacks are deliberately excluded: history is
+ * derived observable output (recovery resumes recording forward), and
+ * callbacks are in-process wiring the recovering host re-registers.
+ */
+struct EcovisorImage
+{
+    struct AppImage
+    {
+        std::string name;
+        AppShareConfig share; ///< full registration input
+        VesImage ves;         ///< runtime state of the app's VES
+    };
+    std::vector<AppImage> apps; ///< registration (handle-index) order
+    /** Powercap map entries in key order (container id ascending). */
+    std::vector<std::pair<cop::ContainerId, double>> powercaps;
+    std::vector<cop::ContainerId> emergency_capped;
+    std::int64_t degraded_ticks = 0;
+    std::int64_t slo_violation_ticks = 0;
+    double unserved_wh = 0.0;
+    double net_metered_wh = 0.0;
+    double curtailed_wh = 0.0;
+    TimeS last_settled_s = -1;
+    TimeS last_dt_s = 0;
+    double last_site_solar_w = 0.0;
+    double last_intensity = 0.0;
+    std::int64_t settled_ticks = 0;
+};
+
+/**
  * The ecovisor core. One instance manages one cluster + energy system
  * and any number of application virtual energy systems.
  */
@@ -440,6 +473,28 @@ class Ecovisor
 
     /** Options in effect. */
     const EcovisorOptions &options() const { return options_; }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore (src/ckpt/, docs/CHECKPOINT.md).
+    // ------------------------------------------------------------------
+
+    /**
+     * Capture runtime state at a tick boundary. Fatal when a staged
+     * cap batch has not yet committed (the caller snapshotted
+     * mid-tick, which the checkpoint manager never does).
+     */
+    EcovisorImage captureState() const;
+
+    /**
+     * Rebuild from an image into a freshly constructed ecovisor (same
+     * cluster/physical-system configs, no apps registered yet — fatal
+     * otherwise). Each app is re-registered through tryAddApp(), so
+     * handle indices, COP intern indices and telemetry SeriesIds come
+     * out exactly as the captured run assigned them; the VES internals
+     * are then overwritten with the captured runtime state. Restore
+     * the cluster first — tryAddApp re-interns against it.
+     */
+    void restoreState(const EcovisorImage &image);
 
   private:
     /**

@@ -175,6 +175,42 @@ VirtualEnergySystem::settle(double demand_w, double solar_w,
     return last_;
 }
 
+VesImage
+VirtualEnergySystem::captureState() const
+{
+    VesImage img;
+    img.charge_rate_w = charge_rate_w_;
+    img.max_discharge_w = max_discharge_w_;
+    img.has_battery = battery_.has_value();
+    if (battery_)
+        img.battery_energy_wh = battery_->energyWh();
+    img.last = last_;
+    img.total_energy_wh = total_energy_wh_;
+    img.total_grid_wh = total_grid_wh_;
+    img.total_solar_wh = total_solar_wh_;
+    img.total_curtailed_wh = total_curtailed_wh_;
+    img.total_carbon_g = total_carbon_g_;
+    return img;
+}
+
+void
+VirtualEnergySystem::restoreState(const VesImage &image)
+{
+    if (image.has_battery != battery_.has_value())
+        fatal("VirtualEnergySystem::restoreState: battery share "
+              "mismatch (image from a different config?)");
+    charge_rate_w_ = image.charge_rate_w;
+    max_discharge_w_ = image.max_discharge_w;
+    if (battery_)
+        battery_->setEnergyWh(image.battery_energy_wh);
+    last_ = image.last;
+    total_energy_wh_ = image.total_energy_wh;
+    total_grid_wh_ = image.total_grid_wh;
+    total_solar_wh_ = image.total_solar_wh;
+    total_curtailed_wh_ = image.total_curtailed_wh;
+    total_carbon_g_ = image.total_carbon_g;
+}
+
 double
 VirtualEnergySystem::absorbRedistributedSolar(double power_w, TimeS dt_s)
 {

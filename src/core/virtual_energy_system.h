@@ -103,6 +103,26 @@ struct TickSettlement
 };
 
 /**
+ * Value image of one VES for checkpoint/restore (docs/CHECKPOINT.md).
+ * The share configuration is registration input, not runtime state —
+ * it is captured by the ecovisor's app image, and restore targets a
+ * VES constructed from it.
+ */
+struct VesImage
+{
+    double charge_rate_w = 0.0;
+    double max_discharge_w = 0.0;
+    bool has_battery = false;
+    double battery_energy_wh = 0.0; ///< meaningful when has_battery
+    TickSettlement last;
+    double total_energy_wh = 0.0;
+    double total_grid_wh = 0.0;
+    double total_solar_wh = 0.0;
+    double total_curtailed_wh = 0.0;
+    double total_carbon_g = 0.0;
+};
+
+/**
  * The virtual energy system state machine for one application.
  */
 class VirtualEnergySystem
@@ -198,6 +218,16 @@ class VirtualEnergySystem
 
     /** Total attributed carbon, grams CO2-eq. */
     double totalCarbonG() const { return total_carbon_g_; }
+
+    // --- checkpoint/restore (src/ckpt/, docs/CHECKPOINT.md) ---
+
+    /** Capture the full runtime state (settings, battery charge,
+     *  last settlement, cumulative meters). */
+    VesImage captureState() const;
+
+    /** Restore runtime state into a VES built from the same share
+     *  config (fatal on a battery-presence mismatch). */
+    void restoreState(const VesImage &image);
 
   private:
     std::string app_;

@@ -55,6 +55,14 @@ class GridConnection
     /** Reset meters (tests and run restarts). */
     void resetMeters();
 
+    /** Overwrite meters with checkpointed values (src/ckpt/). */
+    void
+    restoreMeters(double total_energy_wh, double total_carbon_g)
+    {
+        total_energy_wh_ = total_energy_wh;
+        total_carbon_g_ = total_carbon_g;
+    }
+
   private:
     const carbon::CarbonIntensitySignal *signal_;
     double max_power_w_;

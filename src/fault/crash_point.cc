@@ -1,0 +1,66 @@
+#include "fault/crash_point.h"
+
+#include <unistd.h>
+
+#include "util/logging.h"
+
+namespace ecov::fault {
+
+namespace {
+// Single-threaded by contract: crash points are armed by test
+// harnesses and daemon flags before the run starts, and every ckpt
+// write happens on the settling thread.
+std::int64_t g_at = -1; ///< -1 = disarmed
+std::int64_t g_written = 0;
+} // namespace
+
+void
+CrashPoint::arm(std::int64_t at_byte)
+{
+    if (at_byte < 0)
+        fatal("CrashPoint::arm: negative byte offset");
+    g_at = at_byte;
+    g_written = 0;
+}
+
+void
+CrashPoint::disarm()
+{
+    g_at = -1;
+    g_written = 0;
+}
+
+bool
+CrashPoint::armed()
+{
+    return g_at >= 0;
+}
+
+std::int64_t
+CrashPoint::written()
+{
+    return g_written;
+}
+
+std::int64_t
+CrashPoint::admit(std::int64_t n)
+{
+    if (g_at < 0 || g_written + n <= g_at) {
+        g_written += n;
+        return n;
+    }
+    const std::int64_t allowed = g_at - g_written;
+    g_written += allowed;
+    return allowed;
+}
+
+void
+CrashPoint::die()
+{
+    // _exit, not exit or abort: no destructors, no flushing of other
+    // streams, no signal handlers — the closest a test can get to
+    // SIGKILL while still choosing the exact byte it dies on.
+    _exit(kExitCode);
+}
+
+} // namespace ecov::fault

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Process-global crash injector for durable-write paths
+ * (docs/FAULTS.md "Crash points", docs/CHECKPOINT.md).
+ *
+ * A crash point kills the process with _exit() once a chosen number of
+ * bytes has been handed to the checkpoint writer — *mid-write*: the
+ * write that crosses the armed offset is truncated to the bytes below
+ * it, flushed, and then the process dies. That produces exactly the
+ * torn tails the recovery path must survive: a half-written WAL
+ * record, a half-written snapshot section, a length header with no
+ * payload. The partial bytes are fsync'd before death so the torn
+ * state is *guaranteed* on disk — the worst case for recovery, not
+ * the luckiest.
+ *
+ * The counter spans every ckpt write in the process (snapshot and WAL
+ * alike), so a test sweeps crash offsets with a single integer. Like
+ * the rest of the fault plane it is a branch on a disarmed default:
+ * no crash point armed means one predictable-false comparison per
+ * write call.
+ */
+
+#ifndef ECOV_FAULT_CRASH_POINT_H
+#define ECOV_FAULT_CRASH_POINT_H
+
+#include <cstdint>
+
+namespace ecov::fault {
+
+class CrashPoint
+{
+  public:
+    /** Exit code of an injected crash (matches SIGKILL's 128+9, so
+     *  harnesses treat injected and real kills alike). */
+    static constexpr int kExitCode = 137;
+
+    /** Arm: die once `at_byte` cumulative durable bytes have been
+     *  written (0 = die before the first byte). Resets the counter. */
+    static void arm(std::int64_t at_byte);
+
+    /** Disarm and reset the counter. */
+    static void disarm();
+
+    /** True while armed. */
+    static bool armed();
+
+    /** Cumulative bytes admitted since the last arm()/disarm(). */
+    static std::int64_t written();
+
+    /**
+     * Account `n` bytes about to be written durably. Returns `n` when
+     * the armed offset is not crossed; otherwise the partial byte
+     * count the caller must write before invoking die(). Advances the
+     * counter by the returned amount.
+     */
+    static std::int64_t admit(std::int64_t n);
+
+    /** Terminate the process immediately (no destructors, no atexit —
+     *  a crash, not a shutdown). The caller flushes first. */
+    [[noreturn]] static void die();
+};
+
+} // namespace ecov::fault
+
+#endif // ECOV_FAULT_CRASH_POINT_H

@@ -40,6 +40,14 @@ class FaultInjector
     /** Ticks on which at least one energy fault was active. */
     std::int64_t armedTicks() const { return armed_ticks_; }
 
+    /**
+     * Restore the armed-tick counter after a checkpoint reload
+     * (src/ckpt/). The schedule itself is configuration — the hook
+     * re-derives the active fault set from simulated time, so the
+     * counter is the injector's only runtime state.
+     */
+    void restoreArmedTicks(std::int64_t ticks) { armed_ticks_ = ticks; }
+
   private:
     core::Ecovisor *eco_;
     FaultSchedule schedule_;

@@ -426,6 +426,18 @@ Client::resume()
                      kResponseBit))
         return opcodeMismatch();
 
+    // The server reports the session's committed-request-id watermark
+    // so a client with no memory of its own counter (a fresh process
+    // adopting a persisted session) never reuses an id that already
+    // committed. Older servers omit the field (watermark 0).
+    std::uint32_t watermark = 0;
+    if (!decodeResumeResult(r.result.data(), r.result.size(), 0,
+                            &watermark))
+        return api::Status::error(api::ErrorCode::Unavailable,
+                                  "malformed resume response");
+    if (watermark >= next_req_)
+        next_req_ = watermark + 1;
+
     // Retransmit everything unacknowledged in request-id order. The
     // server's dedup window replays what already committed and
     // swallows what is still queued — each mutation lands exactly
@@ -439,6 +451,13 @@ Client::resume()
         }
     }
     return api::Status::okStatus();
+}
+
+void
+Client::adoptSession(std::uint64_t token)
+{
+    token_ = token;
+    track_ = token != 0;
 }
 
 void

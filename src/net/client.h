@@ -188,6 +188,17 @@ class Client
      */
     api::Status resume();
 
+    /**
+     * Adopt a resume token obtained out of band (e.g. persisted by a
+     * previous process incarnation whose daemon checkpointed the
+     * session). Arms tracking and lets resume() re-bind the session;
+     * the Resume response's committed watermark then realigns this
+     * client's request-id counter past everything already committed.
+     * Follow with beginSession() after resume() to refresh the lease
+     * grant fields (it re-reads the same session's token).
+     */
+    void adoptSession(std::uint64_t token);
+
     /** Drop the session lease state (token, tracked requests). */
     void abandonSession();
 

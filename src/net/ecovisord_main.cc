@@ -11,7 +11,9 @@
  *
  *   ecovisord [--port=N] [--nodes=N] [--cores=N] [--tick=SECONDS]
  *             [--tick-ms=MS] [--max-ticks=N] [--seed=N]
- *             [--lease-ticks=N] [--quiet]
+ *             [--lease-ticks=N] [--state-dir=PATH]
+ *             [--checkpoint-every-ticks=N] [--fsync=always|never]
+ *             [--quiet]
  *
  *   --port      TCP port on 127.0.0.1; 0 (default) lets the OS pick.
  *   --nodes     cluster size (default 16)
@@ -25,10 +27,21 @@
  *               tenant's namespace survives this many ticks awaiting
  *               reconnect-and-resume (docs/FAULTS.md); 0 (default)
  *               revokes on disconnect, the pre-lease behaviour
+ *   --state-dir durable state directory (docs/CHECKPOINT.md). When
+ *               set, the daemon recovers from it at boot — leased
+ *               sessions survive the restart and resume without
+ *               re-registering — write-ahead-logs every tick, and
+ *               snapshots periodically. Unset = no persistence.
+ *   --checkpoint-every-ticks  snapshot cadence (default 32)
+ *   --fsync     durability policy for --state-dir writes: "always"
+ *               (default; survives power loss) or "never" (survives
+ *               process death only — crash tests, CI)
  *
  * SIGINT/SIGTERM drain cleanly: queued requests are answered
  * Unavailable, outboxes flush, and the process exits 0 — the CI smoke
- * job asserts exactly this.
+ * job asserts exactly this. With --state-dir the daemon also writes a
+ * final snapshot and prints its full-state digest, which the smoke
+ * job compares against an uninterrupted reference run.
  */
 
 #include <atomic>
@@ -37,9 +50,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "carbon/region_traces.h"
+#include "ckpt/manager.h"
 #include "core/ecovisor.h"
 #include "energy/solar_array.h"
 #include "net/server.h"
@@ -66,6 +81,16 @@ parseFlag(const char *arg, const char *name, long long *out)
     return true;
 }
 
+bool
+parseStringFlag(const char *arg, const char *name, std::string *out)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) != 0 || arg[n] != '=')
+        return false;
+    *out = arg + n + 1;
+    return true;
+}
+
 } // namespace
 
 int
@@ -75,7 +100,8 @@ main(int argc, char **argv)
 
     long long port = 0, nodes = 16, cores = 8, tick_s = 60;
     long long tick_ms = 100, max_ticks = 0, seed = 7;
-    long long lease_ticks = 0;
+    long long lease_ticks = 0, ckpt_every = 32;
+    std::string state_dir, fsync_mode = "always";
     bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
@@ -86,7 +112,10 @@ main(int argc, char **argv)
             parseFlag(a, "--tick-ms", &tick_ms) ||
             parseFlag(a, "--max-ticks", &max_ticks) ||
             parseFlag(a, "--seed", &seed) ||
-            parseFlag(a, "--lease-ticks", &lease_ticks))
+            parseFlag(a, "--lease-ticks", &lease_ticks) ||
+            parseFlag(a, "--checkpoint-every-ticks", &ckpt_every) ||
+            parseStringFlag(a, "--state-dir", &state_dir) ||
+            parseStringFlag(a, "--fsync", &fsync_mode))
             continue;
         if (std::strcmp(a, "--quiet") == 0) {
             quiet = true;
@@ -97,7 +126,8 @@ main(int argc, char **argv)
     }
     if (port < 0 || port > 65535 || nodes < 1 || cores < 1 ||
         tick_s < 1 || tick_ms < 0 || max_ticks < 0 ||
-        lease_ticks < 0 || lease_ticks > 1'000'000) {
+        lease_ticks < 0 || lease_ticks > 1'000'000 ||
+        (fsync_mode != "always" && fsync_mode != "never")) {
         std::fprintf(stderr, "ecovisord: argument out of range\n");
         return 64;
     }
@@ -127,6 +157,39 @@ main(int argc, char **argv)
     net::ServerCoreOptions core_opts;
     core_opts.lease_ticks = static_cast<std::uint32_t>(lease_ticks);
     net::ServerCore server(&eco, core_opts);
+
+    // Durable state: recover (replaying any WAL tail) before the
+    // listener opens, so resumed tenants find their sessions leased
+    // and waiting (docs/CHECKPOINT.md).
+    std::unique_ptr<ckpt::CheckpointManager> ckpt_mgr;
+    if (!state_dir.empty()) {
+        ckpt::World world;
+        world.sim = &simul;
+        world.eco = &eco;
+        world.cluster = &cluster;
+        world.phys = &phys;
+        world.grid = &grid;
+        world.server = &server;
+        ckpt::CheckpointOptions ckpt_opts;
+        ckpt_opts.dir = state_dir;
+        ckpt_opts.every_ticks = ckpt_every;
+        ckpt_opts.fsync = fsync_mode == "always"
+                              ? ckpt::FsyncPolicy::Always
+                              : ckpt::FsyncPolicy::Never;
+        ckpt_mgr = std::make_unique<ckpt::CheckpointManager>(
+            world, ckpt_opts);
+        auto st = ckpt_mgr->recover();
+        if (!st.ok()) {
+            std::fprintf(stderr, "ecovisord: recovery failed: %s\n",
+                         st.message().c_str());
+            return 1;
+        }
+        std::printf("ecovisord: recovered to tick %lld (%lld WAL "
+                    "ticks replayed)\n",
+                    static_cast<long long>(ckpt_mgr->recoveredTick()),
+                    static_cast<long long>(ckpt_mgr->replayedTicks()));
+    }
+
     net::TcpServerOptions tcp_opts;
     tcp_opts.port = static_cast<std::uint16_t>(port);
     auto tcp = net::TcpServer::create(&server, tcp_opts);
@@ -167,8 +230,26 @@ main(int argc, char **argv)
             return 1;
         }
         if (tick_ms == 0 || Clock::now() >= next_tick) {
+            if (ckpt_mgr) {
+                auto st = ckpt_mgr->beginTick();
+                if (!st.ok()) {
+                    std::fprintf(stderr, "ecovisord: WAL append "
+                                 "failed: %s\n",
+                                 st.message().c_str());
+                    return 1;
+                }
+            }
             simul.step();
             ++ticks;
+            if (ckpt_mgr) {
+                auto st = ckpt_mgr->endTick();
+                if (!st.ok()) {
+                    std::fprintf(stderr, "ecovisord: snapshot "
+                                 "failed: %s\n",
+                                 st.message().c_str());
+                    return 1;
+                }
+            }
             next_tick += tick_period;
             // Deliver the tick's responses without waiting for the
             // next natural poll timeout.
@@ -177,6 +258,20 @@ main(int argc, char **argv)
                 return 1;
             }
         }
+    }
+
+    // Final durable snapshot + the digest line the smoke job compares
+    // against an uninterrupted reference run — both before the drain,
+    // which mutates session state.
+    if (ckpt_mgr) {
+        auto st = ckpt_mgr->writeSnapshot();
+        if (!st.ok())
+            std::fprintf(stderr, "ecovisord: final snapshot failed: "
+                         "%s\n",
+                         st.message().c_str());
+        std::printf("ecovisord: state digest %016llx\n",
+                    static_cast<unsigned long long>(ckpt_mgr->digest()));
+        std::fflush(stdout);
     }
 
     // Drain: everything still queued answers Unavailable, outboxes

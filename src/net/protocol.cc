@@ -114,6 +114,8 @@ wireErrorCode(api::ErrorCode code)
         return 10;
       case api::ErrorCode::DeadlineExceeded:
         return 11;
+      case api::ErrorCode::DataLoss:
+        return 12;
     }
     return 1; // unknown code degrades to invalid_argument
 }
@@ -157,6 +159,9 @@ errorCodeFromWire(std::uint16_t wire, api::ErrorCode *out)
         return true;
       case 11:
         *out = api::ErrorCode::DeadlineExceeded;
+        return true;
+      case 12:
+        *out = api::ErrorCode::DataLoss;
         return true;
       default:
         return false;
@@ -488,6 +493,36 @@ decodeSessionInfoResult(const std::uint8_t *payload, std::size_t len,
     }
     return r.u16(version) && r.u64(token) && r.u32(lease_ticks) &&
            r.u32(dedup_window) && r.done();
+}
+
+void
+encodeResumeResponse(std::vector<std::uint8_t> &out,
+                     std::uint32_t request_id,
+                     std::uint32_t committed_max)
+{
+    const std::size_t off =
+        beginResponse(out, Opcode::Resume, request_id);
+    WireWriter w(&out);
+    w.u16(0);
+    w.u32(committed_max);
+    endFrame(out, off);
+}
+
+bool
+decodeResumeResult(const std::uint8_t *payload, std::size_t len,
+                   std::size_t offset, std::uint32_t *committed_max)
+{
+    if (offset > len)
+        return false;
+    WireReader r(payload + offset, len - offset);
+    // Version skew tolerance: a pre-checkpoint server's Resume
+    // response carries no result fields — report watermark 0 (the
+    // client then trusts only its own request-id counter).
+    if (r.done()) {
+        *committed_max = 0;
+        return true;
+    }
+    return r.u32(committed_max) && r.done();
 }
 
 void

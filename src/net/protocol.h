@@ -179,6 +179,16 @@ void encodeSnapshotResponse(std::vector<std::uint8_t> &out,
 void encodeErrorResponse(std::vector<std::uint8_t> &out, Opcode op,
                          std::uint32_t request_id,
                          const api::Status &status);
+/** Resume result: u32 committed-request-id watermark. A client that
+ *  lost its own counter (fresh process resuming a persisted session)
+ *  restarts request ids above it; older servers omit the field and
+ *  decode as watermark 0. */
+void encodeResumeResponse(std::vector<std::uint8_t> &out,
+                          std::uint32_t request_id,
+                          std::uint32_t committed_max);
+bool decodeResumeResult(const std::uint8_t *payload, std::size_t len,
+                        std::size_t offset,
+                        std::uint32_t *committed_max);
 /** SessionInfo result: u16 protocol version + u64 resume token +
  *  u32 lease ticks + u32 dedup window (0 = leases disabled). */
 void encodeSessionInfoResponse(std::vector<std::uint8_t> &out,

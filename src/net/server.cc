@@ -94,6 +94,9 @@ ServerCore::newSession(ConnId bound_to)
         s.token = token;
         tokens_[token] = sid;
     }
+    if (record_events_)
+        session_events_.push_back(
+            {SessionEvent::Kind::Open, sid, s.token});
     return sid;
 }
 
@@ -157,9 +160,15 @@ ServerCore::closeConnection(ConnId conn)
     // server draining (nothing to resume into), or the peer broke
     // protocol (its fault, not the network's).
     if (options_.lease_ticks == 0 || draining_ || poisoned) {
+        if (record_events_)
+            session_events_.push_back(
+                {SessionEvent::Kind::Destroy, sid, 0});
         destroySession(sid);
         return;
     }
+    if (record_events_)
+        session_events_.push_back(
+            {SessionEvent::Kind::Detach, sid, 0});
 
     // Detach: the session survives `lease_ticks` settlements awaiting
     // Resume. Undelivered output is gone with the connection — the
@@ -346,18 +355,38 @@ ServerCore::handleFrame(ConnId conn, Conn &c, const Frame &f)
             // end mid-frame on the old socket; the retransmit+dedup
             // path recovers anything lost.
             target.outbox.clear();
+            // Normalise the (unused-while-bound) lease counter so a
+            // taken-over session is field-identical to a resumed one
+            // — the checkpoint digest compares it.
+            target.lease_left = 0;
             ++stats_.resume_takeovers;
         } else {
             // Re-bind: discard this connection's fresh session and
-            // attach the leased one in its place.
+            // attach the leased one in its place. The virgin session
+            // was never observable, so its id goes back to the
+            // allocator — a resumed world stays field-identical to a
+            // never-disconnected one (the checkpoint digest compares
+            // next_session).
+            if (record_events_)
+                session_events_.push_back(
+                    {SessionEvent::Kind::DiscardVirgin, fresh, 0});
             destroySession(fresh);
+            if (next_session_ == fresh + 1)
+                next_session_ = fresh;
             target.lease_left = 0;
             --detached_;
         }
+        if (record_events_)
+            session_events_.push_back(
+                {SessionEvent::Kind::Rebind, resumed, 0});
         c.session = resumed;
         target.bound = conn;
         ++stats_.leases_resumed;
-        encodeOkResponse(target.outbox, op, f.request_id);
+        // The committed watermark rides on the grant: a client that
+        // lost its own request-id counter (fresh process adopting a
+        // checkpointed session) restarts above everything committed.
+        encodeResumeResponse(target.outbox, f.request_id,
+                             target.committed_max);
         return true;
       }
       case Opcode::GetSnapshot: {
@@ -748,6 +777,190 @@ ServerCore::apply(const PendingOp &op, Session &s)
         break; // never queued
     }
     panic("ServerCore::apply: non-coalesced opcode queued");
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore surface (src/ckpt/, docs/CHECKPOINT.md).
+// ---------------------------------------------------------------------
+
+std::vector<SessionEvent>
+ServerCore::drainSessionEvents()
+{
+    std::vector<SessionEvent> out;
+    out.swap(session_events_);
+    return out;
+}
+
+const std::vector<ServerCore::PendingOp> &
+ServerCore::canonicalBatch()
+{
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const PendingOp &a, const PendingOp &b) {
+                         if (a.session != b.session)
+                             return a.session < b.session;
+                         return a.req_id < b.req_id;
+                     });
+    return pending_;
+}
+
+void
+ServerCore::enqueueForReplay(PendingOp op)
+{
+    auto it = sessions_.find(op.session);
+    if (it == sessions_.end())
+        fatal("ServerCore::enqueueForReplay: unknown session "
+              "(corrupt WAL?)");
+    ++it->second.inflight;
+    pending_.push_back(std::move(op));
+}
+
+void
+ServerCore::applySessionEvent(const SessionEvent &ev)
+{
+    switch (ev.kind) {
+      case SessionEvent::Kind::Open: {
+        // Mirror newSession with the *logged* identity: the sid keeps
+        // the canonical commit order, the token keeps resumability.
+        Session &s = sessions_[ev.session];
+        s.bound = kRecoveryBound;
+        if (ev.token != 0) {
+            s.token = ev.token;
+            tokens_[ev.token] = ev.session;
+        }
+        if (next_session_ <= ev.session)
+            next_session_ = ev.session + 1;
+        return;
+      }
+      case SessionEvent::Kind::Detach: {
+        auto it = sessions_.find(ev.session);
+        if (it == sessions_.end())
+            return;
+        it->second.bound = 0;
+        it->second.lease_left = options_.lease_ticks;
+        it->second.outbox.clear();
+        ++detached_;
+        return;
+      }
+      case SessionEvent::Kind::Destroy: {
+        // Recorded only for bound-session closes (lease-ineligible
+        // and takeover-kick paths), so detached_ is untouched — the
+        // same bookkeeping the live path did.
+        destroySession(ev.session);
+        return;
+      }
+      case SessionEvent::Kind::Rebind: {
+        auto it = sessions_.find(ev.session);
+        if (it == sessions_.end())
+            return;
+        Session &s = it->second;
+        if (s.bound == 0)
+            --detached_; // live detached-resume decremented here
+        s.bound = kRecoveryBound;
+        s.lease_left = 0;
+        s.outbox.clear();
+        return;
+      }
+      case SessionEvent::Kind::DiscardVirgin: {
+        // Mirror the live Resume re-bind: destroy the discarded
+        // virgin session and return its id to the allocator.
+        destroySession(ev.session);
+        if (next_session_ == ev.session + 1)
+            next_session_ = ev.session;
+        return;
+      }
+    }
+}
+
+void
+ServerCore::detachAllForRecovery()
+{
+    for (auto &[sid, s] : sessions_) {
+        (void)sid;
+        if (s.bound == 0)
+            continue;
+        s.bound = 0;
+        s.lease_left = options_.lease_ticks;
+        s.outbox.clear();
+        ++detached_;
+        ++stats_.leases_started;
+    }
+}
+
+ServerCoreImage
+ServerCore::captureSessions() const
+{
+    // The snapshot point is immediately after a commit: nothing
+    // pending, nothing queued, every inflight counter zero. Anything
+    // else means the caller snapshotted mid-tick.
+    if (!pending_.empty())
+        fatal("ServerCore::captureSessions: requests still pending "
+              "(snapshot only at a tick boundary)");
+    ServerCoreImage image;
+    image.next_session = next_session_;
+    image.sessions.reserve(sessions_.size());
+    for (const auto &[sid, s] : sessions_) {
+        SessionImage img;
+        img.id = sid;
+        img.token = s.token;
+        img.bound = s.bound != 0;
+        // lease_left is "unused when bound" (it is re-armed on every
+        // detach), so normalise it out of the image: an uninterrupted
+        // run's bound session and a crashed-resumed one must encode —
+        // and therefore digest — identically.
+        img.lease_left = s.bound != 0 ? 0 : s.lease_left;
+        img.committed_max = s.committed_max;
+        img.apps.reserve(s.apps.size());
+        for (const api::AppHandle &h : s.apps)
+            img.apps.push_back(h.index());
+        img.containers.reserve(s.containers.size());
+        for (const api::ContainerHandle &h : s.containers)
+            img.containers.push_back(h.ref());
+        img.done.reserve(s.done_order.size());
+        for (std::uint32_t req_id : s.done_order) {
+            auto dit = s.done.find(req_id);
+            if (dit == s.done.end())
+                fatal("ServerCore::captureSessions: done window "
+                      "order/map mismatch");
+            img.done.emplace_back(req_id, dit->second);
+        }
+        image.sessions.push_back(std::move(img));
+    }
+    return image;
+}
+
+void
+ServerCore::restoreSessions(const ServerCoreImage &image)
+{
+    sessions_.clear();
+    tokens_.clear();
+    pending_.clear();
+    kicked_.clear();
+    session_events_.clear();
+    detached_ = 0;
+    next_session_ = image.next_session;
+    for (const SessionImage &img : image.sessions) {
+        Session &s = sessions_[img.id];
+        s.token = img.token;
+        if (img.token != 0)
+            tokens_[img.token] = img.id;
+        s.bound = img.bound ? kRecoveryBound : 0;
+        s.lease_left = img.lease_left;
+        s.committed_max = img.committed_max;
+        if (!img.bound)
+            ++detached_;
+        s.apps.reserve(img.apps.size());
+        for (std::int32_t idx : img.apps)
+            s.apps.push_back(api::AppHandle(idx));
+        s.containers.reserve(img.containers.size());
+        for (const cop::ContainerRef &ref : img.containers)
+            s.containers.push_back(api::ContainerHandle(ref));
+        for (const auto &[req_id, bytes] : img.done) {
+            s.done[req_id] = bytes;
+            s.done_order.push_back(req_id);
+        }
+        if (next_session_ <= img.id)
+            next_session_ = img.id + 1;
+    }
 }
 
 void

@@ -119,6 +119,81 @@ struct ServerCoreOptions
     std::uint64_t token_seed = 0;
 };
 
+/**
+ * Sentinel ConnId marking a session as "bound" during WAL replay or
+ * right after a snapshot restore, when no transport connection exists
+ * yet. Nonzero (so lease aging skips it, exactly as for a live
+ * binding); never allocated to a real connection (next_conn_ would
+ * have to wrap). Recovery ends with detachAllForRecovery(), which
+ * turns every sentinel binding into a fresh detached lease so real
+ * clients re-bind via Resume.
+ */
+inline constexpr ConnId kRecoveryBound = 0xffffffffu;
+
+/**
+ * One session-lifecycle transition, recorded (when event recording is
+ * armed) for the write-ahead log so recovery can replay the session
+ * plane deterministically (src/ckpt/, docs/CHECKPOINT.md). Events are
+ * emitted at the exact mutation sites — open, lease detach, destroy,
+ * resume rebind — and drained once per tick into the tick's WAL
+ * record, in occurrence order.
+ */
+struct SessionEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Open = 0,    ///< fresh session created (token when leased)
+        Detach = 1,  ///< connection closed; session leased
+        Destroy = 2, ///< session revoked (close without lease / kick)
+        Rebind = 3,  ///< Resume attached the session to a connection
+        /**
+         * Resume discarded the connection's auto-created virgin
+         * session and returned its id to the allocator. The virgin
+         * session was never observable (Resume must be the stream's
+         * first frame, so its token was never granted and it owned
+         * nothing), so reclaiming the id keeps a resumed world
+         * field-identical to one that never disconnected — the
+         * checkpoint digest compares next_session too.
+         */
+        DiscardVirgin = 4,
+    };
+    Kind kind = Kind::Open;
+    SessionId session = 0;
+    std::uint64_t token = 0; ///< Open only; 0 otherwise
+};
+
+/**
+ * Transport-free image of one session for snapshot capture/restore.
+ * Everything that determines future committed state is here: the
+ * handle namespace, the lease position, and the dedup window.
+ * Deliberately absent: the outbox (undelivered bytes die with the
+ * connection anyway), inflight/queued (capture happens at a tick
+ * boundary where both are empty), and connection ids (restore leaves
+ * every bound session on the kRecoveryBound sentinel).
+ */
+struct SessionImage
+{
+    SessionId id = 0;
+    std::uint64_t token = 0;
+    bool bound = false;
+    std::uint32_t lease_left = 0;
+    std::uint32_t committed_max = 0;
+    /** Local app id -> AppHandle index, in local-id order. */
+    std::vector<std::int32_t> apps;
+    /** Local container id -> slab ref, in local-id order. */
+    std::vector<cop::ContainerRef> containers;
+    /** Dedup window in commit order: (request id, response bytes). */
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+        done;
+};
+
+/** Full session-plane image (sessions in id order + id allocator). */
+struct ServerCoreImage
+{
+    SessionId next_session = 1;
+    std::vector<SessionImage> sessions;
+};
+
 /** Running totals (bench/smoke visibility; all monotonic). */
 struct ServerStats
 {
@@ -230,6 +305,78 @@ class ServerCore
     /** The supervised ecovisor (tests, daemon wiring). */
     core::Ecovisor &ecovisor() { return *eco_; }
 
+    /** A mutating request parked until the next commit point. Public
+     *  so the checkpoint subsystem can serialise the per-tick batch
+     *  (src/ckpt/wal.h). */
+    struct PendingOp
+    {
+        SessionId session = 0;
+        std::uint32_t req_id = 0;
+        Opcode op = Opcode::Ping;
+        std::uint32_t id = 0; ///< local app/container id operand
+        double value = 0.0;   ///< scalar operand
+        RegisterAppReq reg;   ///< RegisterApp only
+        std::vector<CapEntry> caps; ///< ApplyCapBatch only
+    };
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore surface (src/ckpt/, docs/CHECKPOINT.md).
+    // ------------------------------------------------------------------
+
+    /**
+     * Arm (or disarm) session-event recording. While armed, every
+     * session-plane transition appends a SessionEvent; the WAL writer
+     * drains them once per tick. Off by default — a server without a
+     * checkpoint manager pays nothing.
+     */
+    void enableEventRecording(bool on) { record_events_ = on; }
+
+    /** Events recorded since the last drain, in occurrence order;
+     *  clears the internal list. */
+    std::vector<SessionEvent> drainSessionEvents();
+
+    /**
+     * Sort the pending batch into canonical (session id, request id)
+     * order in place and return it — the exact batch commitCoalesced
+     * will apply this tick (its own stable sort is idempotent on the
+     * result). The WAL writer serialises this immediately before the
+     * tick settles.
+     */
+    const std::vector<PendingOp> &canonicalBatch();
+
+    /**
+     * Re-queue one logged request during WAL replay, bypassing the
+     * dedup/admission front door: the log only ever contains requests
+     * that were admitted live, and replaying them through the normal
+     * commit path regenerates responses — and dedup state —
+     * bit-identically.
+     */
+    void enqueueForReplay(PendingOp op);
+
+    /** Re-apply one logged session-plane transition during replay. */
+    void applySessionEvent(const SessionEvent &ev);
+
+    /**
+     * Finish recovery: every session still on the kRecoveryBound
+     * sentinel detaches with a fresh full lease (outbox cleared), so
+     * surviving clients can Resume into the restarted server before
+     * their lease runs out.
+     */
+    void detachAllForRecovery();
+
+    /**
+     * Capture the session plane at a tick boundary. Fatal when called
+     * with requests still pending — the snapshot point is immediately
+     * after a commit, where inflight and queued are empty by
+     * construction.
+     */
+    ServerCoreImage captureSessions() const;
+
+    /** Restore the session plane from a snapshot image. Existing
+     *  sessions are discarded; every restored bound session sits on
+     *  the kRecoveryBound sentinel until detachAllForRecovery(). */
+    void restoreSessions(const ServerCoreImage &image);
+
   private:
     /** One transport byte stream. */
     struct Conn
@@ -273,18 +420,6 @@ class ServerCore
          *  watermark is a retransmit — even one already evicted from
          *  the `done` window, which must never re-commit. */
         std::uint32_t committed_max = 0;
-    };
-
-    /** A mutating request parked until the next commit point. */
-    struct PendingOp
-    {
-        SessionId session = 0;
-        std::uint32_t req_id = 0;
-        Opcode op = Opcode::Ping;
-        std::uint32_t id = 0; ///< local app/container id operand
-        double value = 0.0;   ///< scalar operand
-        RegisterAppReq reg;   ///< RegisterApp only
-        std::vector<CapEntry> caps; ///< ApplyCapBatch only
     };
 
     /** Process one decoded frame; false latches a protocol error. */
@@ -331,6 +466,9 @@ class ServerCore
     SessionId next_session_ = 1;
     std::size_t detached_ = 0;
     bool draining_ = false;
+    /** Session-event recording for the WAL (enableEventRecording). */
+    bool record_events_ = false;
+    std::vector<SessionEvent> session_events_;
     ServerStats stats_;
 };
 

@@ -54,6 +54,17 @@ class SimClock
         return now_;
     }
 
+    /**
+     * Rewind/forward to a recovered position (checkpoint restore).
+     * The tick interval is configuration, not state — it stays.
+     */
+    void
+    restore(TimeS now_s, std::int64_t ticks)
+    {
+        now_ = now_s;
+        ticks_ = ticks;
+    }
+
   private:
     TimeS now_;
     TimeS tick_interval_;

@@ -104,6 +104,17 @@ class Simulation
     /** Run a single tick: dispatch all listeners, then advance time. */
     void step();
 
+    /**
+     * Jump the clock to a recovered position (checkpoint restore,
+     * docs/CHECKPOINT.md). Listener registry is untouched — recovery
+     * re-registers listeners exactly as the original boot did.
+     */
+    void
+    restoreClock(TimeS now_s, std::int64_t ticks)
+    {
+        clock_.restore(now_s, ticks);
+    }
+
     /** Run ticks until the clock reaches at least end_s. */
     void runUntil(TimeS end_s);
 

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Crash-recovery equivalence under injected process death
+ * (docs/CHECKPOINT.md, docs/FAULTS.md "Crash points"): a child
+ * process runs a fixed tenant script with a CrashPoint armed at a
+ * chosen durable-byte offset — dying mid-snapshot, mid-WAL-record,
+ * wherever the offset lands — and the parent then recovers the state
+ * directory, resumes the session by token, re-issues exactly the
+ * uncommitted tail of the script, and must reach a digest
+ * bit-identical to an uninterrupted reference run. Offsets sweep the
+ * whole durable byte stream, including 0 (die before the first byte)
+ * and past-the-end (no crash at all).
+ *
+ * Deliberately NOT labelled `threads`: the suite forks, and forking a
+ * TSan-instrumented test is not supported. The fork-free recovery
+ * suite carries the thread-count leg.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "fault/crash_point.h"
+#include "net/client.h"
+#include "net/loopback.h"
+#include "world_harness.h"
+
+namespace ecov::ckpt {
+namespace {
+
+using testutil::WorldHarness;
+using testutil::makeStateDir;
+
+constexpr int kOps = 8;            ///< register, spawn, 6 demand sets
+constexpr std::int64_t kHorizon = 16;
+
+/**
+ * Issue scripted op `j` synchronously. Every op is a pure function of
+ * its index, and — handles being dense per-session indices — the
+ * continuation run can re-issue any suffix against known local ids
+ * (app 0, container 0) without state from the crashed process.
+ */
+api::Status
+issueOp(net::Client &c, int j)
+{
+    if (j == 0)
+        return c.registerApp("tenant", testutil::appShare(0.4, 160.0))
+            .status();
+    if (j == 1)
+        return c.spawnContainer(net::RemoteApp{0}, 2.0).status();
+    return c.setDemand(net::RemoteContainer{0}, 1.0 + 0.5 * j);
+}
+
+/** The full scripted life: every op, then filler ticks to the
+ *  horizon. Returns the final digest (session still bound). */
+std::uint64_t
+fullRun(const std::string &dir, std::uint64_t *token_out)
+{
+    WorldHarness h(dir);
+    if (!h.mgr.recover().ok())
+        return 0;
+    net::LoopbackTransport lt(&h.server);
+    lt.setIdleHandler([&] { h.tick(); });
+    net::Client c(&lt);
+    if (!c.beginSession().ok())
+        return 0;
+    if (token_out)
+        *token_out = c.sessionToken();
+    for (int j = 0; j < kOps; ++j)
+        if (!issueOp(c, j).ok())
+            return 0;
+    h.runTo(kHorizon);
+    return h.mgr.digest();
+}
+
+/**
+ * Recover the crashed directory and finish the script. One sync op
+ * commits per tick, so a world recovered at tick m has exactly ops
+ * 0..m-1 committed — the continuation resumes by token and re-issues
+ * ops m.. (the Resume watermark realigns request ids to match).
+ */
+std::uint64_t
+recoverAndContinue(const std::string &dir, std::uint64_t token)
+{
+    WorldHarness h(dir);
+    api::Status st = h.mgr.recover();
+    EXPECT_TRUE(st.ok()) << st.message();
+    const std::int64_t m = h.mgr.recoveredTick();
+    // Decide before connecting: opening the transport creates a fresh
+    // session of its own.
+    const bool fresh_start = h.server.sessionCount() == 0;
+
+    net::LoopbackTransport lt(&h.server);
+    lt.setIdleHandler([&] { h.tick(); });
+    net::Client c(&lt);
+
+    if (fresh_start) {
+        // Died before the first WAL record was durable: nothing ever
+        // happened. The tenant starts over from the top.
+        EXPECT_EQ(m, 0);
+        EXPECT_TRUE(c.beginSession().ok());
+        EXPECT_EQ(c.sessionToken(), token);
+        for (int j = 0; j < kOps; ++j)
+            EXPECT_TRUE(issueOp(c, j).ok());
+    } else {
+        c.adoptSession(token);
+        api::Status rs = c.resume();
+        EXPECT_TRUE(rs.ok()) << rs.message();
+        EXPECT_EQ(h.server.stats().leases_resumed, 1u);
+        for (int j = static_cast<int>(m); j < kOps; ++j)
+            EXPECT_TRUE(issueOp(c, j).ok());
+    }
+    h.runTo(kHorizon);
+    return h.mgr.digest();
+}
+
+TEST(CkptCrashRecovery, DigestMatchesAcrossInjectedCrashes)
+{
+    // Reference run; the armed-but-unreachable crash point counts the
+    // total durable bytes so the offsets can sweep the whole stream.
+    fault::CrashPoint::arm(INT64_MAX);
+    std::uint64_t token = 0;
+    const std::uint64_t ref_digest = fullRun(makeStateDir(), &token);
+    const std::int64_t total = fault::CrashPoint::written();
+    fault::CrashPoint::disarm();
+    ASSERT_NE(ref_digest, 0u);
+    ASSERT_NE(token, 0u);
+    ASSERT_GT(total, 64);
+
+    const std::int64_t offsets[] = {
+        0,         1,         67,       total / 4,
+        total / 2, 3 * total / 4,       total - 1,
+        total + 1000, // never crossed: the child survives
+    };
+
+    int crashed = 0, survived = 0;
+    for (std::int64_t at : offsets) {
+        const std::string dir = makeStateDir();
+        std::fflush(nullptr); // don't duplicate buffered output
+        const pid_t pid = ::fork();
+        ASSERT_NE(pid, -1);
+        if (pid == 0) {
+            // Child: run the whole script; die mid-write if the
+            // offset is crossed, exit 0 if the script completes.
+            fault::CrashPoint::arm(at);
+            fullRun(dir, nullptr);
+            ::_exit(0);
+        }
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        ASSERT_TRUE(WIFEXITED(status));
+        const int code = WEXITSTATUS(status);
+        ASSERT_TRUE(code == 0 || code == fault::CrashPoint::kExitCode)
+            << "child exited " << code << " at offset " << at;
+        code == 0 ? ++survived : ++crashed;
+
+        EXPECT_EQ(recoverAndContinue(dir, token), ref_digest)
+            << "divergence after crash at durable byte " << at
+            << " of " << total;
+    }
+    // The sweep must actually exercise both fates.
+    EXPECT_GE(crashed, 5);
+    EXPECT_GE(survived, 1);
+}
+
+} // namespace
+} // namespace ecov::ckpt

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * The durable record layer's damage taxonomy (src/ckpt/record_io.h):
+ * CRC framing round-trips, a torn tail truncates silently (crash
+ * artifact), a checksum mismatch on a complete record is DataLoss
+ * (corruption), and publishRecordFile replaces atomically. Plus the
+ * CrashPoint byte accounting the crash-recovery suite drives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "ckpt/record_io.h"
+#include "fault/crash_point.h"
+#include "world_harness.h" // makeStateDir
+
+namespace ecov::ckpt {
+namespace {
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in),
+        std::istreambuf_iterator<char>());
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+void
+flipByte(const std::string &path, std::size_t offset)
+{
+    std::vector<std::uint8_t> bytes = slurp(path);
+    ASSERT_LT(offset, bytes.size());
+    bytes[offset] ^= 0xff;
+    spit(path, bytes);
+}
+
+std::vector<std::uint8_t>
+payloadOf(std::size_t n, std::uint8_t seed)
+{
+    std::vector<std::uint8_t> p(n);
+    for (std::size_t i = 0; i < n; ++i)
+        p[i] = static_cast<std::uint8_t>(seed + i);
+    return p;
+}
+
+TEST(RecordIo, Crc32KnownAnswer)
+{
+    // The IEEE 802.3 check value for "123456789".
+    const char *s = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t *>(s), 9),
+              0xCBF43926u);
+}
+
+TEST(RecordIo, AppendReadRoundTrip)
+{
+    const std::string dir = testutil::makeStateDir();
+    const std::string path = dir + "/wal";
+    const auto p1 = payloadOf(5, 1);
+    const auto p2 = payloadOf(32, 7);
+
+    RecordWriter w;
+    ASSERT_TRUE(w.open(path, FsyncPolicy::Never).ok());
+    ASSERT_TRUE(w.append(p1).ok());
+    ASSERT_TRUE(w.append(p2).ok());
+    w.close();
+
+    std::vector<std::vector<std::uint8_t>> recs;
+    std::size_t truncated = 99;
+    ASSERT_TRUE(readRecords(path, &recs, &truncated).ok());
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0], p1);
+    EXPECT_EQ(recs[1], p2);
+    EXPECT_EQ(truncated, 0u);
+
+    // Re-open appends after the existing records.
+    RecordWriter w2;
+    ASSERT_TRUE(w2.open(path, FsyncPolicy::Never).ok());
+    ASSERT_TRUE(w2.append(p1).ok());
+    w2.close();
+    ASSERT_TRUE(readRecords(path, &recs).ok());
+    ASSERT_EQ(recs.size(), 3u);
+    EXPECT_EQ(recs[2], p1);
+}
+
+TEST(RecordIo, MissingFileIsEmpty)
+{
+    const std::string dir = testutil::makeStateDir();
+    std::vector<std::vector<std::uint8_t>> recs;
+    std::size_t truncated = 99;
+    ASSERT_TRUE(
+        readRecords(dir + "/nonexistent", &recs, &truncated).ok());
+    EXPECT_TRUE(recs.empty());
+    EXPECT_EQ(truncated, 0u);
+}
+
+TEST(RecordIo, TornTailTruncates)
+{
+    const std::string dir = testutil::makeStateDir();
+    const std::string path = dir + "/wal";
+    const auto p1 = payloadOf(5, 1);  // record: 8 + 5 = 13 bytes
+    const auto p2 = payloadOf(32, 7); // record: 8 + 32 = 40 bytes
+    const std::size_t end1 = 13;
+
+    RecordWriter w;
+    ASSERT_TRUE(w.open(path, FsyncPolicy::Never).ok());
+    ASSERT_TRUE(w.append(p1).ok());
+    ASSERT_TRUE(w.append(p2).ok());
+    w.close();
+
+    // Tear inside the second record's payload: the complete prefix
+    // survives, the partial bytes are discarded and counted.
+    ASSERT_EQ(::truncate(path.c_str(),
+                         static_cast<off_t>(end1 + 8 + 10)),
+              0);
+    std::vector<std::vector<std::uint8_t>> recs;
+    std::size_t truncated = 0;
+    ASSERT_TRUE(readRecords(path, &recs, &truncated).ok());
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0], p1);
+    EXPECT_EQ(truncated, 18u);
+
+    // Tear inside the second record's *header* (no full length/CRC).
+    ASSERT_EQ(::truncate(path.c_str(), static_cast<off_t>(end1 + 4)),
+              0);
+    ASSERT_TRUE(readRecords(path, &recs, &truncated).ok());
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(truncated, 4u);
+}
+
+TEST(RecordIo, ChecksumMismatchIsDataLoss)
+{
+    const std::string dir = testutil::makeStateDir();
+    const std::string path = dir + "/wal";
+    const auto p1 = payloadOf(5, 1);
+    const auto p2 = payloadOf(32, 7);
+
+    RecordWriter w;
+    ASSERT_TRUE(w.open(path, FsyncPolicy::Never).ok());
+    ASSERT_TRUE(w.append(p1).ok());
+    ASSERT_TRUE(w.append(p2).ok());
+    w.close();
+
+    // A flipped byte inside a *complete* record is corruption, not a
+    // crash artifact: the read must refuse, not truncate.
+    flipByte(path, 13 + 8 + 3);
+    std::vector<std::vector<std::uint8_t>> recs;
+    api::Status st = readRecords(path, &recs);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), api::ErrorCode::DataLoss);
+}
+
+TEST(RecordIo, ResetEmptiesFile)
+{
+    const std::string dir = testutil::makeStateDir();
+    const std::string path = dir + "/wal";
+    RecordWriter w;
+    ASSERT_TRUE(w.open(path, FsyncPolicy::Never).ok());
+    ASSERT_TRUE(w.append(payloadOf(16, 3)).ok());
+    ASSERT_TRUE(w.reset().ok());
+    ASSERT_TRUE(w.append(payloadOf(4, 9)).ok());
+    w.close();
+
+    std::vector<std::vector<std::uint8_t>> recs;
+    ASSERT_TRUE(readRecords(path, &recs).ok());
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0], payloadOf(4, 9));
+}
+
+TEST(RecordIo, PublishReplacesAtomically)
+{
+    const std::string dir = testutil::makeStateDir();
+    const std::string path = dir + "/snapshot";
+    const auto a = payloadOf(24, 2);
+    const auto b = payloadOf(48, 5);
+
+    ASSERT_TRUE(publishRecordFile(path, a, FsyncPolicy::Never).ok());
+    std::vector<std::vector<std::uint8_t>> recs;
+    ASSERT_TRUE(readRecords(path, &recs).ok());
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0], a);
+
+    // A stale torn tmp from a crashed previous publish must not get
+    // in the way of the next one.
+    spit(path + ".tmp", payloadOf(3, 11));
+    ASSERT_TRUE(publishRecordFile(path, b, FsyncPolicy::Never).ok());
+    ASSERT_TRUE(readRecords(path, &recs).ok());
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0], b);
+    EXPECT_NE(::access((path + ".tmp").c_str(), F_OK), 0);
+}
+
+TEST(RecordIo, CrashPointAccounting)
+{
+    // admit() hands back whole writes until the armed offset, then
+    // the partial byte count below it. (The die() half is exercised
+    // by the fork-based crash-recovery suite.)
+    fault::CrashPoint::arm(10);
+    EXPECT_TRUE(fault::CrashPoint::armed());
+    EXPECT_EQ(fault::CrashPoint::written(), 0);
+    EXPECT_EQ(fault::CrashPoint::admit(6), 6);
+    EXPECT_EQ(fault::CrashPoint::admit(6), 4); // crosses at byte 10
+    EXPECT_EQ(fault::CrashPoint::written(), 10);
+    fault::CrashPoint::disarm();
+    EXPECT_FALSE(fault::CrashPoint::armed());
+    EXPECT_EQ(fault::CrashPoint::admit(6), 6); // disarmed: unbounded
+}
+
+} // namespace
+} // namespace ecov::ckpt

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Checkpoint/restore equivalence without crashing (src/ckpt/,
+ * docs/CHECKPOINT.md): a world torn down at a tick boundary and
+ * recovered in a fresh process image — snapshot plus WAL-tail replay —
+ * is bit-identical to an uninterrupted run, the leased tenant resumes
+ * by token without re-registering, and damaged state files recover
+ * per the taxonomy (torn tail truncates, corruption is DataLoss and
+ * mutates nothing).
+ *
+ * Carries the `threads` label: settlement shards under ECOV_THREADS,
+ * and the digest equality must hold at any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "ckpt/record_io.h"
+#include "net/client.h"
+#include "net/loopback.h"
+#include "world_harness.h"
+
+namespace ecov::ckpt {
+namespace {
+
+using testutil::WorldHarness;
+using testutil::makeStateDir;
+
+void
+flipByte(const std::string &path, std::size_t offset)
+{
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.get(c);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.put(static_cast<char>(c ^ 0xff));
+}
+
+std::size_t
+fileSize(const std::string &path)
+{
+    std::ifstream f(path, std::ios::binary | std::ios::ate);
+    return f.is_open() ? static_cast<std::size_t>(f.tellg()) : 0;
+}
+
+TEST(CkptRecovery, FreshDirectoryIsFreshStart)
+{
+    const std::string dir = makeStateDir();
+    WorldHarness h(dir);
+    ASSERT_TRUE(h.mgr.recover().ok());
+    EXPECT_EQ(h.mgr.recoveredTick(), 0);
+    EXPECT_EQ(h.mgr.replayedTicks(), 0);
+    h.runTo(3);
+    EXPECT_EQ(h.tickCount(), 3);
+    EXPECT_NE(h.mgr.digest(), 0u);
+}
+
+// The cornerstone: life 1 runs a leased tenant (register, spawn, set
+// demand) for 10 ticks and stops at a tick boundary; life 2 recovers
+// from snapshot + WAL tail, the tenant resumes by token *without
+// re-registering*, mutates through its old handles, and at the
+// horizon the world digests bit-identically to a reference world
+// that never restarted.
+TEST(CkptRecovery, RestartResumeMatchesUninterrupted)
+{
+    const std::string d1 = makeStateDir();
+    const std::string d2 = makeStateDir();
+    std::uint64_t token = 0;
+
+    // Life 1: churny tenant work, then the "process" stops.
+    {
+        WorldHarness a(d1);
+        ASSERT_TRUE(a.mgr.recover().ok());
+        net::LoopbackTransport lt(&a.server);
+        lt.setIdleHandler([&] { a.tick(); });
+        net::Client c(&lt);
+        ASSERT_TRUE(c.beginSession().ok());
+        token = c.sessionToken();
+        ASSERT_NE(token, 0u);
+        auto app =
+            c.registerApp("tenant", testutil::appShare(0.5, 200.0));
+        ASSERT_TRUE(app.ok());
+        auto cont = c.spawnContainer(app.value(), 2.0);
+        ASSERT_TRUE(cont.ok());
+        ASSERT_TRUE(c.setDemand(cont.value(), 3.5).ok());
+        a.runTo(10);
+    }
+
+    // Life 2: recover. Cadence is every 4 ticks, so the snapshot sits
+    // at tick 8 and the WAL tail replays ticks 8 and 9.
+    WorldHarness b(d1);
+    ASSERT_TRUE(b.mgr.recover().ok());
+    EXPECT_EQ(b.mgr.recoveredTick(), 10);
+    EXPECT_EQ(b.mgr.replayedTicks(), 2);
+    EXPECT_EQ(b.server.sessionCount(), 1u);
+    EXPECT_EQ(b.server.detachedSessionCount(), 1u);
+
+    // The tenant reconnects with the persisted token: no
+    // re-registration, the old local ids are live.
+    net::LoopbackTransport ltb(&b.server);
+    ltb.setIdleHandler([&] { b.tick(); });
+    net::Client cb(&ltb);
+    cb.adoptSession(token);
+    ASSERT_TRUE(cb.resume().ok());
+    EXPECT_EQ(b.server.stats().leases_resumed, 1u);
+    EXPECT_EQ(b.server.detachedSessionCount(), 0u);
+    ASSERT_TRUE(cb.setDemand(net::RemoteContainer{0}, 7.25).ok());
+    b.runTo(20);
+
+    // Reference: the same tenant history without any restart.
+    WorldHarness r(d2);
+    ASSERT_TRUE(r.mgr.recover().ok());
+    net::LoopbackTransport ltr(&r.server);
+    ltr.setIdleHandler([&] { r.tick(); });
+    net::Client cr(&ltr);
+    ASSERT_TRUE(cr.beginSession().ok());
+    EXPECT_EQ(cr.sessionToken(), token); // seeded tokens line up
+    auto app = cr.registerApp("tenant", testutil::appShare(0.5, 200.0));
+    ASSERT_TRUE(app.ok());
+    auto cont = cr.spawnContainer(app.value(), 2.0);
+    ASSERT_TRUE(cont.ok());
+    ASSERT_TRUE(cr.setDemand(cont.value(), 3.5).ok());
+    r.runTo(10);
+    ASSERT_TRUE(cr.setDemand(cont.value(), 7.25).ok());
+    r.runTo(20);
+
+    EXPECT_EQ(b.mgr.digest(), r.mgr.digest());
+}
+
+TEST(CkptRecovery, CorruptSnapshotIsDataLossAndMutatesNothing)
+{
+    const std::string dir = makeStateDir();
+    {
+        WorldHarness a(dir);
+        ASSERT_TRUE(a.mgr.recover().ok());
+        a.runTo(8); // snapshots at ticks 4 and 8
+    }
+
+    WorldHarness b(dir);
+    ASSERT_GT(fileSize(b.mgr.snapshotPath()), 16u);
+    flipByte(b.mgr.snapshotPath(), 12);
+    api::Status st = b.mgr.recover();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), api::ErrorCode::DataLoss);
+    // Validation precedes mutation: the world is untouched.
+    EXPECT_EQ(b.tickCount(), 0);
+    EXPECT_EQ(b.server.sessionCount(), 0u);
+}
+
+TEST(CkptRecovery, CorruptWalIsDataLossAndMutatesNothing)
+{
+    const std::string dir = makeStateDir();
+    {
+        // Cadence off (huge): the whole run lives in the WAL.
+        WorldHarness a(dir, /*every=*/1000);
+        ASSERT_TRUE(a.mgr.recover().ok());
+        net::LoopbackTransport lt(&a.server);
+        lt.setIdleHandler([&] { a.tick(); });
+        net::Client c(&lt);
+        ASSERT_TRUE(c.beginSession().ok());
+        ASSERT_TRUE(
+            c.registerApp("t", testutil::appShare(0.3, 100.0)).ok());
+        a.runTo(6);
+    }
+
+    WorldHarness b(dir, /*every=*/1000);
+    ASSERT_GT(fileSize(b.mgr.walPath()), 32u);
+    flipByte(b.mgr.walPath(), 20); // inside the first record
+    api::Status st = b.mgr.recover();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), api::ErrorCode::DataLoss);
+    EXPECT_EQ(b.tickCount(), 0);
+    EXPECT_EQ(b.server.sessionCount(), 0u);
+}
+
+TEST(CkptRecovery, TornWalTailReplaysThePrefix)
+{
+    const std::string dir = makeStateDir();
+    {
+        WorldHarness a(dir, /*every=*/1000);
+        ASSERT_TRUE(a.mgr.recover().ok());
+        a.runTo(6); // WAL records for ticks 0..5
+    }
+
+    WorldHarness b(dir, /*every=*/1000);
+    const std::size_t n = fileSize(b.mgr.walPath());
+    ASSERT_GT(n, 3u);
+    // A crash mid-append: the last record loses its final bytes. The
+    // torn tick never happened; everything before it replays.
+    ASSERT_EQ(::truncate(b.mgr.walPath().c_str(),
+                         static_cast<off_t>(n - 3)),
+              0);
+    ASSERT_TRUE(b.mgr.recover().ok());
+    EXPECT_EQ(b.mgr.recoveredTick(), 5);
+    EXPECT_EQ(b.mgr.replayedTicks(), 5);
+
+    // And the recovered world keeps running deterministically.
+    b.runTo(8);
+    EXPECT_EQ(b.tickCount(), 8);
+}
+
+} // namespace
+} // namespace ecov::ckpt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * FaultyTransport's rebind contract (docs/FAULTS.md): after a
+ * drop-implies-death fate severed the wrapper, rebind() onto a fresh
+ * inner transport revives it — alive, with the delayed queue cleared
+ * (those frames were never delivered, so they count as dropped and
+ * the client's resume retransmission owns them), and with the fate
+ * stream continuing where it left off.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/faulty_transport.h"
+#include "net/transport.h"
+
+namespace ecov::fault {
+namespace {
+
+/** Inner transport that records every delivered byte. */
+struct CaptureTransport : net::Transport
+{
+    std::vector<std::uint8_t> sent;
+    int sends = 0;
+
+    api::Status
+    send(const std::uint8_t *data, std::size_t n) override
+    {
+        sent.insert(sent.end(), data, data + n);
+        ++sends;
+        return api::Status::okStatus();
+    }
+
+    api::Status
+    receiveSome(std::vector<std::uint8_t> &) override
+    {
+        return api::Status::okStatus();
+    }
+};
+
+const std::uint8_t kFrame[] = {1, 2, 3, 4};
+
+TEST(FaultyTransportRebind, RevivesAfterKill)
+{
+    CaptureTransport first;
+    TransportFaultProfile p;
+    p.p_kill = 1.0; // every armed send dies
+    FaultyTransport ft(&first, /*seed=*/7, p);
+    ft.arm(true);
+
+    EXPECT_FALSE(ft.send(kFrame, sizeof kFrame).ok());
+    EXPECT_TRUE(ft.dead());
+    EXPECT_EQ(ft.framesDropped(), 1u);
+    // Dead is sticky for both directions until rebind.
+    std::vector<std::uint8_t> buf;
+    EXPECT_FALSE(ft.receiveSome(buf).ok());
+    EXPECT_FALSE(ft.send(kFrame, sizeof kFrame).ok());
+
+    // The driver reconnected: a rebound wrapper starts alive and
+    // delivers on the fresh connection (disarmed here, so no new
+    // fate draw interferes).
+    CaptureTransport fresh;
+    ft.rebind(&fresh);
+    EXPECT_FALSE(ft.dead());
+    ft.arm(false);
+    EXPECT_TRUE(ft.send(kFrame, sizeof kFrame).ok());
+    EXPECT_EQ(fresh.sent.size(), sizeof kFrame);
+    EXPECT_TRUE(ft.receiveSome(buf).ok());
+    EXPECT_EQ(first.sends, 0); // the dead connection got nothing
+}
+
+TEST(FaultyTransportRebind, ClearsDelayedQueue)
+{
+    CaptureTransport first;
+    TransportFaultProfile p;
+    p.p_delay = 1.0; // every armed send is held
+    FaultyTransport ft(&first, /*seed=*/11, p);
+    ft.arm(true);
+
+    EXPECT_TRUE(ft.send(kFrame, sizeof kFrame).ok());
+    EXPECT_TRUE(ft.send(kFrame, sizeof kFrame).ok());
+    EXPECT_EQ(ft.framesDelayed(), 2u);
+    EXPECT_EQ(ft.framesDropped(), 0u);
+    EXPECT_TRUE(first.sent.empty()); // held, not delivered
+
+    // Rebind while frames are still held: they belonged to the old
+    // connection and must NOT leak onto the new one — they convert to
+    // drops (the client's unacked tracking still covers them).
+    CaptureTransport fresh;
+    ft.rebind(&fresh);
+    EXPECT_EQ(ft.framesDropped(), 2u);
+    ft.arm(false);
+    EXPECT_TRUE(ft.send(kFrame, sizeof kFrame).ok());
+    // Only the post-rebind frame reaches the fresh transport — a
+    // flushed stale frame would corrupt the new connection's framing
+    // handshake (Resume must be its first frame).
+    EXPECT_EQ(fresh.sent.size(), sizeof kFrame);
+    EXPECT_EQ(fresh.sends, 1);
+    EXPECT_TRUE(first.sent.empty());
+}
+
+} // namespace
+} // namespace ecov::fault

@@ -43,6 +43,8 @@ TEST(Protocol, ErrorCodeWireRoundTrip)
         ErrorCode::NoSolar,
         ErrorCode::ResourceExhausted,
         ErrorCode::Unavailable,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::DataLoss,
     };
     for (ErrorCode c : codes) {
         ErrorCode back = ErrorCode::Ok;
@@ -58,6 +60,10 @@ TEST(Protocol, ErrorCodeWireRoundTrip)
     ErrorCode back = ErrorCode::Ok;
     ASSERT_TRUE(errorCodeFromWire(11, &back));
     EXPECT_EQ(back, ErrorCode::DeadlineExceeded);
+    // Checkpoint corruption (docs/CHECKPOINT.md) is code 12, forever.
+    EXPECT_EQ(wireErrorCode(ErrorCode::DataLoss), 12);
+    ASSERT_TRUE(errorCodeFromWire(12, &back));
+    EXPECT_EQ(back, ErrorCode::DataLoss);
     ErrorCode out;
     EXPECT_FALSE(errorCodeFromWire(999, &out));
 }
